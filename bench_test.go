@@ -1,0 +1,401 @@
+// Package cdsf_bench regenerates every table and figure of the paper's
+// evaluation as Go benchmarks, plus ablation benches for the design
+// choices DESIGN.md calls out (RA heuristic quality, PMF granularity,
+// DLS technique cost, availability-model choice, overhead sensitivity).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package cdsf_bench
+
+import (
+	"fmt"
+	"testing"
+
+	"cdsf/internal/availability"
+	"cdsf/internal/batch"
+	"cdsf/internal/dls"
+	"cdsf/internal/experiments"
+	"cdsf/internal/pmf"
+	"cdsf/internal/ra"
+	"cdsf/internal/robustness"
+	"cdsf/internal/sim"
+	"cdsf/internal/stats"
+)
+
+// ---------------------------------------------------------------------
+// Paper tables
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.GenerateTableI() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.GenerateTableII() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.GenerateTableIII() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+// BenchmarkTableIV runs both Stage-I policies (naive load balancing and
+// the exhaustive optimum) on the paper instance.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GenerateTableIV(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableV computes the expected completion times of both
+// Table IV allocations.
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GenerateTableV(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableVI runs the full scenario-4 evaluation (Stage I +
+// Stage-II simulations across all four cases) behind Table VI.
+func BenchmarkTableVI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.GenerateTableVI(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhi1 isolates the headline Stage-I computation: the joint
+// deadline probability of the robust allocation.
+func BenchmarkPhi1(b *testing.B) {
+	f := experiments.Framework()
+	alloc := experiments.PaperRobustAllocation()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phi, err := robustness.StageIProbability(f.Sys, f.Batch, alloc, f.Deadline)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if phi < 0.7 || phi > 0.8 {
+			b.Fatalf("phi1 = %v", phi)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Paper figures (scenarios 1-4)
+
+func benchFigure(b *testing.B, n int) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GenerateFigure(n, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) { benchFigure(b, 3) }
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, 4) }
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, 5) }
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, 6) }
+
+// ---------------------------------------------------------------------
+// Ablation: Stage-I heuristics on the paper instance
+
+func BenchmarkRAHeuristic(b *testing.B) {
+	f := experiments.Framework()
+	prob := &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline}
+	for _, name := range ra.Names() {
+		h, ok := ra.Get(name)
+		if !ok {
+			b.Fatalf("heuristic %q missing", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Allocate(prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation: DLS techniques in the Stage-II simulator (paper app 3,
+// case 1 availability)
+
+func BenchmarkDLSTechnique(b *testing.B) {
+	avail := pmf.MustNew([]pmf.Pulse{
+		{Value: 0.25, Prob: 0.25}, {Value: 0.5, Prob: 0.25}, {Value: 1, Prob: 0.5}})
+	for _, tech := range dls.All() {
+		b.Run(tech.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := sim.Run(sim.Config{
+					SerialIters:      216,
+					ParallelIters:    4104,
+					Workers:          8,
+					IterTime:         stats.NewNormal(1.852, 0.3*1.852),
+					Avail:            availability.Markov{PMF: avail, Interval: 812.5, Persistence: 0.5},
+					Technique:        tech,
+					WeightsFromAvail: true,
+					BestMaster:       true,
+					Overhead:         1,
+					Seed:             uint64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation: PMF pulse-count (bin width) sensitivity of phi1
+
+func BenchmarkPMFGranularity(b *testing.B) {
+	for _, pulses := range []int{10, 50, 250, 1000} {
+		b.Run(fmt.Sprintf("pulses-%d", pulses), func(b *testing.B) {
+			batch := experiments.PaperBatch(pulses)
+			sys := experiments.ReferenceSystem()
+			alloc := experiments.PaperRobustAllocation()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := robustness.StageIProbability(sys, batch, alloc, experiments.Deadline); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation: PMF algebra primitives
+
+func BenchmarkPMFOps(b *testing.B) {
+	d := stats.NewNormal(1000, 100)
+	p := pmf.Discretize(d, 250)
+	avail := pmf.MustNew([]pmf.Pulse{
+		{Value: 0.25, Prob: 0.25}, {Value: 0.5, Prob: 0.25}, {Value: 1, Prob: 0.5}})
+	b.Run("Div", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = pmf.Div(p, avail)
+		}
+	})
+	b.Run("Add", func(b *testing.B) {
+		q := pmf.Discretize(d, 50)
+		for i := 0; i < b.N; i++ {
+			_ = pmf.Add(q, avail)
+		}
+	})
+	b.Run("Max", func(b *testing.B) {
+		q := pmf.Discretize(d, 50)
+		for i := 0; i < b.N; i++ {
+			_ = pmf.Max(q, q)
+		}
+	})
+	b.Run("PrLE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = p.PrLE(1000)
+		}
+	})
+	b.Run("Compact", func(b *testing.B) {
+		big := pmf.Discretize(d, 2000)
+		for i := 0; i < b.N; i++ {
+			_ = big.Compact(100)
+		}
+	})
+	b.Run("Discretize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = pmf.Discretize(d, 250)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Ablation: availability-model choice in the Stage-II simulator
+
+func BenchmarkAvailabilityModel(b *testing.B) {
+	avail := pmf.MustNew([]pmf.Pulse{
+		{Value: 0.25, Prob: 0.25}, {Value: 0.5, Prob: 0.25}, {Value: 1, Prob: 0.5}})
+	af, _ := dls.Get("AF")
+	models := []availability.Model{
+		availability.Static{PMF: avail},
+		availability.Redraw{PMF: avail, Interval: 812.5},
+		availability.Markov{PMF: avail, Interval: 812.5, Persistence: 0.5},
+	}
+	for _, m := range models {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := sim.Run(sim.Config{
+					ParallelIters: 4096,
+					Workers:       8,
+					IterTime:      stats.NewNormal(1, 0.3),
+					Avail:         m,
+					Technique:     af,
+					Overhead:      1,
+					Seed:          uint64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation: scheduling-overhead sensitivity (FAC vs SS)
+
+func BenchmarkOverheadSensitivity(b *testing.B) {
+	for _, name := range []string{"SS", "FAC", "AF"} {
+		tech, _ := dls.Get(name)
+		for _, h := range []float64{0, 1, 10} {
+			b.Run(fmt.Sprintf("%s/h=%g", name, h), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, err := sim.Run(sim.Config{
+						ParallelIters: 2048,
+						Workers:       8,
+						IterTime:      stats.NewNormal(1, 0.3),
+						Avail:         availability.Static{PMF: pmf.Point(1)},
+						Technique:     tech,
+						Overhead:      h,
+						Seed:          uint64(i),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Future-work: the probabilistic scale study (one size, reduced
+// instances, to keep the benchmark affordable)
+
+func BenchmarkScaleStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultScaleConfig(uint64(i))
+		cfg.Instances = 3
+		cfg.Sizes = [][3]int{{6, 8, 16}}
+		cfg.Reps = 6
+		if _, err := experiments.RunScaleStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation: sensitivity studies (reduced repetitions)
+
+func BenchmarkSensitivityStudies(b *testing.B) {
+	b.Run("overhead", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.GenerateOverheadSensitivity(uint64(i), 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("correlation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.GenerateCorrelationStudy(uint64(i), 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("granularity", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.GenerateGranularitySensitivity(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Ablation: exhaustive enumeration growth (the scalability wall the
+// paper's future work targets)
+
+func BenchmarkExhaustiveEnumeration(b *testing.B) {
+	for _, apps := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("apps-%d", apps), func(b *testing.B) {
+			f := experiments.Framework()
+			prob := &ra.Problem{Sys: f.Sys, Batch: f.Batch[:apps], Deadline: f.Deadline}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (ra.Exhaustive{}).Allocate(prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// New-module benchmarks: analytic STATIC runtime model, order
+// statistics, simulator-vs-model validation, and the batch substrate.
+
+func BenchmarkStaticRuntimeModel(b *testing.B) {
+	f := experiments.Framework()
+	app := &f.Batch[2]
+	avail := f.Sys.Types[1].Avail
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = robustness.StaticRuntimePMF(app, 1, 8, avail, 300)
+	}
+}
+
+func BenchmarkMaxN(b *testing.B) {
+	p := pmf.Discretize(stats.NewNormal(1000, 100), 250)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pmf.MaxN(p, 8)
+	}
+}
+
+func BenchmarkValidateStageI(b *testing.B) {
+	f := experiments.Framework()
+	alloc := experiments.PaperRobustAllocation()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ValidateStageI(alloc, 0, 50, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchSubstrate(b *testing.B) {
+	cfg := batch.Config{
+		Sys: experiments.ReferenceSystem(),
+		Arrivals: batch.ArrivalProcess{
+			Interarrival: stats.NewExponential(1.0 / 800),
+			Templates:    experiments.PaperBatch(100),
+		},
+		Heuristic: ra.Greedy{},
+		Deadline:  experiments.Deadline,
+		MaxBatch:  3,
+		Jobs:      40,
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := batch.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

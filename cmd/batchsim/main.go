@@ -1,0 +1,108 @@
+// Command batchsim simulates the Stage-I operational substrate: a
+// stream of application instances arriving at a resource manager that
+// groups them into batches, allocates each batch with a Stage-I
+// heuristic, and executes batch after batch — either with the analytic
+// Stage-I estimate or the full Stage-II simulator.
+//
+// Usage:
+//
+//	batchsim -jobs 100 -rate 0.003 -heuristic greedy -deadline 3250
+//	batchsim -executor sim -tech AF -reps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cdsf/internal/batch"
+	"cdsf/internal/core"
+	"cdsf/internal/dls"
+	"cdsf/internal/experiments"
+	"cdsf/internal/ra"
+	"cdsf/internal/report"
+	"cdsf/internal/stats"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 60, "number of application arrivals to simulate")
+	rate := flag.Float64("rate", 1.0/1000, "arrival rate (jobs per time unit; Poisson)")
+	heuristic := flag.String("heuristic", "greedy", "stage-I heuristic for each batch")
+	deadline := flag.Float64("deadline", experiments.Deadline, "per-batch deadline")
+	maxBatch := flag.Int("maxbatch", 3, "maximum applications per batch (0: unbounded)")
+	executor := flag.String("executor", "expected", "batch executor: expected | sim")
+	tech := flag.String("tech", "AF", "DLS technique for the sim executor")
+	reps := flag.Int("reps", 10, "sim-executor repetitions per application")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if err := run(*jobs, *rate, *heuristic, *deadline, *maxBatch, *executor, *tech, *reps, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "batchsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(jobs int, rate float64, heuristic string, deadline float64, maxBatch int,
+	executor, tech string, reps int, seed uint64) error {
+
+	h, ok := ra.Get(heuristic)
+	if !ok {
+		return fmt.Errorf("unknown heuristic %q (have %s)", heuristic, strings.Join(ra.Names(), ", "))
+	}
+	if rate <= 0 {
+		return fmt.Errorf("non-positive arrival rate %v", rate)
+	}
+
+	cfg := batch.Config{
+		Sys: experiments.ReferenceSystem(),
+		Arrivals: batch.ArrivalProcess{
+			Interarrival: stats.NewExponential(rate),
+			Templates:    experiments.PaperBatch(experiments.DefaultPulses),
+		},
+		Heuristic: h,
+		Deadline:  deadline,
+		MaxBatch:  maxBatch,
+		Jobs:      jobs,
+		Seed:      seed,
+	}
+	switch executor {
+	case "expected":
+		// Default analytic executor.
+	case "sim":
+		dt, ok := dls.Get(tech)
+		if !ok {
+			return fmt.Errorf("unknown technique %q (have %s)", tech, strings.Join(dls.Names(), ", "))
+		}
+		simCfg := core.DefaultStageII(deadline, seed)
+		simCfg.Reps = reps
+		cfg.Executor = core.SimExecutor{Technique: dt, Config: simCfg}
+	default:
+		return fmt.Errorf("unknown executor %q (want expected or sim)", executor)
+	}
+
+	res, err := batch.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("batchsim: %d jobs, rate %g, heuristic %s, executor %s", jobs, rate, heuristic, executor),
+		"Batch", "Jobs", "Start", "Makespan", "phi1 (%)", "Met deadline")
+	for _, b := range res.Batches {
+		t.AddRow(
+			fmt.Sprintf("%d", b.Index),
+			fmt.Sprintf("%d", b.Jobs),
+			fmt.Sprintf("%.0f", b.Start),
+			fmt.Sprintf("%.0f", b.Makespan),
+			fmt.Sprintf("%.1f", b.Phi1*100),
+			fmt.Sprintf("%v", b.MetDeadline))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\njobs %d  batches %d  mean batch size %.2f  mean wait %.0f  deadline rate %.0f%%  total %.0f\n",
+		len(res.Jobs), len(res.Batches), res.MeanBatchSize, res.MeanWait,
+		res.DeadlineRate*100, res.MakespanTotal)
+	return nil
+}

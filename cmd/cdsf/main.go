@@ -1,0 +1,175 @@
+// Command cdsf runs the combined dual-stage framework end to end: a
+// Stage-I heuristic maps the paper's application batch onto the
+// heterogeneous system, and Stage-II simulations evaluate the chosen
+// DLS technique set across the runtime availability cases, reporting
+// per-case execution times, the best technique per application, and the
+// system robustness tuple (rho1, rho2).
+//
+// Usage:
+//
+//	cdsf                            # paper scenario 4 (robust-robust)
+//	cdsf -scenario 1                # any of the paper's 4 scenarios
+//	cdsf -im genetic -ras FAC,AF    # custom stage policies
+//	cdsf -reps 100 -seed 7          # tighter stage-II estimates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cdsf/internal/config"
+	"cdsf/internal/core"
+	"cdsf/internal/dls"
+	"cdsf/internal/experiments"
+	"cdsf/internal/pmf"
+	"cdsf/internal/ra"
+	"cdsf/internal/report"
+)
+
+func main() {
+	scenario := flag.Int("scenario", 4, "paper scenario 1-4 (ignored when -im or -ras given)")
+	im := flag.String("im", "", "stage-I heuristic (overrides -scenario)")
+	ras := flag.String("ras", "", "comma-separated stage-II techniques (overrides -scenario)")
+	reps := flag.Int("reps", 0, "stage-II repetitions (0: default)")
+	seed := flag.Uint64("seed", 42, "stage-II seed")
+	instance := flag.String("instance", "", "JSON instance file (default: the embedded paper example)")
+	flag.Parse()
+
+	if err := run(*scenario, *im, *ras, *reps, *seed, *instance); err != nil {
+		fmt.Fprintln(os.Stderr, "cdsf:", err)
+		os.Exit(1)
+	}
+}
+
+func buildScenario(scenario int, im, ras string) (core.Scenario, error) {
+	if im == "" && ras == "" {
+		if scenario < 1 || scenario > 4 {
+			return core.Scenario{}, fmt.Errorf("scenario %d out of 1..4", scenario)
+		}
+		return core.PaperScenarios(ra.NaiveLoadBalance{}, ra.Exhaustive{})[scenario-1], nil
+	}
+	sc := core.Scenario{Name: "custom"}
+	imName := im
+	if imName == "" {
+		imName = "exhaustive"
+	}
+	h, ok := ra.Get(imName)
+	if !ok {
+		return core.Scenario{}, fmt.Errorf("unknown heuristic %q (have %s)", imName, strings.Join(ra.Names(), ", "))
+	}
+	sc.IM = h
+	if ras == "" {
+		sc.RAS = core.RobustRAS()
+	} else {
+		for _, name := range strings.Split(ras, ",") {
+			t, ok := dls.Get(strings.TrimSpace(name))
+			if !ok {
+				return core.Scenario{}, fmt.Errorf("unknown technique %q (have %s)", name, strings.Join(dls.Names(), ", "))
+			}
+			sc.RAS = append(sc.RAS, t)
+		}
+	}
+	sc.Name = fmt.Sprintf("custom: %s IM + {%s}", sc.IM.Name(), ras)
+	return sc, nil
+}
+
+func run(scenario int, im, ras string, reps int, seed uint64, instance string) error {
+	var f *core.Framework
+	var cases []core.Case
+	if instance == "" {
+		f = experiments.Framework()
+		cases = experiments.Cases()
+	} else {
+		sys, batch, deadline, declared, err := config.LoadFull(instance)
+		if err != nil {
+			return err
+		}
+		f = &core.Framework{Sys: sys, Batch: batch, Deadline: deadline}
+		if len(declared) > 0 {
+			for _, c := range declared {
+				cases = append(cases, core.Case{Name: c.Name, Avail: c.Avail})
+			}
+		} else {
+			// Without declared cases, evaluate the reference
+			// availability plus two uniformly degraded cases.
+			ref := make([]pmf.PMF, len(sys.Types))
+			for j, t := range sys.Types {
+				ref[j] = t.Avail
+			}
+			cases = []core.Case{{Name: "reference", Avail: ref}}
+			for _, scale := range []float64{0.8, 0.6} {
+				scaled := make([]pmf.PMF, len(sys.Types))
+				for j, t := range sys.Types {
+					scaled[j] = t.Avail.Scale(scale)
+				}
+				cases = append(cases, core.Case{
+					Name:  fmt.Sprintf("scaled %.0f%%", scale*100),
+					Avail: scaled,
+				})
+			}
+		}
+	}
+	cfg := core.DefaultStageII(f.Deadline, seed)
+	if reps > 0 {
+		cfg.Reps = reps
+	}
+	sc, err := buildScenario(scenario, im, ras)
+	if err != nil {
+		return err
+	}
+	res, err := f.RunScenario(sc, cases, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Scenario: %s\n\n", res.Scenario)
+	s1 := report.NewTable("Stage I (initial mapping)",
+		"App", "Proc type", "# Procs", "Pr(T<=deadline) (%)", "E[T]")
+	for i, as := range res.StageI.Alloc {
+		s1.AddRow(f.Batch[i].Name,
+			fmt.Sprintf("%d", as.Type+1),
+			fmt.Sprintf("%d", as.Procs),
+			fmt.Sprintf("%.2f", res.StageI.PerApp[i]*100),
+			fmt.Sprintf("%.2f", res.StageI.ExpectedTimes[i]))
+	}
+	if err := s1.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("phi1 = %.2f%%\n\n", res.StageI.Phi1*100)
+
+	for _, c := range res.Cases {
+		headers := []string{"App"}
+		for _, o := range c.PerApp[0] {
+			headers = append(headers, o.Technique)
+		}
+		headers = append(headers, "Best")
+		t := report.NewTable(fmt.Sprintf("Stage II — %s (availability decrease %.2f%%)",
+			c.Case.Name, c.Decrease*100), headers...)
+		for i, outs := range c.PerApp {
+			row := []string{f.Batch[i].Name}
+			for _, o := range outs {
+				cell := fmt.Sprintf("%.0f", o.MeanTime)
+				if !o.Meets {
+					cell += " (!)"
+				}
+				row = append(row, cell)
+			}
+			best := c.Best[i]
+			if best == "" {
+				best = "-"
+			}
+			row = append(row, best)
+			t.AddRow(row...)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	tuple := core.SystemRobustness(res)
+	fmt.Printf("System robustness (rho1, rho2) = %s\n", tuple)
+	return nil
+}

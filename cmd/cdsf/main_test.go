@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildScenarioPaper(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		sc, err := buildScenario(n, "", "")
+		if err != nil {
+			t.Fatalf("scenario %d: %v", n, err)
+		}
+		if sc.IM == nil || len(sc.RAS) == 0 {
+			t.Errorf("scenario %d incomplete", n)
+		}
+	}
+	if _, err := buildScenario(0, "", ""); err == nil {
+		t.Error("scenario 0 accepted")
+	}
+	if _, err := buildScenario(5, "", ""); err == nil {
+		t.Error("scenario 5 accepted")
+	}
+}
+
+func TestBuildScenarioCustom(t *testing.T) {
+	sc, err := buildScenario(0, "genetic", "FAC,AF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.IM.Name() != "genetic" {
+		t.Errorf("IM = %s", sc.IM.Name())
+	}
+	if len(sc.RAS) != 2 || sc.RAS[0].Name != "FAC" || sc.RAS[1].Name != "AF" {
+		t.Errorf("RAS = %v", sc.RAS)
+	}
+	// Custom RAS with default IM.
+	sc2, err := buildScenario(0, "", "STATIC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc2.IM.Name() != "exhaustive" {
+		t.Errorf("default IM = %s", sc2.IM.Name())
+	}
+	if _, err := buildScenario(0, "bogus", ""); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+	if _, err := buildScenario(0, "greedy", "NOPE"); err == nil {
+		t.Error("unknown technique accepted")
+	}
+}

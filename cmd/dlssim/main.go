@@ -1,0 +1,281 @@
+// Command dlssim runs the Stage-II loop-scheduling simulator for one
+// workload and prints per-technique makespans, chunk counts, and load
+// imbalance.
+//
+// Usage:
+//
+//	dlssim -iters 4096 -serial 200 -workers 8 -mean 2.0 -cv 0.3 \
+//	       -avail 0.25:0.25,0.5:0.25,1:0.5 -model markov -interval 800 \
+//	       -tech FAC,WF,AWF-B,AF -reps 50 -deadline 3250
+//
+// The -avail flag takes a comma-separated availability PMF of
+// value:probability pulses (fractions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cdsf/internal/availability"
+	"cdsf/internal/dls"
+	"cdsf/internal/pmf"
+	"cdsf/internal/report"
+	"cdsf/internal/sim"
+	"cdsf/internal/stats"
+	"cdsf/internal/trace"
+)
+
+func main() {
+	iters := flag.Int("iters", 4096, "parallel loop iterations")
+	serial := flag.Int("serial", 0, "serial iterations executed on the master first")
+	workers := flag.Int("workers", 8, "number of processors in the group")
+	mean := flag.Float64("mean", 1.0, "mean per-iteration execution time (dedicated)")
+	cv := flag.Float64("cv", 0.3, "coefficient of variation of iteration times")
+	dist := flag.String("dist", "normal", "iteration-time distribution: normal, lognormal, gamma, exponential")
+	profile := flag.String("profile", "flat", "iteration-cost profile: flat, increasing, decreasing, peaked, alternating")
+	availSpec := flag.String("avail", "1:1", "availability PMF as value:prob,value:prob,...")
+	model := flag.String("model", "markov", "availability model: static, redraw, markov")
+	interval := flag.Float64("interval", 800, "availability model interval (redraw, markov)")
+	persistence := flag.Float64("persistence", 0.5, "markov persistence in [0,1)")
+	techs := flag.String("tech", "", "comma-separated techniques (default: all registered)")
+	overhead := flag.Float64("overhead", 1, "per-chunk scheduling overhead")
+	reps := flag.Int("reps", 30, "simulation repetitions per technique")
+	seed := flag.Uint64("seed", 1, "base seed")
+	deadline := flag.Float64("deadline", 0, "optional deadline for Pr(T<=deadline) reporting")
+	gantt := flag.Bool("gantt", false, "render an ASCII Gantt chart of one run per technique")
+	chunksOut := flag.String("chunks", "", "write one run's chunk log per technique to this CSV file prefix")
+	hist := flag.Bool("hist", false, "render an ASCII histogram of each technique's makespan sample")
+	schedule := flag.Bool("schedule", false, "print each technique's idealized dispatch schedule statistics")
+	flag.Parse()
+
+	if err := run(*iters, *serial, *workers, *mean, *cv, *dist, *profile, *availSpec, *model,
+		*interval, *persistence, *techs, *overhead, *reps, *seed, *deadline, *gantt, *chunksOut, *hist, *schedule); err != nil {
+		fmt.Fprintln(os.Stderr, "dlssim:", err)
+		os.Exit(1)
+	}
+}
+
+func parseAvail(spec string) (pmf.PMF, error) {
+	var pulses []pmf.Pulse
+	for _, part := range strings.Split(spec, ",") {
+		vp := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(vp) != 2 {
+			return pmf.PMF{}, fmt.Errorf("bad pulse %q (want value:prob)", part)
+		}
+		v, err := strconv.ParseFloat(vp[0], 64)
+		if err != nil {
+			return pmf.PMF{}, fmt.Errorf("bad pulse value %q: %v", vp[0], err)
+		}
+		p, err := strconv.ParseFloat(vp[1], 64)
+		if err != nil {
+			return pmf.PMF{}, fmt.Errorf("bad pulse probability %q: %v", vp[1], err)
+		}
+		pulses = append(pulses, pmf.Pulse{Value: v, Prob: p})
+	}
+	return pmf.New(pulses)
+}
+
+func run(iters, serial, workers int, mean, cv float64, distName, profileName, availSpec, model string,
+	interval, persistence float64, techs string, overhead float64, reps int,
+	seed uint64, deadline float64, gantt bool, chunksOut string, hist, schedule bool) error {
+
+	iterDist, err := buildDist(distName, mean, cv)
+	if err != nil {
+		return err
+	}
+	prof, err := sim.ProfileByName(profileName)
+	if err != nil {
+		return err
+	}
+
+	availPMF, err := parseAvail(availSpec)
+	if err != nil {
+		return err
+	}
+	var availModel availability.Model
+	switch model {
+	case "static":
+		availModel = availability.Static{PMF: availPMF}
+	case "redraw":
+		availModel = availability.Redraw{PMF: availPMF, Interval: interval}
+	case "markov":
+		availModel = availability.Markov{PMF: availPMF, Interval: interval, Persistence: persistence}
+	default:
+		return fmt.Errorf("unknown availability model %q", model)
+	}
+
+	var techniques []dls.Technique
+	if techs == "" {
+		techniques = dls.All()
+	} else {
+		for _, name := range strings.Split(techs, ",") {
+			t, ok := dls.Get(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown technique %q (have %s)", name, strings.Join(dls.Names(), ", "))
+			}
+			techniques = append(techniques, t)
+		}
+	}
+
+	if schedule {
+		analyses, err := dls.CompareSchedules(techniques, iters, workers, overhead, mean)
+		if err != nil {
+			return err
+		}
+		st := report.NewTable(fmt.Sprintf("Idealized dispatch schedules: %d iters, %d workers, h=%.2g",
+			iters, workers, overhead),
+			"Technique", "Chunks", "First", "Last", "Mean chunk", "Overhead ratio")
+		for _, a := range analyses {
+			st.AddRow(a.Technique,
+				fmt.Sprintf("%d", a.Chunks),
+				fmt.Sprintf("%d", a.FirstChunk),
+				fmt.Sprintf("%d", a.LastChunk),
+				fmt.Sprintf("%.1f", a.MeanChunk),
+				fmt.Sprintf("%.4f", a.OverheadRatio))
+		}
+		if err := st.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	var histCharts []*report.HistogramChart
+	headers := []string{"Technique", "Mean", "StdDev", "P90", "Chunks", "Imbalance"}
+	if deadline > 0 {
+		headers = append(headers, fmt.Sprintf("Pr(T<=%.0f)", deadline))
+	}
+	tbl := report.NewTable(fmt.Sprintf("dlssim: %d+%d iters, %d workers, avail %s (%s), overhead %.2g",
+		serial, iters, workers, availSpec, availModel.Name(), overhead), headers...)
+
+	for _, tech := range techniques {
+		cfg := sim.Config{
+			SerialIters:      serial,
+			ParallelIters:    iters,
+			Workers:          workers,
+			IterTime:         iterDist,
+			IterProfile:      prof,
+			Avail:            availModel,
+			Technique:        tech,
+			WeightsFromAvail: true,
+			BestMaster:       true,
+			Overhead:         overhead,
+			Seed:             seed,
+		}
+		s, err := sim.RunMany(cfg, reps)
+		if err != nil {
+			return err
+		}
+		row := []string{
+			tech.Name,
+			fmt.Sprintf("%.1f", s.Mean()),
+			fmt.Sprintf("%.1f", s.StdDev()),
+			fmt.Sprintf("%.1f", s.Quantile(0.9)),
+			fmt.Sprintf("%.1f", s.MeanChunks),
+			fmt.Sprintf("%.3f", s.MeanImbalance),
+		}
+		if deadline > 0 {
+			row = append(row, fmt.Sprintf("%.2f", s.PrLE(deadline)))
+		}
+		tbl.AddRow(row...)
+		if hist {
+			h := report.NewHistogramChart(fmt.Sprintf("\n%s makespan distribution (%d runs)", tech.Name, reps), s.Makespans)
+			h.MarkLabel = "deadline"
+			h.MarkValue = deadline
+			histCharts = append(histCharts, h)
+		}
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	for _, h := range histCharts {
+		if err := h.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if !gantt && chunksOut == "" {
+		return nil
+	}
+	for _, tech := range techniques {
+		cfg := sim.Config{
+			SerialIters:      serial,
+			ParallelIters:    iters,
+			Workers:          workers,
+			IterTime:         iterDist,
+			IterProfile:      prof,
+			Avail:            availModel,
+			Technique:        tech,
+			WeightsFromAvail: true,
+			BestMaster:       true,
+			Overhead:         overhead,
+			Seed:             seed,
+			CollectChunks:    true,
+		}
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if chunksOut != "" {
+			path := fmt.Sprintf("%s-%s.csv", chunksOut, strings.ToLower(tech.Name))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := trace.WriteCSV(f, r.Chunks); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if !gantt {
+			continue
+		}
+		a, err := trace.Analyze(r.Chunks, workers, overhead)
+		if err != nil {
+			return err
+		}
+		g := report.NewGantt(fmt.Sprintf("\n%s: one run, makespan %.1f, %d chunks, mean chunk %.1f, busy efficiency %.0f%%",
+			tech.Name, r.Makespan, r.NumChunks, a.MeanChunkSize, a.BusyEfficiency*100), workers)
+		for _, c := range r.Chunks {
+			g.Add(c.Worker, c.Start, c.Start+overhead+c.Elapsed, '#')
+		}
+		if err := g.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildDist constructs the iteration-time distribution from its family
+// name, mean, and coefficient of variation.
+func buildDist(name string, mean, cv float64) (stats.Dist, error) {
+	if mean <= 0 {
+		return nil, fmt.Errorf("non-positive mean %v", mean)
+	}
+	switch name {
+	case "normal":
+		if cv <= 0 {
+			return nil, fmt.Errorf("normal distribution needs cv > 0, got %v", cv)
+		}
+		return stats.NewNormal(mean, cv*mean), nil
+	case "lognormal":
+		if cv <= 0 {
+			return nil, fmt.Errorf("lognormal distribution needs cv > 0, got %v", cv)
+		}
+		return stats.LogNormalFromMoments(mean, cv*mean), nil
+	case "gamma":
+		if cv <= 0 {
+			return nil, fmt.Errorf("gamma distribution needs cv > 0, got %v", cv)
+		}
+		return stats.GammaFromMoments(mean, cv*mean), nil
+	case "exponential":
+		return stats.NewExponential(1 / mean), nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q (want normal, lognormal, gamma, exponential)", name)
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseAvail(t *testing.T) {
+	p, err := parseAvail("0.25:0.25,0.5:0.25,1:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	if math.Abs(p.Mean()-0.6875) > 1e-12 {
+		t.Errorf("mean = %v", p.Mean())
+	}
+	for _, bad := range []string{
+		"", "1", "x:1", "1:y", "1:0,2:0", "0.5:0.5,:0.5",
+	} {
+		if _, err := parseAvail(bad); err == nil {
+			t.Errorf("parseAvail(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildDist(t *testing.T) {
+	for _, name := range []string{"normal", "lognormal", "gamma"} {
+		d, err := buildDist(name, 10, 0.3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(d.Mean()-10) > 1e-9 {
+			t.Errorf("%s mean = %v", name, d.Mean())
+		}
+		if math.Abs(math.Sqrt(d.Var())-3) > 1e-9 {
+			t.Errorf("%s stddev = %v", name, math.Sqrt(d.Var()))
+		}
+	}
+	e, err := buildDist("exponential", 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Mean()-10) > 1e-9 {
+		t.Errorf("exponential mean = %v", e.Mean())
+	}
+	if _, err := buildDist("weibull", 10, 0.3); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if _, err := buildDist("normal", -1, 0.3); err == nil {
+		t.Error("negative mean accepted")
+	}
+	if _, err := buildDist("normal", 10, 0); err == nil {
+		t.Error("zero cv accepted for normal")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	// End-to-end through the CLI logic with tiny parameters.
+	err := run(64, 8, 2, 1, 0.3, "normal", "flat", "0.5:0.5,1:0.5", "markov",
+		50, 0.5, "FAC,AF", 0.5, 3, 1, 100, false, "", true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(64, 0, 2, 1, 0.3, "gamma", "peaked", "1:1", "static",
+		0, 0, "SS", 0, 2, 1, 0, true, "", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(64, 0, 2, 1, 0.3, "normal", "flat", "1:1", "bogus",
+		0, 0, "", 0, 2, 1, 0, false, "", false, false); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run(64, 0, 2, 1, 0.3, "normal", "flat", "1:1", "static",
+		0, 0, "NOPE", 0, 2, 1, 0, false, "", false, false); err == nil {
+		t.Error("unknown technique accepted")
+	}
+}

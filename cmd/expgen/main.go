@@ -1,0 +1,170 @@
+// Command expgen regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	expgen                 # everything
+//	expgen -table 4        # a single table (1-6)
+//	expgen -figure 5       # a single figure (3-6)
+//	expgen -seed 7 -csv    # change the Stage-II seed; CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdsf/internal/experiments"
+	"cdsf/internal/report"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate only this table (1-6)")
+	figure := flag.Int("figure", 0, "regenerate only this figure (3-6)")
+	seed := flag.Uint64("seed", 42, "seed for the Stage-II simulations")
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	sensitivity := flag.Bool("sensitivity", false, "emit the sensitivity/ablation studies instead of the paper tables")
+	scale := flag.Bool("scale", false, "run the future-work probabilistic scale study instead of the paper tables")
+	reps := flag.Int("reps", 20, "stage-II repetitions for the sensitivity studies")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *sensitivity:
+		err = runSensitivity(*seed, *reps, *csv)
+	case *scale:
+		err = runScale(*seed, *csv)
+	default:
+		err = run(*table, *figure, *seed, *csv)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "expgen:", err)
+		os.Exit(1)
+	}
+}
+
+func runScale(seed uint64, csv bool) error {
+	t, err := experiments.RunScaleStudy(experiments.DefaultScaleConfig(seed))
+	if err != nil {
+		return err
+	}
+	if csv {
+		return t.CSV(os.Stdout)
+	}
+	return t.Render(os.Stdout)
+}
+
+func runSensitivity(seed uint64, reps int, csv bool) error {
+	emit := func(t *report.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		defer fmt.Println()
+		if csv {
+			return t.CSV(os.Stdout)
+		}
+		return t.Render(os.Stdout)
+	}
+	if err := emit(experiments.GenerateGranularitySensitivity()); err != nil {
+		return err
+	}
+	if err := emit(experiments.GenerateDeadlineCurve()); err != nil {
+		return err
+	}
+	if err := emit(experiments.GenerateToleranceCurve()); err != nil {
+		return err
+	}
+	if err := emit(experiments.GenerateOverheadSensitivity(seed, reps)); err != nil {
+		return err
+	}
+	if err := emit(experiments.GenerateCVSensitivity(seed, reps)); err != nil {
+		return err
+	}
+	if err := emit(experiments.GenerateModelSensitivity(seed, reps)); err != nil {
+		return err
+	}
+	if err := emit(experiments.GenerateCorrelationStudy(seed, reps)); err != nil {
+		return err
+	}
+	if err := emit(experiments.GenerateDistributionSensitivity(seed, reps)); err != nil {
+		return err
+	}
+	if err := emit(experiments.GenerateProfileSensitivity(seed, reps)); err != nil {
+		return err
+	}
+	if err := emit(experiments.GenerateBatchPolicyStudy(seed, 60)); err != nil {
+		return err
+	}
+	return emit(experiments.RunExtendedTechniqueStudy(seed, reps))
+}
+
+func run(table, figure int, seed uint64, csv bool) error {
+	emit := func(t *report.Table) error {
+		defer fmt.Println()
+		if csv {
+			return t.CSV(os.Stdout)
+		}
+		return t.Render(os.Stdout)
+	}
+
+	wantTable := func(n int) bool { return (table == 0 && figure == 0) || table == n }
+	wantFigure := func(n int) bool { return (table == 0 && figure == 0) || figure == n }
+
+	if wantTable(1) {
+		if err := emit(experiments.GenerateTableI()); err != nil {
+			return err
+		}
+	}
+	if wantTable(2) {
+		if err := emit(experiments.GenerateTableII()); err != nil {
+			return err
+		}
+	}
+	if wantTable(3) {
+		if err := emit(experiments.GenerateTableIII()); err != nil {
+			return err
+		}
+	}
+	if wantTable(4) {
+		t, err := experiments.GenerateTableIV()
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if wantTable(5) {
+		t, err := experiments.GenerateTableV()
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	for n := 3; n <= 6; n++ {
+		if !wantFigure(n) {
+			continue
+		}
+		c, err := experiments.GenerateFigure(n, seed)
+		if err != nil {
+			return err
+		}
+		if err := c.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if wantTable(6) {
+		t, tuple, err := experiments.GenerateTableVI(seed)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+		fmt.Printf("System robustness (rho1, rho2) = %s  [paper: (74.5%%, 30.77%%)]\n", tuple)
+	}
+	return nil
+}

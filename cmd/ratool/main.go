@@ -1,0 +1,161 @@
+// Command ratool explores Stage-I resource allocations on the paper's
+// instance (or a scaled synthetic one): it runs one or all registered
+// heuristics and reports the allocation, phi_1, and expected completion
+// times, optionally comparing against the exhaustive optimum.
+//
+// Usage:
+//
+//	ratool                       # all heuristics on the paper instance
+//	ratool -heuristic genetic    # one heuristic
+//	ratool -apps 6 -type1 8 -type2 16 -deadline 3000 -seed 3
+//
+// With -apps > 0 a synthetic instance is generated: applications get
+// random mean execution times per type and random serial fractions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cdsf/internal/config"
+	"cdsf/internal/experiments"
+	"cdsf/internal/pmf"
+	"cdsf/internal/ra"
+	"cdsf/internal/report"
+	"cdsf/internal/rng"
+	"cdsf/internal/robustness"
+	"cdsf/internal/stats"
+	"cdsf/internal/sysmodel"
+)
+
+func main() {
+	heuristic := flag.String("heuristic", "", "run only this heuristic (default: all)")
+	apps := flag.Int("apps", 0, "generate a synthetic instance with this many applications (0: paper instance)")
+	type1 := flag.Int("type1", 4, "processors of type 1 (synthetic instance)")
+	type2 := flag.Int("type2", 8, "processors of type 2 (synthetic instance)")
+	deadline := flag.Float64("deadline", experiments.Deadline, "common deadline")
+	seed := flag.Uint64("seed", 1, "synthetic instance seed")
+	exhaustiveRef := flag.Bool("optimum", true, "also compute the exhaustive optimum for reference")
+	instance := flag.String("instance", "", "JSON instance file (overrides -apps and the paper instance)")
+	flag.Parse()
+
+	if err := run(*heuristic, *apps, *type1, *type2, *deadline, *seed, *exhaustiveRef, *instance); err != nil {
+		fmt.Fprintln(os.Stderr, "ratool:", err)
+		os.Exit(1)
+	}
+}
+
+// syntheticProblem builds a random instance: mean execution times per
+// type drawn log-uniformly, serial fractions in [2%, 30%].
+func syntheticProblem(apps, type1, type2 int, deadline float64, seed uint64) *ra.Problem {
+	r := rng.New(seed)
+	sys := &sysmodel.System{Types: []sysmodel.ProcType{
+		{Name: "Type 1", Count: type1, Avail: pmf.MustNew([]pmf.Pulse{
+			{Value: 0.75, Prob: 0.5}, {Value: 1, Prob: 0.5}})},
+		{Name: "Type 2", Count: type2, Avail: pmf.MustNew([]pmf.Pulse{
+			{Value: 0.25, Prob: 0.25}, {Value: 0.5, Prob: 0.25}, {Value: 1, Prob: 0.5}})},
+	}}
+	b := make(sysmodel.Batch, apps)
+	for i := range b {
+		total := 512 + r.Intn(4096)
+		sf := 0.02 + 0.28*r.Float64()
+		serial := int(sf * float64(total))
+		if serial < 1 {
+			serial = 1
+		}
+		exec := make([]pmf.PMF, 2)
+		for j := range exec {
+			mu := 600 * (1 + 7*r.Float64())
+			exec[j] = pmf.Discretize(stats.NewNormal(mu, mu/10), 100)
+		}
+		b[i] = sysmodel.Application{
+			Name:          fmt.Sprintf("App %d", i+1),
+			SerialIters:   serial,
+			ParallelIters: total - serial,
+			ExecTime:      exec,
+		}
+	}
+	return &ra.Problem{Sys: sys, Batch: b, Deadline: deadline}
+}
+
+func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64, optimum bool, instance string) error {
+	var prob *ra.Problem
+	switch {
+	case instance != "":
+		sys, batch, d, err := config.Load(instance)
+		if err != nil {
+			return err
+		}
+		prob = &ra.Problem{Sys: sys, Batch: batch, Deadline: d}
+	case apps > 0:
+		prob = syntheticProblem(apps, type1, type2, deadline, seed)
+	default:
+		f := experiments.Framework()
+		prob = &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: deadline}
+	}
+
+	names := ra.Names()
+	if heuristic != "" {
+		names = []string{heuristic}
+	}
+
+	var optPhi float64
+	haveOpt := false
+	if optimum {
+		if n := sysmodel.CountAllocations(prob.Sys, prob.Batch); n <= 2_000_000 {
+			al, err := (ra.Exhaustive{}).Allocate(prob)
+			if err == nil {
+				optPhi, _ = prob.Objective(al)
+				haveOpt = true
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "ratool: skipping exhaustive reference (%d allocations)\n", n)
+		}
+	}
+
+	headers := []string{"Heuristic", "phi1 (%)", "E[makespan]", "Allocation", "Time"}
+	if haveOpt {
+		headers = append(headers, "Gap to optimum (pp)")
+	}
+	tbl := report.NewTable(fmt.Sprintf("Stage-I heuristics (deadline %.0f, %d apps, %d procs)",
+		prob.Deadline, len(prob.Batch), prob.Sys.TotalProcessors()), headers...)
+
+	for _, name := range names {
+		h, ok := ra.Get(name)
+		if !ok {
+			return fmt.Errorf("unknown heuristic %q (have %s)", name, strings.Join(ra.Names(), ", "))
+		}
+		t0 := time.Now()
+		al, err := h.Allocate(prob)
+		dt := time.Since(t0)
+		if err != nil {
+			tbl.AddRow(name, "error: "+err.Error())
+			continue
+		}
+		res, err := robustness.EvaluateStageI(prob.Sys, prob.Batch, al, prob.Deadline)
+		if err != nil {
+			return err
+		}
+		maxExp := 0.0
+		for _, e := range res.ExpectedTimes {
+			if e > maxExp {
+				maxExp = e
+			}
+		}
+		row := []string{
+			name,
+			fmt.Sprintf("%.2f", res.Phi1*100),
+			fmt.Sprintf("%.0f", maxExp),
+			al.String(),
+			dt.Round(time.Millisecond).String(),
+		}
+		if haveOpt {
+			row = append(row, fmt.Sprintf("%.2f", (optPhi-res.Phi1)*100))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.Render(os.Stdout)
+}

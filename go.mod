@@ -1,0 +1,3 @@
+module cdsf
+
+go 1.22

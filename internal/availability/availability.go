@@ -1,0 +1,363 @@
+// Package availability provides runtime availability models for the
+// Stage-II simulator.
+//
+// Stage I reasons about availability through PMFs; Stage II needs the
+// availability of each individual processor as a function of simulated
+// time. The paper's testbed drew this from historical usage logs of a
+// real non-dedicated system; this package substitutes synthetic models
+// driven by the same PMFs (see DESIGN.md, "Substitutions"):
+//
+//   - Static: one draw per processor, constant for the whole run — the
+//     weakest dynamics, matching Stage I's one-shot convolution.
+//   - Redraw: the availability of each processor is re-drawn from the
+//     PMF every fixed interval, modeling a machine whose external load
+//     changes episodically.
+//   - Markov: a discrete-time Markov chain over the PMF's support whose
+//     stationary distribution equals the PMF, with a persistence
+//     parameter controlling how bursty the external load is.
+//   - Trace: replay of an explicit piecewise-constant trace, for tests
+//     and for injecting adversarial perturbation patterns.
+//
+// All models implement Model; a Model manufactures one independent
+// Process per processor. A Process answers two questions the simulator
+// asks: what is the availability now, and how long does it take to
+// complete a given amount of work starting now (integrating availability
+// over time).
+package availability
+
+import (
+	"fmt"
+	"math"
+
+	"cdsf/internal/pmf"
+	"cdsf/internal/rng"
+)
+
+// Process is the availability of a single processor over simulated time.
+// Implementations are piecewise constant. Queries must use
+// non-decreasing start times per Process (the simulator's event order
+// guarantees this for the workers it owns).
+type Process interface {
+	// At returns the fractional availability in (0, 1] at time t.
+	At(t float64) float64
+	// FinishTime returns the time at which `work` units of dedicated
+	// computation complete if started at time t, accounting for the
+	// availability profile from t onward: a processor at availability a
+	// delivers work at rate a.
+	FinishTime(t, work float64) float64
+}
+
+// Model manufactures independent availability Processes for processors
+// of one type.
+type Model interface {
+	// NewProcess returns the availability process for one processor,
+	// using r for any randomness. Each call must return an independent
+	// process.
+	NewProcess(r *rng.Source) Process
+	// Expected returns the long-run expected availability of a process,
+	// used for reporting and for the weighted-availability bookkeeping.
+	Expected() float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// ---------------------------------------------------------------------
+// Static model
+
+// Static draws one availability per processor from a PMF and keeps it
+// constant for the whole run.
+type Static struct {
+	PMF pmf.PMF
+}
+
+// NewProcess draws the constant availability.
+func (m Static) NewProcess(r *rng.Source) Process {
+	return constProcess(m.PMF.Sample(r))
+}
+
+// Expected returns E of the underlying PMF.
+func (m Static) Expected() float64 { return m.PMF.Mean() }
+
+// Name returns "static".
+func (m Static) Name() string { return "static" }
+
+type constProcess float64
+
+func (c constProcess) At(float64) float64 { return float64(c) }
+
+func (c constProcess) FinishTime(t, work float64) float64 {
+	return t + work/float64(c)
+}
+
+// Fixed returns a Process pinned at availability a in (0, 1]; useful in
+// tests and for modeling fully dedicated processors (a = 1).
+func Fixed(a float64) Process {
+	if a <= 0 || a > 1 {
+		panic(fmt.Sprintf("availability: fixed availability %v outside (0,1]", a))
+	}
+	return constProcess(a)
+}
+
+// ---------------------------------------------------------------------
+// Redraw model
+
+// Redraw re-draws the availability from the PMF every Interval time
+// units, independently per processor.
+type Redraw struct {
+	PMF pmf.PMF
+	// Interval is the length of each constant-availability epoch; it
+	// must be positive.
+	Interval float64
+}
+
+// NewProcess returns an independent re-drawing process.
+func (m Redraw) NewProcess(r *rng.Source) Process {
+	if m.Interval <= 0 {
+		panic(fmt.Sprintf("availability: redraw interval %v not positive", m.Interval))
+	}
+	return &redrawProcess{
+		sampler:  m.PMF.Sampler(),
+		interval: m.Interval,
+		r:        r.Split(),
+		cur:      -1,
+		epoch:    -1,
+	}
+}
+
+// Expected returns E of the underlying PMF.
+func (m Redraw) Expected() float64 { return m.PMF.Mean() }
+
+// Name returns "redraw".
+func (m Redraw) Name() string { return fmt.Sprintf("redraw(%g)", m.Interval) }
+
+type redrawProcess struct {
+	sampler  *pmf.Sampler
+	interval float64
+	r        *rng.Source
+	epoch    int64 // index of the epoch cur belongs to; -1 before first use
+	cur      float64
+}
+
+func (p *redrawProcess) avail(epoch int64) float64 {
+	if epoch != p.epoch {
+		if epoch < p.epoch {
+			// Queries must be non-decreasing in time; a stale epoch means
+			// the caller broke that contract.
+			panic("availability: redraw process queried backwards in time")
+		}
+		// Skip forward, drawing once per epoch so two processes with the
+		// same seed but different query patterns stay identical.
+		for p.epoch < epoch {
+			p.cur = p.sampler.Sample(p.r)
+			p.epoch++
+		}
+	}
+	return p.cur
+}
+
+func (p *redrawProcess) At(t float64) float64 {
+	return p.avail(int64(math.Floor(t / p.interval)))
+}
+
+func (p *redrawProcess) FinishTime(t, work float64) float64 {
+	// The epoch index is tracked explicitly rather than recomputed from
+	// t: floor(((e+1)*interval)/interval) can round back to e, which
+	// would stall the loop at an epoch boundary with zero capacity.
+	epoch := int64(math.Floor(t / p.interval))
+	for work > 1e-12 {
+		a := p.avail(epoch)
+		end := float64(epoch+1) * p.interval
+		capacity := (end - t) * a
+		if capacity >= work {
+			return t + work/a
+		}
+		work -= capacity
+		t = end
+		epoch++
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Markov model
+
+// Markov is a discrete-time Markov chain over the support of a PMF: at
+// every Interval boundary the process keeps its state with probability
+// Persistence and otherwise jumps to a state drawn from the PMF. The
+// stationary distribution is exactly the PMF, while Persistence controls
+// burst length (0 reduces to Redraw).
+type Markov struct {
+	PMF pmf.PMF
+	// Interval is the chain step length; it must be positive.
+	Interval float64
+	// Persistence in [0, 1) is the probability of keeping the current
+	// state at each step.
+	Persistence float64
+}
+
+// NewProcess returns an independent chain started from the stationary
+// distribution.
+func (m Markov) NewProcess(r *rng.Source) Process {
+	if m.Interval <= 0 {
+		panic(fmt.Sprintf("availability: markov interval %v not positive", m.Interval))
+	}
+	if m.Persistence < 0 || m.Persistence >= 1 {
+		panic(fmt.Sprintf("availability: markov persistence %v outside [0,1)", m.Persistence))
+	}
+	src := r.Split()
+	sampler := m.PMF.Sampler()
+	return &markovProcess{
+		sampler:     sampler,
+		interval:    m.Interval,
+		persistence: m.Persistence,
+		r:           src,
+		epoch:       0,
+		cur:         sampler.Sample(src),
+	}
+}
+
+// Expected returns E of the underlying PMF (its stationary mean).
+func (m Markov) Expected() float64 { return m.PMF.Mean() }
+
+// Name returns "markov".
+func (m Markov) Name() string {
+	return fmt.Sprintf("markov(%g,%.2f)", m.Interval, m.Persistence)
+}
+
+type markovProcess struct {
+	sampler     *pmf.Sampler
+	interval    float64
+	persistence float64
+	r           *rng.Source
+	epoch       int64
+	cur         float64
+}
+
+func (p *markovProcess) avail(epoch int64) float64 {
+	if epoch < p.epoch {
+		panic("availability: markov process queried backwards in time")
+	}
+	for p.epoch < epoch {
+		if p.r.Float64() >= p.persistence {
+			p.cur = p.sampler.Sample(p.r)
+		}
+		p.epoch++
+	}
+	return p.cur
+}
+
+func (p *markovProcess) At(t float64) float64 {
+	return p.avail(int64(math.Floor(t / p.interval)))
+}
+
+func (p *markovProcess) FinishTime(t, work float64) float64 {
+	// Explicit epoch tracking; see redrawProcess.FinishTime.
+	epoch := int64(math.Floor(t / p.interval))
+	for work > 1e-12 {
+		a := p.avail(epoch)
+		end := float64(epoch+1) * p.interval
+		capacity := (end - t) * a
+		if capacity >= work {
+			return t + work/a
+		}
+		work -= capacity
+		t = end
+		epoch++
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Trace model
+
+// Segment is one piece of a piecewise-constant availability trace.
+type Segment struct {
+	// Until is the end time of the segment (exclusive); the last
+	// segment's Until may be +Inf.
+	Until float64
+	// Avail is the fractional availability in (0, 1] during the segment.
+	Avail float64
+}
+
+// Trace replays an explicit piecewise-constant availability profile.
+// Every process of the model follows the same trace (use several Trace
+// models for heterogeneous profiles).
+type Trace struct {
+	Segments []Segment
+}
+
+// NewTrace validates and returns a Trace model. Segments must have
+// increasing Until times, availabilities in (0, 1], and the final
+// segment must extend to +Inf so every query is covered.
+func NewTrace(segments []Segment) (Trace, error) {
+	if len(segments) == 0 {
+		return Trace{}, fmt.Errorf("availability: empty trace")
+	}
+	prev := math.Inf(-1)
+	for i, s := range segments {
+		if s.Until <= prev {
+			return Trace{}, fmt.Errorf("availability: trace segment %d not increasing", i)
+		}
+		if s.Avail <= 0 || s.Avail > 1 {
+			return Trace{}, fmt.Errorf("availability: trace segment %d availability %v outside (0,1]", i, s.Avail)
+		}
+		prev = s.Until
+	}
+	if !math.IsInf(segments[len(segments)-1].Until, 1) {
+		return Trace{}, fmt.Errorf("availability: final trace segment must extend to +Inf")
+	}
+	return Trace{Segments: append([]Segment(nil), segments...)}, nil
+}
+
+// NewProcess returns a process replaying the trace (deterministic; r is
+// unused).
+func (m Trace) NewProcess(*rng.Source) Process { return traceProcess(m.Segments) }
+
+// Expected returns the time-weighted mean availability over the finite
+// prefix of the trace (the infinite tail is weighted by its availability
+// alone if the whole trace is one segment).
+func (m Trace) Expected() float64 {
+	segs := m.Segments
+	if len(segs) == 1 {
+		return segs[0].Avail
+	}
+	start, total, mass := 0.0, 0.0, 0.0
+	for _, s := range segs[:len(segs)-1] {
+		d := s.Until - start
+		total += d
+		mass += d * s.Avail
+		start = s.Until
+	}
+	return mass / total
+}
+
+// Name returns "trace".
+func (m Trace) Name() string { return "trace" }
+
+type traceProcess []Segment
+
+func (p traceProcess) At(t float64) float64 {
+	for _, s := range p {
+		if t < s.Until {
+			return s.Avail
+		}
+	}
+	return p[len(p)-1].Avail
+}
+
+func (p traceProcess) FinishTime(t, work float64) float64 {
+	start := t
+	for _, s := range p {
+		if start >= s.Until {
+			continue
+		}
+		capacity := (s.Until - start) * s.Avail
+		if capacity >= work || math.IsInf(s.Until, 1) {
+			return start + work/s.Avail
+		}
+		work -= capacity
+		start = s.Until
+	}
+	last := p[len(p)-1]
+	return start + work/last.Avail
+}

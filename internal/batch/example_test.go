@@ -1,0 +1,46 @@
+package batch_test
+
+import (
+	"fmt"
+
+	"cdsf/internal/batch"
+	"cdsf/internal/pmf"
+	"cdsf/internal/ra"
+	"cdsf/internal/stats"
+	"cdsf/internal/sysmodel"
+)
+
+// ExampleRun simulates a resource manager: Poisson arrivals grouped
+// into batches, each allocated by a Stage-I heuristic and executed
+// batch-synchronously.
+func ExampleRun() {
+	sys := &sysmodel.System{Types: []sysmodel.ProcType{
+		{Name: "T1", Count: 8, Avail: pmf.Point(1)},
+	}}
+	tmpl := sysmodel.Application{
+		Name: "job", SerialIters: 10, ParallelIters: 990,
+		ExecTime: []pmf.PMF{pmf.Point(800)},
+	}
+	res, err := batch.Run(batch.Config{
+		Sys: sys,
+		Arrivals: batch.ArrivalProcess{
+			Interarrival: stats.NewExponential(1.0 / 100),
+			Templates:    []sysmodel.Application{tmpl},
+		},
+		Heuristic: ra.Greedy{},
+		Deadline:  1000,
+		MaxBatch:  4,
+		Jobs:      12,
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("all jobs scheduled: %v\n", len(res.Jobs) == 12)
+	fmt.Printf("batches executed: %v\n", len(res.Batches) >= 3)
+	fmt.Printf("waits non-negative: %v\n", res.MeanWait >= 0)
+	// Output:
+	// all jobs scheduled: true
+	// batches executed: true
+	// waits non-negative: true
+}

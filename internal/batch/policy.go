@@ -1,0 +1,90 @@
+package batch
+
+import (
+	"fmt"
+)
+
+// Policy decides how many of the queued jobs form the next batch when
+// the system becomes free. The paper only says assignments are "made in
+// batches"; operationally the grouping rule trades queueing delay
+// against allocation quality (bigger batches give the Stage-I heuristic
+// more freedom but makes early arrivals wait).
+type Policy interface {
+	// Next returns how many of the `queued` jobs (all of which have
+	// arrived by `now`) to schedule, in [1, queued], and the time at
+	// which to start the batch (>= now). Policies that want to wait for
+	// more arrivals return start > now and may be called again.
+	Next(queued int, now float64, nextArrival float64, haveMore bool) (take int, start float64)
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// GreedyPolicy schedules everything queued immediately — the default
+// behaviour (bounded by Config.MaxBatch and the processor count).
+type GreedyPolicy struct{}
+
+// Name returns "greedy".
+func (GreedyPolicy) Name() string { return "greedy" }
+
+// Next implements Policy.
+func (GreedyPolicy) Next(queued int, now float64, _ float64, _ bool) (int, float64) {
+	return queued, now
+}
+
+// SizePolicy waits until at least Min jobs are queued (or no more
+// arrivals are coming), then schedules them all. Larger minimums give
+// the Stage-I heuristic more to optimize at the cost of waiting.
+type SizePolicy struct {
+	// Min is the batch-size threshold; it must be positive.
+	Min int
+}
+
+// Name returns "size(Min)".
+func (p SizePolicy) Name() string { return fmt.Sprintf("size(%d)", p.Min) }
+
+// Next implements Policy.
+func (p SizePolicy) Next(queued int, now float64, nextArrival float64, haveMore bool) (int, float64) {
+	if p.Min < 1 {
+		return queued, now
+	}
+	if queued >= p.Min || !haveMore {
+		return queued, now
+	}
+	// Wait for the next arrival before deciding again.
+	return 0, nextArrival
+}
+
+// WindowPolicy collects arrivals for a fixed time window after the
+// first queued job, then schedules everything that arrived.
+type WindowPolicy struct {
+	// Window is the collection window length; it must be positive.
+	Window float64
+	// anchor is the arrival time of the first job of the batch being
+	// collected; managed by Run.
+	anchor   float64
+	anchored bool
+}
+
+// Name returns "window(W)".
+func (p *WindowPolicy) Name() string { return fmt.Sprintf("window(%g)", p.Window) }
+
+// Next implements Policy.
+func (p *WindowPolicy) Next(queued int, now float64, nextArrival float64, haveMore bool) (int, float64) {
+	if !p.anchored {
+		p.anchor = now
+		p.anchored = true
+	}
+	deadline := p.anchor + p.Window
+	if now >= deadline || !haveMore || nextArrival > deadline {
+		p.anchored = false
+		return queued, maxF(now, deadline)
+	}
+	return 0, nextArrival
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+package batch
+
+import (
+	"math"
+	"testing"
+
+	"cdsf/internal/ra"
+	"cdsf/internal/stats"
+)
+
+func TestGreedyPolicy(t *testing.T) {
+	take, start := GreedyPolicy{}.Next(3, 10, 12, true)
+	if take != 3 || start != 10 {
+		t.Errorf("greedy = (%d, %v)", take, start)
+	}
+}
+
+func TestSizePolicyWaits(t *testing.T) {
+	p := SizePolicy{Min: 3}
+	take, start := p.Next(1, 10, 15, true)
+	if take != 0 || start != 15 {
+		t.Errorf("below threshold = (%d, %v), want wait until 15", take, start)
+	}
+	take, _ = p.Next(3, 20, 25, true)
+	if take != 3 {
+		t.Errorf("at threshold take = %d", take)
+	}
+	// No more arrivals: flush whatever is queued.
+	take, _ = p.Next(1, 30, math.Inf(1), false)
+	if take != 1 {
+		t.Errorf("final flush take = %d", take)
+	}
+}
+
+func TestWindowPolicyCollects(t *testing.T) {
+	p := &WindowPolicy{Window: 100}
+	// First call anchors at now=10; next arrival at 50 is inside the
+	// window, so wait.
+	take, start := p.Next(1, 10, 50, true)
+	if take != 0 || start != 50 {
+		t.Errorf("in-window = (%d, %v)", take, start)
+	}
+	// At 50 with the following arrival beyond the window: schedule at
+	// the window end.
+	take, start = p.Next(2, 50, 500, true)
+	if take != 2 || start != 110 {
+		t.Errorf("window close = (%d, %v), want (2, 110)", take, start)
+	}
+	// The anchor resets for the next batch.
+	take, start = p.Next(1, 300, math.Inf(1), false)
+	if take != 1 {
+		t.Errorf("post-reset take = %d", take)
+	}
+	_ = start
+}
+
+func TestRunWithSizePolicyGrowsBatches(t *testing.T) {
+	base := config()
+	base.MaxBatch = 0
+	base.Jobs = 30
+	greedy, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sized := base
+	sized.Policy = SizePolicy{Min: 4}
+	rs, err := Run(sized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.MeanBatchSize <= greedy.MeanBatchSize {
+		t.Errorf("size policy batch %v <= greedy %v", rs.MeanBatchSize, greedy.MeanBatchSize)
+	}
+	total := 0
+	for _, b := range rs.Batches {
+		total += b.Jobs
+	}
+	if total != 30 {
+		t.Errorf("size policy covered %d of 30 jobs", total)
+	}
+}
+
+func TestRunWithWindowPolicy(t *testing.T) {
+	cfg := config()
+	cfg.MaxBatch = 0
+	cfg.Jobs = 25
+	cfg.Policy = &WindowPolicy{Window: 600}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range res.Batches {
+		total += b.Jobs
+	}
+	if total != 25 {
+		t.Errorf("window policy covered %d of 25 jobs", total)
+	}
+	for _, j := range res.Jobs {
+		if j.Wait() < 0 {
+			t.Errorf("job %d negative wait", j.ID)
+		}
+	}
+}
+
+func TestRunPolicyRespectsArrivalOrderAndDeterminism(t *testing.T) {
+	cfg := config()
+	cfg.Policy = SizePolicy{Min: 2}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanTotal != b.MakespanTotal {
+		t.Error("policy run not deterministic")
+	}
+	prev := -1
+	for _, j := range a.Jobs {
+		if j.Batch < prev {
+			t.Error("jobs scheduled out of arrival order")
+		}
+		prev = j.Batch
+	}
+}
+
+// TestPolicyComparison exercises all three policies on the same stream
+// and confirms the expected wait/batch tradeoff direction.
+func TestPolicyComparison(t *testing.T) {
+	base := Config{
+		Sys: testSystem(),
+		Arrivals: ArrivalProcess{
+			Interarrival: stats.NewExponential(1.0 / 200),
+			Templates:    templates(),
+		},
+		Heuristic: ra.Greedy{},
+		Deadline:  2500,
+		Jobs:      40,
+		Seed:      5,
+	}
+	greedy := base
+	res1, err := Run(greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sized := base
+	sized.Policy = SizePolicy{Min: 5}
+	res2, err := Run(sized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MeanBatchSize < res1.MeanBatchSize {
+		t.Errorf("size(5) batches %v smaller than greedy %v",
+			res2.MeanBatchSize, res1.MeanBatchSize)
+	}
+}

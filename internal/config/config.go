@@ -1,0 +1,308 @@
+// Package config defines the on-disk JSON representation of a CDSF
+// problem instance — the heterogeneous system, the application batch,
+// and the deadline — so the command-line tools can operate on
+// user-supplied problems rather than only the embedded paper example.
+//
+// Execution times may be given either as explicit PMFs or as normal
+// distributions (mean + optional sigma, defaulting to the paper's
+// sigma = mean/10) that are discretized on load. Availabilities are
+// explicit PMFs with values in percent or fractions (values > 1 are
+// interpreted as percent, matching the paper's tables).
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"cdsf/internal/pmf"
+	"cdsf/internal/stats"
+	"cdsf/internal/sysmodel"
+)
+
+// Instance is the root document.
+type Instance struct {
+	// Name labels the instance in reports.
+	Name string `json:"name,omitempty"`
+	// Deadline is the common deadline (time units); required.
+	Deadline float64 `json:"deadline"`
+	// Pulses is the discretization granularity for normal execution
+	// times (default 250).
+	Pulses int `json:"pulses,omitempty"`
+	// Types lists the processor types.
+	Types []ProcTypeSpec `json:"types"`
+	// Applications lists the batch.
+	Applications []ApplicationSpec `json:"applications"`
+	// Cases optionally lists runtime availability cases (the paper's
+	// Table I cases); each provides one availability PMF per type, in
+	// type order. Omitted cases default to the reference availability
+	// plus uniform degradations chosen by the tool.
+	Cases []CaseSpec `json:"cases,omitempty"`
+}
+
+// CaseSpec is one runtime availability case.
+type CaseSpec struct {
+	Name string `json:"name,omitempty"`
+	// Availability[j] is the availability PMF of processor type j.
+	Availability [][]PulseSpec `json:"availability"`
+}
+
+// NamedAvailability is a decoded runtime availability case.
+type NamedAvailability struct {
+	Name  string
+	Avail []pmf.PMF
+}
+
+// ProcTypeSpec describes one processor type.
+type ProcTypeSpec struct {
+	Name  string `json:"name,omitempty"`
+	Count int    `json:"count"`
+	// Availability is the availability PMF; values may be percent
+	// (0-100] or fractions (0-1].
+	Availability []PulseSpec `json:"availability"`
+}
+
+// PulseSpec is one (value, probability) pulse; probability may be
+// percent or a fraction (the whole PMF is normalized on load).
+type PulseSpec struct {
+	Value       float64 `json:"value"`
+	Probability float64 `json:"probability"`
+}
+
+// ApplicationSpec describes one application of the batch.
+type ApplicationSpec struct {
+	Name          string `json:"name,omitempty"`
+	SerialIters   int    `json:"serialIterations"`
+	ParallelIters int    `json:"parallelIterations"`
+	// ExecTimes has one entry per processor type, in type order.
+	ExecTimes []ExecTimeSpec `json:"execTimes"`
+}
+
+// ExecTimeSpec is the single-processor execution time on one type:
+// either a normal distribution (Mean, optional Sigma) or an explicit
+// PMF (Pulses), exactly one of which must be present.
+type ExecTimeSpec struct {
+	Mean   float64     `json:"mean,omitempty"`
+	Sigma  float64     `json:"sigma,omitempty"`
+	Pulses []PulseSpec `json:"pulses,omitempty"`
+}
+
+// Load reads and builds an instance from a JSON file.
+func Load(path string) (*sysmodel.System, sysmodel.Batch, float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read parses an instance from r and builds the model objects,
+// validating everything.
+func Read(r io.Reader) (*sysmodel.System, sysmodel.Batch, float64, error) {
+	var inst Instance
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&inst); err != nil {
+		return nil, nil, 0, fmt.Errorf("config: %w", err)
+	}
+	return Build(&inst)
+}
+
+// Build converts a parsed Instance into validated model objects.
+func Build(inst *Instance) (*sysmodel.System, sysmodel.Batch, float64, error) {
+	if inst.Deadline <= 0 {
+		return nil, nil, 0, fmt.Errorf("config: deadline %v not positive", inst.Deadline)
+	}
+	pulses := inst.Pulses
+	if pulses <= 0 {
+		pulses = 250
+	}
+	if len(inst.Types) == 0 {
+		return nil, nil, 0, fmt.Errorf("config: no processor types")
+	}
+	if len(inst.Applications) == 0 {
+		return nil, nil, 0, fmt.Errorf("config: no applications")
+	}
+
+	sys := &sysmodel.System{Types: make([]sysmodel.ProcType, len(inst.Types))}
+	for j, ts := range inst.Types {
+		name := ts.Name
+		if name == "" {
+			name = fmt.Sprintf("Type %d", j+1)
+		}
+		avail, err := buildAvailPMF(ts.Availability)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("config: type %q: %w", name, err)
+		}
+		sys.Types[j] = sysmodel.ProcType{Name: name, Count: ts.Count, Avail: avail}
+	}
+
+	batch := make(sysmodel.Batch, len(inst.Applications))
+	for i, as := range inst.Applications {
+		name := as.Name
+		if name == "" {
+			name = fmt.Sprintf("App %d", i+1)
+		}
+		if len(as.ExecTimes) != len(inst.Types) {
+			return nil, nil, 0, fmt.Errorf("config: application %q has %d execTimes for %d types",
+				name, len(as.ExecTimes), len(inst.Types))
+		}
+		exec := make([]pmf.PMF, len(as.ExecTimes))
+		for j, es := range as.ExecTimes {
+			p, err := buildExecPMF(es, pulses)
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("config: application %q type %d: %w", name, j, err)
+			}
+			exec[j] = p
+		}
+		batch[i] = sysmodel.Application{
+			Name:          name,
+			SerialIters:   as.SerialIters,
+			ParallelIters: as.ParallelIters,
+			ExecTime:      exec,
+		}
+	}
+
+	if err := sys.Validate(); err != nil {
+		return nil, nil, 0, fmt.Errorf("config: %w", err)
+	}
+	if err := batch.Validate(len(sys.Types)); err != nil {
+		return nil, nil, 0, fmt.Errorf("config: %w", err)
+	}
+	return sys, batch, inst.Deadline, nil
+}
+
+// buildAvailPMF converts pulse specs into a fractional availability PMF.
+// Values above 1 are treated as percentages.
+func buildAvailPMF(specs []PulseSpec) (pmf.PMF, error) {
+	if len(specs) == 0 {
+		return pmf.PMF{}, fmt.Errorf("no availability pulses")
+	}
+	ps := make([]pmf.Pulse, len(specs))
+	for i, s := range specs {
+		v := s.Value
+		if v > 1 {
+			v /= 100
+		}
+		ps[i] = pmf.Pulse{Value: v, Prob: s.Probability}
+	}
+	return pmf.New(ps)
+}
+
+// buildExecPMF converts one execution-time spec.
+func buildExecPMF(es ExecTimeSpec, pulses int) (pmf.PMF, error) {
+	hasNormal := es.Mean != 0 || es.Sigma != 0
+	hasPulses := len(es.Pulses) > 0
+	switch {
+	case hasNormal && hasPulses:
+		return pmf.PMF{}, fmt.Errorf("both mean and pulses given")
+	case hasPulses:
+		ps := make([]pmf.Pulse, len(es.Pulses))
+		for i, s := range es.Pulses {
+			ps[i] = pmf.Pulse{Value: s.Value, Prob: s.Probability}
+		}
+		return pmf.New(ps)
+	case hasNormal:
+		if es.Mean <= 0 {
+			return pmf.PMF{}, fmt.Errorf("mean %v not positive", es.Mean)
+		}
+		sigma := es.Sigma
+		if sigma <= 0 {
+			sigma = es.Mean / 10
+		}
+		return pmf.Discretize(stats.NewNormal(es.Mean, sigma), pulses), nil
+	default:
+		return pmf.PMF{}, fmt.Errorf("no execution time given")
+	}
+}
+
+// BuildCases decodes the instance's runtime availability cases,
+// validating arity against the type count.
+func BuildCases(inst *Instance) ([]NamedAvailability, error) {
+	out := make([]NamedAvailability, 0, len(inst.Cases))
+	for ci, cs := range inst.Cases {
+		name := cs.Name
+		if name == "" {
+			name = fmt.Sprintf("Case %d", ci+1)
+		}
+		if len(cs.Availability) != len(inst.Types) {
+			return nil, fmt.Errorf("config: case %q has %d availability PMFs for %d types",
+				name, len(cs.Availability), len(inst.Types))
+		}
+		avail := make([]pmf.PMF, len(cs.Availability))
+		for j, specs := range cs.Availability {
+			p, err := buildAvailPMF(specs)
+			if err != nil {
+				return nil, fmt.Errorf("config: case %q type %d: %w", name, j, err)
+			}
+			avail[j] = p
+		}
+		out = append(out, NamedAvailability{Name: name, Avail: avail})
+	}
+	return out, nil
+}
+
+// LoadFull reads an instance file and returns the model objects plus
+// any declared runtime availability cases.
+func LoadFull(path string) (*sysmodel.System, sysmodel.Batch, float64, []NamedAvailability, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, 0, nil, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	var inst Instance
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&inst); err != nil {
+		return nil, nil, 0, nil, fmt.Errorf("config: %w", err)
+	}
+	sys, batch, deadline, err := Build(&inst)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	cases, err := BuildCases(&inst)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	return sys, batch, deadline, cases, nil
+}
+
+// Save writes an Instance as indented JSON.
+func Save(path string, inst *Instance) error {
+	data, err := json.MarshalIndent(inst, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FromModel converts model objects back into a serializable Instance
+// (execution times become explicit PMFs).
+func FromModel(name string, sys *sysmodel.System, batch sysmodel.Batch, deadline float64) *Instance {
+	inst := &Instance{Name: name, Deadline: deadline}
+	for _, t := range sys.Types {
+		ts := ProcTypeSpec{Name: t.Name, Count: t.Count}
+		for _, pl := range t.Avail.Pulses() {
+			ts.Availability = append(ts.Availability, PulseSpec{Value: pl.Value, Probability: pl.Prob})
+		}
+		inst.Types = append(inst.Types, ts)
+	}
+	for _, a := range batch {
+		as := ApplicationSpec{
+			Name:          a.Name,
+			SerialIters:   a.SerialIters,
+			ParallelIters: a.ParallelIters,
+		}
+		for _, p := range a.ExecTime {
+			var es ExecTimeSpec
+			for _, pl := range p.Pulses() {
+				es.Pulses = append(es.Pulses, PulseSpec{Value: pl.Value, Probability: pl.Prob})
+			}
+			as.ExecTimes = append(as.ExecTimes, es)
+		}
+		inst.Applications = append(inst.Applications, as)
+	}
+	return inst
+}

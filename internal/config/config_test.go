@@ -1,0 +1,201 @@
+package config
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cdsf/internal/experiments"
+	"cdsf/internal/robustness"
+)
+
+const paperJSON = `{
+  "name": "paper",
+  "deadline": 3250,
+  "types": [
+    {"name": "Type 1", "count": 4,
+     "availability": [{"value": 75, "probability": 50}, {"value": 100, "probability": 50}]},
+    {"name": "Type 2", "count": 8,
+     "availability": [{"value": 25, "probability": 25}, {"value": 50, "probability": 25}, {"value": 100, "probability": 50}]}
+  ],
+  "applications": [
+    {"name": "App 1", "serialIterations": 439, "parallelIterations": 1024,
+     "execTimes": [{"mean": 1800}, {"mean": 4000}]},
+    {"name": "App 2", "serialIterations": 512, "parallelIterations": 2048,
+     "execTimes": [{"mean": 2800}, {"mean": 6000}]},
+    {"name": "App 3", "serialIterations": 216, "parallelIterations": 4104,
+     "execTimes": [{"mean": 12000}, {"mean": 8000}]}
+  ]
+}`
+
+func TestReadPaperInstanceMatchesEmbedded(t *testing.T) {
+	sys, batch, deadline, err := Read(strings.NewReader(paperJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deadline != 3250 {
+		t.Errorf("deadline = %v", deadline)
+	}
+	if sys.TotalProcessors() != 12 || len(sys.Types) != 2 {
+		t.Error("system mismatch")
+	}
+	if math.Abs(sys.WeightedAvailability()-0.75) > 1e-12 {
+		t.Errorf("weighted availability = %v", sys.WeightedAvailability())
+	}
+	// The loaded instance reproduces the paper's phi1.
+	phi, err := robustness.StageIProbability(sys, batch, experiments.PaperRobustAllocation(), deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi-0.745) > 0.01 {
+		t.Errorf("phi1 from JSON instance = %v, want ~0.745", phi)
+	}
+}
+
+func TestReadRejectsBadInstances(t *testing.T) {
+	bads := []string{
+		`{`,
+		`{"deadline": 0, "types": [], "applications": []}`,
+		`{"deadline": 100, "types": [], "applications": [{"serialIterations":1,"parallelIterations":1,"execTimes":[]}]}`,
+		`{"deadline": 100, "types": [{"count":1,"availability":[{"value":1,"probability":1}]}], "applications": []}`,
+		// Wrong execTimes arity.
+		`{"deadline": 100, "types": [{"count":1,"availability":[{"value":1,"probability":1}]}],
+		  "applications": [{"serialIterations":1,"parallelIterations":1,"execTimes":[]}]}`,
+		// Both mean and pulses.
+		`{"deadline": 100, "types": [{"count":1,"availability":[{"value":1,"probability":1}]}],
+		  "applications": [{"serialIterations":1,"parallelIterations":1,
+		   "execTimes":[{"mean": 5, "pulses":[{"value":5,"probability":1}]}]}]}`,
+		// Neither mean nor pulses.
+		`{"deadline": 100, "types": [{"count":1,"availability":[{"value":1,"probability":1}]}],
+		  "applications": [{"serialIterations":1,"parallelIterations":1,"execTimes":[{}]}]}`,
+		// Unknown field.
+		`{"deadline": 100, "bogus": 1, "types": [], "applications": []}`,
+		// Availability above 100%.
+		`{"deadline": 100, "types": [{"count":1,"availability":[{"value":150,"probability":1}]}],
+		  "applications": [{"serialIterations":1,"parallelIterations":1,"execTimes":[{"mean":5}]}]}`,
+	}
+	for i, s := range bads {
+		if _, _, _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("bad instance %d accepted", i)
+		}
+	}
+}
+
+func TestExplicitPulses(t *testing.T) {
+	src := `{
+	  "deadline": 100,
+	  "types": [{"count": 2, "availability": [{"value": 0.5, "probability": 1}]}],
+	  "applications": [{"serialIterations": 1, "parallelIterations": 9,
+	    "execTimes": [{"pulses": [{"value": 40, "probability": 0.5}, {"value": 60, "probability": 0.5}]}]}]
+	}`
+	_, batch, _, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := batch[0].ExecTime[0].Mean(); got != 50 {
+		t.Errorf("explicit PMF mean = %v", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	sys := experiments.ReferenceSystem()
+	batch := experiments.PaperBatch(40)
+	inst := FromModel("roundtrip", sys, batch, experiments.Deadline)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.json")
+	if err := Save(path, inst); err != nil {
+		t.Fatal(err)
+	}
+	sys2, batch2, deadline, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deadline != experiments.Deadline {
+		t.Errorf("deadline = %v", deadline)
+	}
+	if math.Abs(sys2.WeightedAvailability()-sys.WeightedAvailability()) > 1e-9 {
+		t.Error("weighted availability changed in round trip")
+	}
+	for i := range batch {
+		for j := range batch[i].ExecTime {
+			a, b := batch[i].ExecTime[j].Mean(), batch2[i].ExecTime[j].Mean()
+			if math.Abs(a-b) > 1e-6*a {
+				t.Errorf("app %d type %d mean changed: %v -> %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, _, _, err := Load(filepath.Join(os.TempDir(), "definitely-not-here.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBuildCases(t *testing.T) {
+	src := paperJSON[:len(paperJSON)-2] + `,
+  "cases": [
+    {"name": "Case 2",
+     "availability": [
+       [{"value": 50, "probability": 90}, {"value": 75, "probability": 10}],
+       [{"value": 33, "probability": 45}, {"value": 66, "probability": 45}, {"value": 100, "probability": 10}]
+     ]}
+  ]
+}`
+	var inst Instance
+	if err := jsonUnmarshal(src, &inst); err != nil {
+		t.Fatal(err)
+	}
+	cases, err := BuildCases(&inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 1 || cases[0].Name != "Case 2" {
+		t.Fatalf("cases = %+v", cases)
+	}
+	if got := cases[0].Avail[0].Mean(); math.Abs(got-0.525) > 1e-9 {
+		t.Errorf("case avail mean = %v", got)
+	}
+	// Wrong arity fails.
+	inst.Cases[0].Availability = inst.Cases[0].Availability[:1]
+	if _, err := BuildCases(&inst); err == nil {
+		t.Error("mismatched case arity accepted")
+	}
+}
+
+func TestLoadFull(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.json")
+	src := paperJSON[:len(paperJSON)-2] + `,
+  "cases": [
+    {"availability": [
+       [{"value": 1, "probability": 1}],
+       [{"value": 0.5, "probability": 1}]
+     ]}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys, batch, deadline, cases, err := LoadFull(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys == nil || len(batch) != 3 || deadline != 3250 {
+		t.Fatal("model objects wrong")
+	}
+	if len(cases) != 1 || cases[0].Name != "Case 1" {
+		t.Fatalf("cases = %+v", cases)
+	}
+}
+
+// jsonUnmarshal mirrors Read's strict decoding for test inputs.
+func jsonUnmarshal(src string, inst *Instance) error {
+	dec := json.NewDecoder(strings.NewReader(src))
+	dec.DisallowUnknownFields()
+	return dec.Decode(inst)
+}

@@ -1,0 +1,317 @@
+// Package core implements the combined dual-stage framework (CDSF)
+// itself: it wires a Stage-I resource allocation heuristic to a Stage-II
+// set of dynamic loop scheduling techniques, evaluates the four
+// IM x RAS scenarios of the paper's Section IV, and quantifies the
+// system robustness tuple (rho_1, rho_2).
+//
+// The public surface is:
+//
+//   - Framework: the problem (system, batch, deadline) plus reference
+//     availability.
+//   - Case: one runtime availability case (the paper's Table I cases).
+//   - Scenario: an IM policy paired with a RAS technique set.
+//   - RunScenario: Stage I (PMF mathematics) + Stage II (discrete-event
+//     simulation per application, technique, and case).
+//   - SystemRobustness: (rho_1, rho_2) from a scenario result.
+package core
+
+import (
+	"fmt"
+
+	"cdsf/internal/availability"
+	"cdsf/internal/dls"
+	"cdsf/internal/pmf"
+	"cdsf/internal/ra"
+	"cdsf/internal/robustness"
+	"cdsf/internal/sim"
+	"cdsf/internal/stats"
+	"cdsf/internal/sysmodel"
+)
+
+// Framework is one CDSF problem instance. The System's availability
+// PMFs are the reference (expected) availability A-hat that Stage I
+// plans against.
+type Framework struct {
+	Sys      *sysmodel.System
+	Batch    sysmodel.Batch
+	Deadline float64
+}
+
+// Validate checks the instance.
+func (f *Framework) Validate() error {
+	p := ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline}
+	return p.Validate()
+}
+
+// Case is one runtime availability case: a name and one availability
+// PMF per processor type. The reference case's PMFs equal the system's.
+type Case struct {
+	Name  string
+	Avail []pmf.PMF
+}
+
+// Decrease returns this case's weighted-availability decrease
+// 1 - E[A_case]/E[A_hat] relative to the framework's reference system.
+func (f *Framework) Decrease(c Case) float64 {
+	return robustness.AvailabilityDecrease(f.Sys, f.Sys.WithAvailability(c.Avail))
+}
+
+// StageIIConfig controls the Stage-II simulations.
+type StageIIConfig struct {
+	// Reps is the number of independent simulation repetitions per
+	// (application, technique, case); must be positive.
+	Reps int
+	// Overhead is the per-chunk scheduling overhead in time units.
+	Overhead float64
+	// IterCV is the coefficient of variation of a single iteration's
+	// execution time (sigma/mu); must be positive.
+	IterCV float64
+	// Model builds the availability model for a group of processors
+	// from the case's per-type availability PMF. Nil uses
+	// availability.Static (one draw per processor per run).
+	Model func(p pmf.PMF) availability.Model
+	// WeightsFromAvail, when true, hands the DLS technique a-priori
+	// worker weights equal to each worker's availability at the start of
+	// the run — the "historical load knowledge" WF assumes.
+	WeightsFromAvail bool
+	// BestMaster, when true, stages the serial phase on the most
+	// available processor of the group instead of an arbitrary one.
+	BestMaster bool
+	// TimeSteps runs each application as a time-stepping loop with this
+	// many sweeps (0 or 1 means a single sweep); the deadline then
+	// applies to the whole multi-sweep execution.
+	TimeSteps int
+	// Seed drives all Stage-II randomness.
+	Seed uint64
+}
+
+// DefaultStageII returns the configuration used by the paper
+// reproduction, calibrated (see EXPERIMENTS.md) to reproduce the
+// paper's qualitative Stage-II results: 60 repetitions, overhead 1 time
+// unit, iteration CV 0.3, Markov availability (bursty external load)
+// with interval Delta/4 and persistence 0.5, availability-derived WF
+// weights, and serial phases staged on the group's most available
+// processor.
+func DefaultStageII(deadline float64, seed uint64) StageIIConfig {
+	return StageIIConfig{
+		Reps:     60,
+		Overhead: 1,
+		IterCV:   0.3,
+		Model: func(p pmf.PMF) availability.Model {
+			return availability.Markov{PMF: p, Interval: deadline / 4, Persistence: 0.5}
+		},
+		WeightsFromAvail: true,
+		BestMaster:       true,
+		Seed:             seed,
+	}
+}
+
+func (c *StageIIConfig) validate() error {
+	if c.Reps <= 0 {
+		return fmt.Errorf("core: %d stage-II repetitions", c.Reps)
+	}
+	if c.IterCV <= 0 {
+		return fmt.Errorf("core: non-positive iteration CV %v", c.IterCV)
+	}
+	if c.Overhead < 0 {
+		return fmt.Errorf("core: negative overhead %v", c.Overhead)
+	}
+	return nil
+}
+
+// Scenario pairs a Stage-I policy with a Stage-II technique set — the
+// paper's four scenarios are the cross product of {naive, robust} for
+// both stages.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// IM is the Stage-I heuristic.
+	IM ra.Heuristic
+	// RAS is the Stage-II technique set; the best technique per
+	// (application, case) is selected a posteriori as in the paper.
+	RAS []dls.Technique
+}
+
+// NaiveRAS returns {STATIC}.
+func NaiveRAS() []dls.Technique {
+	t, ok := dls.Get("STATIC")
+	if !ok {
+		panic("core: STATIC technique missing")
+	}
+	return []dls.Technique{t}
+}
+
+// RobustRAS returns the paper's robust set {FAC, WF, AWF-B, AF}.
+func RobustRAS() []dls.Technique { return dls.PaperRobustSet() }
+
+// PaperScenarios returns the paper's four scenarios in order:
+// naive-naive, robust-naive, naive-robust, robust-robust, with the
+// given IM heuristics for naive and robust Stage I.
+func PaperScenarios(naiveIM, robustIM ra.Heuristic) []Scenario {
+	return []Scenario{
+		{Name: "1) naive IM - naive RAS", IM: naiveIM, RAS: NaiveRAS()},
+		{Name: "2) robust IM - naive RAS", IM: robustIM, RAS: NaiveRAS()},
+		{Name: "3) naive IM - robust RAS", IM: naiveIM, RAS: RobustRAS()},
+		{Name: "4) robust IM - robust RAS", IM: robustIM, RAS: RobustRAS()},
+	}
+}
+
+// TechOutcome is the Stage-II result of one (application, technique,
+// case) cell.
+type TechOutcome struct {
+	Technique string
+	// MeanTime is the mean simulated application completion time
+	// (serial + parallel phases).
+	MeanTime float64
+	// StdDev is the standard deviation across repetitions.
+	StdDev float64
+	// PrMeet is the fraction of repetitions meeting the deadline.
+	PrMeet float64
+	// Meets reports whether the mean time satisfies the deadline (the
+	// paper's per-figure criterion).
+	Meets bool
+}
+
+// CaseResult is the Stage-II result of one availability case.
+type CaseResult struct {
+	Case Case
+	// Decrease is 1 - E[A_case]/E[A_hat].
+	Decrease float64
+	// PerApp[i] lists the outcome of each technique for application i.
+	PerApp [][]TechOutcome
+	// Best[i] is the technique with the smallest mean time among those
+	// meeting the deadline for application i, or "" if none meets it
+	// (the paper's Table VI dash).
+	Best []string
+	// AllMeet reports whether every application had at least one
+	// deadline-meeting technique.
+	AllMeet bool
+}
+
+// ScenarioResult is the full evaluation of one scenario.
+type ScenarioResult struct {
+	Scenario string
+	// StageI carries the allocation, phi_1, and Table-V expected times.
+	StageI *robustness.StageIResult
+	// Cases holds one CaseResult per evaluated availability case.
+	Cases []CaseResult
+}
+
+// RunScenario evaluates a scenario: Stage I against the framework's
+// reference availability, then Stage II simulations for every
+// availability case.
+func (f *Framework) RunScenario(sc Scenario, cases []Case, cfg StageIIConfig) (*ScenarioResult, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	alloc, err := sc.IM.Allocate(&ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline})
+	if err != nil {
+		return nil, fmt.Errorf("core: stage I (%s): %w", sc.IM.Name(), err)
+	}
+	stage1, err := robustness.EvaluateStageI(f.Sys, f.Batch, alloc, f.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScenarioResult{Scenario: sc.Name, StageI: stage1}
+	for ci, c := range cases {
+		cr, err := f.runCase(alloc, sc.RAS, c, cfg, uint64(ci))
+		if err != nil {
+			return nil, err
+		}
+		res.Cases = append(res.Cases, *cr)
+	}
+	return res, nil
+}
+
+func (f *Framework) runCase(alloc sysmodel.Allocation, ras []dls.Technique, c Case, cfg StageIIConfig, caseSalt uint64) (*CaseResult, error) {
+	if len(c.Avail) != len(f.Sys.Types) {
+		return nil, fmt.Errorf("core: case %q has %d availability PMFs for %d types",
+			c.Name, len(c.Avail), len(f.Sys.Types))
+	}
+	mkModel := cfg.Model
+	if mkModel == nil {
+		mkModel = func(p pmf.PMF) availability.Model { return availability.Static{PMF: p} }
+	}
+	out := &CaseResult{
+		Case:     c,
+		Decrease: f.Decrease(c),
+		PerApp:   make([][]TechOutcome, len(f.Batch)),
+		Best:     make([]string, len(f.Batch)),
+		AllMeet:  true,
+	}
+	for i := range f.Batch {
+		app := &f.Batch[i]
+		as := alloc[i]
+		iterMean := app.ExecTime[as.Type].Mean() / float64(app.TotalIters())
+		iterDist := stats.Truncated{
+			Dist: stats.NewNormal(iterMean, cfg.IterCV*iterMean),
+			Lo:   iterMean * 1e-3,
+			Hi:   iterMean * 1e3,
+		}
+		model := mkModel(c.Avail[as.Type])
+		outcomes := make([]TechOutcome, 0, len(ras))
+		bestName, bestTime := "", 0.0
+		for ti, tech := range ras {
+			s, err := f.simulateApp(app, as, tech, iterDist, model, cfg,
+				cfg.Seed^(caseSalt<<40)^(uint64(i)<<20)^uint64(ti)<<4)
+			if err != nil {
+				return nil, err
+			}
+			o := TechOutcome{
+				Technique: tech.Name,
+				MeanTime:  s.Mean(),
+				StdDev:    s.StdDev(),
+				PrMeet:    s.PrLE(f.Deadline),
+			}
+			o.Meets = o.MeanTime <= f.Deadline
+			outcomes = append(outcomes, o)
+			if o.Meets && (bestName == "" || o.MeanTime < bestTime) {
+				bestName, bestTime = o.Technique, o.MeanTime
+			}
+		}
+		out.PerApp[i] = outcomes
+		out.Best[i] = bestName
+		if bestName == "" {
+			out.AllMeet = false
+		}
+	}
+	return out, nil
+}
+
+func (f *Framework) simulateApp(app *sysmodel.Application, as sysmodel.Assignment, tech dls.Technique, iterDist stats.Dist, model availability.Model, cfg StageIIConfig, seed uint64) (*sim.Sample, error) {
+	c := sim.Config{
+		SerialIters:   app.SerialIters,
+		ParallelIters: app.ParallelIters,
+		Workers:       as.Procs,
+		IterTime:      iterDist,
+		Avail:         model,
+		Technique:     tech,
+		Overhead:      cfg.Overhead,
+		Seed:          seed,
+		BestMaster:    cfg.BestMaster,
+		TimeSteps:     cfg.TimeSteps,
+	}
+	if cfg.WeightsFromAvail {
+		c.WeightsFromAvail = true
+	}
+	return sim.RunMany(c, cfg.Reps)
+}
+
+// SystemRobustness computes the paper's (rho_1, rho_2) from a scenario
+// result: rho_1 is the Stage-I joint probability and rho_2 the largest
+// availability decrease among cases where all applications met the
+// deadline (0 when none qualifies).
+func SystemRobustness(res *ScenarioResult) robustness.Tuple {
+	outcomes := make([]robustness.StageIIOutcome, len(res.Cases))
+	for i, c := range res.Cases {
+		outcomes[i] = robustness.StageIIOutcome{
+			Decrease:        c.Decrease,
+			AllMeetDeadline: c.AllMeet,
+		}
+	}
+	rho2, _ := robustness.StageIIRobustness(outcomes)
+	return robustness.Tuple{Rho1: res.StageI.Phi1, Rho2: rho2}
+}

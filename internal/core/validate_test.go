@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"cdsf/internal/sysmodel"
+)
+
+func TestValidateStageIMatchesAnalytic(t *testing.T) {
+	f := testFramework()
+	alloc := sysmodel.Allocation{{Type: 0, Procs: 2}, {Type: 1, Procs: 4}}
+	for i := range f.Batch {
+		v, err := f.ValidateStageI(alloc, i, 200, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.MeanRelativeError() > 0.05 {
+			t.Errorf("%s: sim mean %v vs analytic %v (%.1f%% off)",
+				v.App, v.SimMean, v.AnalyticMean, v.MeanRelativeError()*100)
+		}
+		// The discretized analytic CDF and the simulated sample should be
+		// close; the KS distance carries discretization plus scheduling
+		// granularity, so allow a modest multiple of the critical value.
+		if v.KS > 3*v.Critical {
+			t.Errorf("%s: KS %v far above critical %v", v.App, v.KS, v.Critical)
+		}
+		t.Logf("%s: analytic %.1f sim %.1f KS %.3f (crit %.3f)",
+			v.App, v.AnalyticMean, v.SimMean, v.KS, v.Critical)
+	}
+}
+
+func TestValidateStageIErrors(t *testing.T) {
+	f := testFramework()
+	alloc := sysmodel.Allocation{{Type: 0, Procs: 2}, {Type: 1, Procs: 4}}
+	if _, err := f.ValidateStageI(alloc, 99, 100, 1); err == nil {
+		t.Error("out-of-range app accepted")
+	}
+	if _, err := f.ValidateStageI(alloc, 0, 5, 1); err == nil {
+		t.Error("too-few reps accepted")
+	}
+	bad := sysmodel.Allocation{{Type: 0, Procs: 64}, {Type: 1, Procs: 4}}
+	if _, err := f.ValidateStageI(bad, 0, 100, 1); err == nil {
+		t.Error("infeasible allocation accepted")
+	}
+}

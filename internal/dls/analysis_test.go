@@ -1,0 +1,95 @@
+package dls
+
+import (
+	"math"
+	"testing"
+)
+
+func mustAnalyze(t *testing.T, name string, n, p int, h float64) *ScheduleAnalysis {
+	t.Helper()
+	tech, ok := Get(name)
+	if !ok {
+		t.Fatalf("technique %q missing", name)
+	}
+	a, err := AnalyzeSchedule(tech, n, p, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAnalyzeScheduleConservation(t *testing.T) {
+	for _, name := range Names() {
+		a := mustAnalyze(t, name, 1000, 4, 0.5)
+		total := 0
+		for _, e := range a.Entries {
+			total += e.Size
+		}
+		if total != 1000 {
+			t.Errorf("%s schedule covers %d iterations", name, total)
+		}
+		if a.MeanChunk <= 0 || a.FirstChunk <= 0 || a.LastChunk <= 0 {
+			t.Errorf("%s: degenerate stats %+v", name, a)
+		}
+	}
+}
+
+func TestAnalyzeScheduleKnownCounts(t *testing.T) {
+	// STATIC: exactly P chunks of N/P.
+	a := mustAnalyze(t, "STATIC", 1000, 4, 0)
+	if a.Chunks != 4 || a.FirstChunk != 250 {
+		t.Errorf("STATIC analysis %+v", a)
+	}
+	// SS: exactly N chunks of 1.
+	s := mustAnalyze(t, "SS", 100, 4, 0)
+	if s.Chunks != 100 || s.MeanChunk != 1 {
+		t.Errorf("SS analysis %+v", s)
+	}
+	// FAC: first batch chunks are N/(2P).
+	f := mustAnalyze(t, "FAC", 1000, 4, 0)
+	if f.FirstChunk != 125 {
+		t.Errorf("FAC first chunk %d", f.FirstChunk)
+	}
+	// Chunk counts are ordered SS > FAC > STATIC.
+	if !(s.Chunks > f.Chunks && f.Chunks > a.Chunks) {
+		t.Errorf("chunk-count ordering violated: SS %d, FAC %d, STATIC %d",
+			s.Chunks, f.Chunks, a.Chunks)
+	}
+}
+
+func TestOverheadRatio(t *testing.T) {
+	a := mustAnalyze(t, "SS", 1000, 4, 2)
+	// SS: 1000 chunks * 2 overhead over 1000*1 work = 2.0.
+	if math.Abs(a.OverheadRatio-2.0) > 1e-12 {
+		t.Errorf("SS overhead ratio = %v", a.OverheadRatio)
+	}
+	st := mustAnalyze(t, "STATIC", 1000, 4, 2)
+	if st.OverheadRatio >= a.OverheadRatio {
+		t.Error("STATIC overhead ratio not below SS")
+	}
+}
+
+func TestCompareSchedules(t *testing.T) {
+	res, err := CompareSchedules(PaperRobustSet(), 2048, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d analyses", len(res))
+	}
+	for _, a := range res {
+		if a.Chunks <= 8 {
+			t.Errorf("%s suspiciously few chunks: %d", a.Technique, a.Chunks)
+		}
+	}
+}
+
+func TestAnalyzeScheduleErrors(t *testing.T) {
+	tech, _ := Get("FAC")
+	if _, err := AnalyzeSchedule(tech, 100, 4, 0, 0); err == nil {
+		t.Error("zero iterMean accepted")
+	}
+	if _, err := AnalyzeSchedule(tech, 0, 4, 0, 1); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cdsf/internal/batch"
+	"cdsf/internal/ra"
+	"cdsf/internal/report"
+	"cdsf/internal/stats"
+)
+
+// GenerateBatchPolicyStudy compares the resource manager's batching
+// policies on the paper's application mix: greedy (schedule whatever is
+// queued), size-thresholded, and time-windowed grouping. Bigger batches
+// give the Stage-I heuristic more freedom (higher per-batch phi_1) at
+// the price of queueing delay — the operational trade the paper's
+// batch-arrival narrative implies but does not quantify.
+func GenerateBatchPolicyStudy(seed uint64, jobs int) (*report.Table, error) {
+	if jobs <= 0 {
+		return nil, fmt.Errorf("experiments: %d jobs", jobs)
+	}
+	policies := []struct {
+		name string
+		p    batch.Policy
+	}{
+		{"greedy", batch.GreedyPolicy{}},
+		{"size(3)", batch.SizePolicy{Min: 3}},
+		{"window(1500)", &batch.WindowPolicy{Window: 1500}},
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Batching-policy study: %d paper-mix arrivals, mean interarrival 900", jobs),
+		"Policy", "Batches", "Mean batch size", "Mean wait", "Mean phi1 (%)", "Deadline rate (%)")
+	for _, pol := range policies {
+		res, err := batch.Run(batch.Config{
+			Sys: ReferenceSystem(),
+			Arrivals: batch.ArrivalProcess{
+				Interarrival: stats.NewExponential(1.0 / 900),
+				Templates:    PaperBatch(100),
+			},
+			Heuristic: ra.Greedy{},
+			Deadline:  Deadline,
+			MaxBatch:  4,
+			Jobs:      jobs,
+			Policy:    pol.p,
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sumPhi := 0.0
+		for _, b := range res.Batches {
+			sumPhi += b.Phi1
+		}
+		t.AddRow(pol.name,
+			fmt.Sprintf("%d", len(res.Batches)),
+			fmt.Sprintf("%.2f", res.MeanBatchSize),
+			fmt.Sprintf("%.0f", res.MeanWait),
+			fmt.Sprintf("%.1f", sumPhi/float64(len(res.Batches))*100),
+			fmt.Sprintf("%.0f", res.DeadlineRate*100))
+	}
+	return t, nil
+}

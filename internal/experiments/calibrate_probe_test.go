@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"cdsf/internal/availability"
+	"cdsf/internal/core"
+	"cdsf/internal/pmf"
+	"cdsf/internal/ra"
+)
+
+// paperShapeScore scores how well a Stage-II configuration reproduces
+// the paper's qualitative results across scenarios 2 and 4. Maximum is
+// 18 points:
+//
+//	scenario 2 (robust IM + STATIC): some application violates the
+//	deadline in every case (+1 per case, 4 total);
+//	scenario 4 (robust IM + robust RAS): cases 1-3 all-meet (+2 each),
+//	case 4: app 1 meets (+2), app 2 fails for every technique (+2),
+//	app 3 met by AF (+2), AF best for app 3 in case 4 (+2).
+func paperShapeScore(t *testing.T, f *core.Framework, cfg core.StageIIConfig) (int, string) {
+	t.Helper()
+	detail := ""
+	score := 0
+	s2, err := f.RunScenario(core.Scenario{Name: "2", IM: ra.Exhaustive{}, RAS: core.NaiveRAS()}, Cases(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range s2.Cases {
+		if !c.AllMeet {
+			score++
+		} else {
+			detail += fmt.Sprintf(" s2:%s-meets", c.Case.Name)
+		}
+	}
+	s4, err := f.RunScenario(core.Scenario{Name: "4", IM: ra.Exhaustive{}, RAS: core.RobustRAS()}, Cases(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := 0; ci < 3; ci++ {
+		if s4.Cases[ci].AllMeet {
+			score += 2
+		} else {
+			detail += fmt.Sprintf(" s4:%s-fails", s4.Cases[ci].Case.Name)
+		}
+	}
+	c4 := s4.Cases[3]
+	if c4.Best[0] != "" {
+		score += 2
+	} else {
+		detail += " s4:c4-app1-fails"
+	}
+	if c4.Best[1] == "" {
+		score += 2
+	} else {
+		detail += " s4:c4-app2-meets"
+	}
+	afMeets, afBest := false, false
+	for _, o := range c4.PerApp[2] {
+		if o.Technique == "AF" && o.Meets {
+			afMeets = true
+		}
+	}
+	if c4.Best[2] == "AF" {
+		afBest = true
+	}
+	if afMeets {
+		score += 2
+	} else {
+		detail += " s4:c4-app3-AF-fails"
+	}
+	if afBest {
+		score += 2
+	} else {
+		detail += fmt.Sprintf(" s4:c4-app3-best=%s", c4.Best[2])
+	}
+	return score, detail
+}
+
+// TestCalibrateStageII sweeps availability models and scores each
+// against the paper's qualitative shape.
+func TestCalibrateStageII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	f := Framework()
+	models := []struct {
+		name string
+		mk   func(p pmf.PMF) availability.Model
+	}{
+		{"static", func(p pmf.PMF) availability.Model { return availability.Static{PMF: p} }},
+		{"redraw-1200", func(p pmf.PMF) availability.Model { return availability.Redraw{PMF: p, Interval: 1200} }},
+		{"redraw-1600", func(p pmf.PMF) availability.Model { return availability.Redraw{PMF: p, Interval: 1600} }},
+		{"markov-800-0.5", func(p pmf.PMF) availability.Model {
+			return availability.Markov{PMF: p, Interval: 800, Persistence: 0.5}
+		}},
+	}
+	for _, m := range models {
+		cfg := core.DefaultStageII(Deadline, 42)
+		cfg.Model = m.mk
+		score, detail := paperShapeScore(t, f, cfg)
+		t.Logf("%-16s score=%2d/18%s", m.name, score, detail)
+	}
+}
+
+// TestDefaultConfigSeedStability checks the calibrated default
+// configuration keeps the paper shape across seeds.
+func TestDefaultConfigSeedStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stability sweep is slow")
+	}
+	f := Framework()
+	for _, seed := range []uint64{1, 7, 42, 1234, 99991} {
+		cfg := core.DefaultStageII(Deadline, seed)
+		score, detail := paperShapeScore(t, f, cfg)
+		t.Logf("seed=%-6d score=%2d/18%s", seed, score, detail)
+		if score < 15 {
+			t.Errorf("seed %d: paper-shape score %d/18 (%s)", seed, score, detail)
+		}
+	}
+}

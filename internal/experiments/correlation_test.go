@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestCorrelationStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep is slow")
+	}
+	tbl, err := GenerateCorrelationStudy(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	static := rowFloats(t, out, "STATIC")
+	af := rowFloats(t, out, "AF ")
+	if len(static) < 3 || len(af) < 3 {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	// Makespans grow with correlation: a fully correlated slowdown
+	// cannot be rebalanced away.
+	if af[len(af)-1] <= af[0] {
+		t.Errorf("AF makespan did not grow with correlation: %v", af)
+	}
+	if static[len(static)-1] <= static[0] {
+		t.Errorf("STATIC makespan did not grow with correlation: %v", static)
+	}
+	// The adaptive advantage narrows in relative terms.
+	gap0 := static[0] / af[0]
+	gap1 := static[len(static)-1] / af[len(af)-1]
+	if gap1 >= gap0 {
+		t.Errorf("adaptive advantage did not shrink: %v -> %v", gap0, gap1)
+	}
+}

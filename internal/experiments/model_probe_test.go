@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"cdsf/internal/availability"
+	"cdsf/internal/core"
+	"cdsf/internal/pmf"
+	"cdsf/internal/ra"
+)
+
+// TestProbeAvailabilityModels sweeps availability-model choices to
+// calibrate the Stage-II dynamics against the paper's Table VI shape.
+func TestProbeAvailabilityModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe is slow")
+	}
+	models := []struct {
+		name string
+		mk   func(p pmf.PMF) availability.Model
+	}{
+		{"static", func(p pmf.PMF) availability.Model { return availability.Static{PMF: p} }},
+		{"markov p=0.9 i=400", func(p pmf.PMF) availability.Model {
+			return availability.Markov{PMF: p, Interval: 400, Persistence: 0.9}
+		}},
+		{"markov p=0.8 i=200", func(p pmf.PMF) availability.Model {
+			return availability.Markov{PMF: p, Interval: 200, Persistence: 0.8}
+		}},
+		{"redraw i=800", func(p pmf.PMF) availability.Model {
+			return availability.Redraw{PMF: p, Interval: 800}
+		}},
+	}
+	f := Framework()
+	sc := core.Scenario{Name: "4", IM: ra.Exhaustive{}, RAS: core.RobustRAS()}
+	for _, m := range models {
+		cfg := core.DefaultStageII(Deadline, 42)
+		cfg.Model = m.mk
+		res, err := f.RunScenario(sc, Cases(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("== model %s", m.name)
+		for _, c := range res.Cases {
+			line := fmt.Sprintf("%s (%5.2f%%) meet=%-5v ", c.Case.Name, c.Decrease*100, c.AllMeet)
+			for i, outs := range c.PerApp {
+				line += AppNames[i] + "["
+				for _, o := range outs {
+					mark := ""
+					if !o.Meets {
+						mark = "!"
+					}
+					line += fmt.Sprintf("%s=%.0f%s ", o.Technique, o.MeanTime, mark)
+				}
+				line += "best=" + c.Best[i] + "] "
+			}
+			t.Log(line)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package experiments embeds the paper's small-scale example (Section
+// IV): the heterogeneous system of Table I, the application batch of
+// Tables II and III, and drivers that regenerate every table and figure
+// of the evaluation. The cmd/expgen tool and the repository benchmarks
+// are thin wrappers around this package.
+package experiments
+
+import (
+	"cdsf/internal/core"
+	"cdsf/internal/pmf"
+	"cdsf/internal/rng"
+	"cdsf/internal/stats"
+	"cdsf/internal/sysmodel"
+)
+
+// Deadline is the paper's common system deadline (time units).
+const Deadline = 3250
+
+// DefaultPulses is the number of equiprobable pulses used when
+// discretizing the Normal(mu, mu/10) execution-time distributions. The
+// paper samples the normals; Discretize is the deterministic equivalent
+// and 250 pulses bound the deadline-probability quantization error by
+// ~0.1 percentage points.
+const DefaultPulses = 250
+
+// Availability PMFs of Table I, by case and processor type, expressed
+// as fractions. Case 1 is the reference A-hat.
+var (
+	availCase1Type1 = pmf.MustNew([]pmf.Pulse{{Value: 0.75, Prob: 0.50}, {Value: 1.00, Prob: 0.50}})
+	availCase1Type2 = pmf.MustNew([]pmf.Pulse{{Value: 0.25, Prob: 0.25}, {Value: 0.50, Prob: 0.25}, {Value: 1.00, Prob: 0.50}})
+
+	availCase2Type1 = pmf.MustNew([]pmf.Pulse{{Value: 0.50, Prob: 0.90}, {Value: 0.75, Prob: 0.10}})
+	availCase2Type2 = pmf.MustNew([]pmf.Pulse{{Value: 0.33, Prob: 0.45}, {Value: 0.66, Prob: 0.45}, {Value: 1.00, Prob: 0.10}})
+
+	availCase3Type1 = pmf.MustNew([]pmf.Pulse{{Value: 0.52, Prob: 0.50}, {Value: 0.69, Prob: 0.50}})
+	availCase3Type2 = pmf.MustNew([]pmf.Pulse{{Value: 0.17, Prob: 0.25}, {Value: 0.35, Prob: 0.25}, {Value: 0.69, Prob: 0.50}})
+
+	availCase4Type1 = pmf.MustNew([]pmf.Pulse{{Value: 0.33, Prob: 0.75}, {Value: 0.66, Prob: 0.25}})
+	availCase4Type2 = pmf.MustNew([]pmf.Pulse{{Value: 0.20, Prob: 0.50}, {Value: 0.80, Prob: 0.25}, {Value: 1.00, Prob: 0.25}})
+)
+
+// ReferenceSystem returns the paper's system: 4 processors of type 1
+// and 8 of type 2, with the case-1 (reference) availability PMFs.
+func ReferenceSystem() *sysmodel.System {
+	return &sysmodel.System{Types: []sysmodel.ProcType{
+		{Name: "Type 1", Count: 4, Avail: availCase1Type1},
+		{Name: "Type 2", Count: 8, Avail: availCase1Type2},
+	}}
+}
+
+// Cases returns the paper's four runtime availability cases in order.
+// Case 1 equals the reference availability.
+func Cases() []core.Case {
+	return []core.Case{
+		{Name: "Case 1", Avail: []pmf.PMF{availCase1Type1, availCase1Type2}},
+		{Name: "Case 2", Avail: []pmf.PMF{availCase2Type1, availCase2Type2}},
+		{Name: "Case 3", Avail: []pmf.PMF{availCase3Type1, availCase3Type2}},
+		{Name: "Case 4", Avail: []pmf.PMF{availCase4Type1, availCase4Type2}},
+	}
+}
+
+// Mean single-processor execution times (Table III), indexed
+// [application][type].
+var meanTimes = [3][2]float64{
+	{1800, 4000},
+	{2800, 6000},
+	{12000, 8000},
+}
+
+// Iteration counts (Table II). The printed table garbles application
+// 3's parallel count; it is reconstructed as 4104 from the stated 5%/95%
+// split (216 serial iterations at a 5% serial fraction imply a total of
+// 4320, hence 4104 parallel), which reproduces Table V's robust-IM
+// expected time for application 3 (2699.86) exactly.
+var iterCounts = [3][2]int{
+	{439, 1024},
+	{512, 2048},
+	{216, 4104},
+}
+
+// AppNames are the application labels used across reports.
+var AppNames = [3]string{"App 1", "App 2", "App 3"}
+
+// PaperBatch returns the paper's three applications with execution-time
+// PMFs discretized from Normal(mu, mu/10) into the given number of
+// equiprobable pulses (DefaultPulses reproduces the paper's headline
+// probabilities to ~0.1 pp).
+func PaperBatch(pulses int) sysmodel.Batch {
+	b := make(sysmodel.Batch, 3)
+	for i := range b {
+		exec := make([]pmf.PMF, 2)
+		for j := 0; j < 2; j++ {
+			mu := meanTimes[i][j]
+			exec[j] = pmf.Discretize(stats.NewNormal(mu, mu/10), pulses)
+		}
+		b[i] = sysmodel.Application{
+			Name:          AppNames[i],
+			SerialIters:   iterCounts[i][0],
+			ParallelIters: iterCounts[i][1],
+			ExecTime:      exec,
+		}
+	}
+	return b
+}
+
+// SampledBatch is PaperBatch's stochastic twin: execution-time PMFs are
+// built by drawing `samples` variates from the same normals and binning
+// them, exactly as the paper describes. It exists to show the framework
+// is insensitive to the PMF construction method.
+func SampledBatch(seed uint64, samples, bins int) sysmodel.Batch {
+	r := rng.New(seed)
+	b := make(sysmodel.Batch, 3)
+	for i := range b {
+		exec := make([]pmf.PMF, 2)
+		for j := 0; j < 2; j++ {
+			mu := meanTimes[i][j]
+			exec[j] = pmf.Sampled(stats.NewNormal(mu, mu/10), samples, bins, r)
+		}
+		b[i] = sysmodel.Application{
+			Name:          AppNames[i],
+			SerialIters:   iterCounts[i][0],
+			ParallelIters: iterCounts[i][1],
+			ExecTime:      exec,
+		}
+	}
+	return b
+}
+
+// Framework returns the full paper instance: reference system, batch
+// (deterministic PMFs with DefaultPulses), and deadline.
+func Framework() *core.Framework {
+	return &core.Framework{
+		Sys:      ReferenceSystem(),
+		Batch:    PaperBatch(DefaultPulses),
+		Deadline: Deadline,
+	}
+}
+
+// PaperNaiveAllocation is Table IV's naive IM row: applications 1 and 3
+// on 4 processors of type 2 each, application 2 on 4 processors of
+// type 1.
+func PaperNaiveAllocation() sysmodel.Allocation {
+	return sysmodel.Allocation{
+		{Type: 1, Procs: 4},
+		{Type: 0, Procs: 4},
+		{Type: 1, Procs: 4},
+	}
+}
+
+// PaperRobustAllocation is Table IV's robust IM row: applications 1 and
+// 2 on 2 processors of type 1 each, application 3 on 8 processors of
+// type 2.
+func PaperRobustAllocation() sysmodel.Allocation {
+	return sysmodel.Allocation{
+		{Type: 0, Procs: 2},
+		{Type: 0, Procs: 2},
+		{Type: 1, Procs: 8},
+	}
+}
+
+// PaperTableV lists the paper's Table V expected completion times
+// (time units), indexed [row][app] with row 0 = naive IM, row 1 =
+// robust IM.
+var PaperTableV = [2][3]float64{
+	{3800.02, 1306.39, 4599.76},
+	{1365.46, 1959.59, 2699.86},
+}
+
+// PaperPhi1 lists the paper's Stage-I joint deadline probabilities for
+// the naive and robust allocations.
+var PaperPhi1 = struct{ Naive, Robust float64 }{Naive: 0.26, Robust: 0.745}
+
+// PaperDecreases lists Table I's bracketed weighted-availability
+// decreases (fractions) for cases 2-4 as printed in the paper. The
+// printed case-3 numbers are internally inconsistent by ~0.1 pp with the
+// printed PMFs (the PMFs give 30.89%); tests use a matching tolerance.
+var PaperDecreases = [3]float64{0.2817, 0.3077, 0.3277}
+
+// PaperTableVI is Table VI: the best deadline-meeting DLS technique per
+// application (rows) and availability case (columns); "" marks the
+// paper's dash (no technique met the deadline).
+var PaperTableVI = [3][4]string{
+	{"WF", "AF", "AF", "AF"},
+	{"WF", "WF", "AF", ""},
+	{"AF", "AF", "AF", "AF"},
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cdsf/internal/availability"
+	"cdsf/internal/core"
+	"cdsf/internal/dls"
+	"cdsf/internal/pmf"
+	"cdsf/internal/ra"
+	"cdsf/internal/report"
+	"cdsf/internal/rng"
+	"cdsf/internal/stats"
+	"cdsf/internal/sysmodel"
+)
+
+// This file implements the paper's closing future-work item: "a larger
+// scale problem ... probabilistic studies will be performed on this
+// larger problem to determine the benefit of the CDSF on a range of
+// application and system parameters". RunScaleStudy draws many random
+// instances, evaluates the four IM x RAS quadrants on each, and
+// aggregates how often each quadrant satisfies the deadline — the 2x2
+// hypothesis of Section IV established statistically instead of by a
+// single example.
+
+// SyntheticInstance generates a random CDSF instance: `apps`
+// applications over a two-type system with the paper's reference
+// availability PMFs. Mean execution times are drawn uniformly in
+// [600, 4800] per type, serial fractions in [2%, 30%]. The deadline is
+// calibrated per instance to `slack` times the best allocation's
+// expected makespan found by the two-phase heuristic, so instances are
+// comparably tight across sizes.
+func SyntheticInstance(seed uint64, apps, type1, type2 int, slack float64) (*ra.Problem, error) {
+	r := rng.New(seed)
+	sys := &sysmodel.System{Types: []sysmodel.ProcType{
+		{Name: "Type 1", Count: type1, Avail: availCase1Type1},
+		{Name: "Type 2", Count: type2, Avail: availCase1Type2},
+	}}
+	b := make(sysmodel.Batch, apps)
+	for i := range b {
+		total := 512 + r.Intn(4096)
+		sf := 0.02 + 0.28*r.Float64()
+		serial := int(sf * float64(total))
+		if serial < 1 {
+			serial = 1
+		}
+		exec := make([]pmf.PMF, 2)
+		for j := range exec {
+			mu := 600 * (1 + 7*r.Float64())
+			exec[j] = pmf.Discretize(stats.NewNormal(mu, mu/10), 100)
+		}
+		b[i] = sysmodel.Application{
+			Name:          fmt.Sprintf("App %d", i+1),
+			SerialIters:   serial,
+			ParallelIters: total - serial,
+			ExecTime:      exec,
+		}
+	}
+	// Calibrate the deadline with a provisional problem (deadline only
+	// influences tie-breaking in the calibration allocation).
+	prov := &ra.Problem{Sys: sys, Batch: b, Deadline: 1e12}
+	al, err := (ra.TwoPhaseGreedy{}).Allocate(prov)
+	if err != nil {
+		return nil, err
+	}
+	maxExp := 0.0
+	for i := range b {
+		e := b[i].CompletionPMF(al[i].Type, al[i].Procs, sys.Types[al[i].Type].Avail).Mean()
+		if e > maxExp {
+			maxExp = e
+		}
+	}
+	return &ra.Problem{Sys: sys, Batch: b, Deadline: slack * maxExp}, nil
+}
+
+// ScaleConfig parameterizes RunScaleStudy.
+type ScaleConfig struct {
+	// Instances is the number of random instances per size.
+	Instances int
+	// Sizes lists the (apps, type1, type2) triples to study.
+	Sizes [][3]int
+	// Slack calibrates deadline tightness (see SyntheticInstance);
+	// 1.2 gives instances where naive policies routinely fail.
+	Slack float64
+	// RobustIM is the scalable Stage-I heuristic representing "robust"
+	// (the exhaustive search is infeasible at these sizes).
+	RobustIM ra.Heuristic
+	// Scale degrades the runtime availability relative to Stage I's
+	// expectation (A <= E[A-hat], per the paper's Stage-II assumption).
+	Scale float64
+	// Reps is the number of Stage-II repetitions per cell.
+	Reps int
+	// Seed drives instance generation and simulations.
+	Seed uint64
+}
+
+// DefaultScaleConfig returns the configuration used by the repository's
+// scale-study benchmark.
+func DefaultScaleConfig(seed uint64) ScaleConfig {
+	return ScaleConfig{
+		Instances: 10,
+		Sizes:     [][3]int{{3, 4, 8}, {6, 8, 16}, {10, 16, 32}},
+		Slack:     1.5,
+		RobustIM:  ra.TwoPhaseGreedy{},
+		Scale:     0.8,
+		Reps:      10,
+		Seed:      seed,
+	}
+}
+
+// quadrant identifies one IM x RAS combination.
+type quadrant struct {
+	name string
+	im   ra.Heuristic
+	ras  []string // technique names
+}
+
+// RunScaleStudy evaluates the four quadrants over random instances and
+// reports, per instance size and quadrant, the mean Stage-I phi_1 and
+// the fraction of instances whose whole batch met the deadline at
+// runtime under the degraded availability.
+func RunScaleStudy(cfg ScaleConfig) (*report.Table, error) {
+	if cfg.Instances <= 0 || cfg.Reps <= 0 || cfg.Slack <= 0 {
+		return nil, fmt.Errorf("experiments: invalid scale config %+v", cfg)
+	}
+	if cfg.RobustIM == nil {
+		cfg.RobustIM = ra.TwoPhaseGreedy{}
+	}
+	quadrants := []quadrant{
+		{"naive IM + STATIC", ra.NaiveLoadBalance{}, []string{"STATIC"}},
+		{"robust IM + STATIC", cfg.RobustIM, []string{"STATIC"}},
+		{"naive IM + robust DLS", ra.NaiveLoadBalance{}, []string{"FAC", "WF", "AWF-B", "AF"}},
+		{"robust IM + robust DLS", cfg.RobustIM, []string{"FAC", "WF", "AWF-B", "AF"}},
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Scale study: %d instances per size, runtime availability scaled to %.0f%%, deadline slack %.2f",
+			cfg.Instances, cfg.Scale*100, cfg.Slack),
+		"Size (apps x procs)", "Quadrant", "Mean phi1 (%)", "Batch met deadline (%)")
+	for _, size := range cfg.Sizes {
+		apps, t1, t2 := size[0], size[1], size[2]
+		for _, q := range quadrants {
+			sumPhi, met := 0.0, 0
+			for k := 0; k < cfg.Instances; k++ {
+				seed := cfg.Seed ^ uint64(k)<<16 ^ uint64(apps)<<40
+				prob, err := SyntheticInstance(seed, apps, t1, t2, cfg.Slack)
+				if err != nil {
+					return nil, err
+				}
+				ok, phi, err := evalQuadrant(prob, q, cfg, seed)
+				if err != nil {
+					return nil, err
+				}
+				sumPhi += phi
+				if ok {
+					met++
+				}
+			}
+			t.AddRow(
+				fmt.Sprintf("%d x %d", apps, t1+t2),
+				q.name,
+				fmt.Sprintf("%.1f", sumPhi/float64(cfg.Instances)*100),
+				fmt.Sprintf("%.0f", float64(met)/float64(cfg.Instances)*100))
+		}
+	}
+	return t, nil
+}
+
+// evalQuadrant runs one quadrant on one instance: Stage I allocation,
+// then per-application Stage-II simulation under degraded availability;
+// the batch "meets" when every application has some technique whose
+// mean completion time satisfies the deadline.
+func evalQuadrant(prob *ra.Problem, q quadrant, cfg ScaleConfig, seed uint64) (bool, float64, error) {
+	alloc, err := q.im.Allocate(prob)
+	if err != nil {
+		return false, 0, err
+	}
+	phi, err := prob.Objective(alloc)
+	if err != nil {
+		return false, 0, err
+	}
+	f := &core.Framework{Sys: prob.Sys, Batch: prob.Batch, Deadline: prob.Deadline}
+	scaled := make([]pmf.PMF, len(prob.Sys.Types))
+	for j, pt := range prob.Sys.Types {
+		scaled[j] = pt.Avail.Scale(cfg.Scale)
+	}
+	simCfg := core.DefaultStageII(prob.Deadline, seed)
+	simCfg.Reps = cfg.Reps
+	simCfg.Model = func(p pmf.PMF) availability.Model {
+		return availability.Markov{PMF: p, Interval: prob.Deadline / 4, Persistence: 0.5}
+	}
+	ras, err := techSet(q.ras)
+	if err != nil {
+		return false, 0, err
+	}
+	sc := core.Scenario{Name: q.name, IM: fixedAlloc{alloc}, RAS: ras}
+	res, err := f.RunScenario(sc, []core.Case{{Name: "degraded", Avail: scaled}}, simCfg)
+	if err != nil {
+		return false, 0, err
+	}
+	return res.Cases[0].AllMeet, phi, nil
+}
+
+// fixedAlloc adapts a precomputed allocation to the Heuristic interface
+// so the quadrant's Stage-I decision is not recomputed inside
+// RunScenario.
+type fixedAlloc struct{ al sysmodel.Allocation }
+
+func (f fixedAlloc) Name() string { return "fixed" }
+func (f fixedAlloc) Allocate(*ra.Problem) (sysmodel.Allocation, error) {
+	return f.al, nil
+}
+
+// techSet resolves technique names from the registry.
+func techSet(names []string) ([]dls.Technique, error) {
+	out := make([]dls.Technique, len(names))
+	for i, n := range names {
+		t, ok := dls.Get(n)
+		if !ok {
+			return nil, fmt.Errorf("experiments: technique %q missing", n)
+		}
+		out[i] = t
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"cdsf/internal/ra"
+)
+
+func TestSyntheticInstanceValid(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		prob, err := SyntheticInstance(seed, 5, 8, 16, 1.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prob.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if prob.Deadline <= 0 {
+			t.Fatalf("seed %d: deadline %v", seed, prob.Deadline)
+		}
+		// The deadline is slack times the calibration allocation's
+		// expected makespan (the two-phase allocation computed with an
+		// unconstrained deadline, exactly as SyntheticInstance does).
+		calib := &ra.Problem{Sys: prob.Sys, Batch: prob.Batch, Deadline: 1e12}
+		al, err := (ra.TwoPhaseGreedy{}).Allocate(calib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxExp := 0.0
+		for i := range prob.Batch {
+			e := prob.Batch[i].CompletionPMF(al[i].Type, al[i].Procs,
+				prob.Sys.Types[al[i].Type].Avail).Mean()
+			if e > maxExp {
+				maxExp = e
+			}
+		}
+		if got := prob.Deadline / maxExp; got < 1.29 || got > 1.31 {
+			t.Errorf("seed %d: deadline/makespan = %v, want the 1.3 slack", seed, got)
+		}
+	}
+}
+
+func TestScaleStudySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale study is slow")
+	}
+	cfg := DefaultScaleConfig(1)
+	cfg.Instances = 4
+	cfg.Sizes = [][3]int{{3, 4, 8}, {6, 8, 16}}
+	cfg.Reps = 6
+	tbl, err := RunScaleStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	t.Logf("\n%s", out)
+
+	// Sum the met-deadline column (last field) per quadrant across
+	// sizes; the robust-robust quadrant must not lose to naive-naive.
+	sumMet := func(name string) float64 {
+		total := 0.0
+		n := 0
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.Contains(line, name) {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				continue
+			}
+			met, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				continue
+			}
+			total += met
+			n++
+		}
+		if n == 0 {
+			t.Fatalf("quadrant %q not found:\n%s", name, out)
+		}
+		return total
+	}
+	nn := sumMet("naive IM + STATIC")
+	rr := sumMet("robust IM + robust DLS")
+	if rr < nn {
+		t.Errorf("robust-robust met %v < naive-naive %v", rr, nn)
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"cdsf/internal/core"
+	"cdsf/internal/ra"
+)
+
+// TestProbeScenario4 prints the full scenario-4 grid for calibration;
+// it asserts nothing beyond successful execution and is mainly read
+// with -v.
+func TestProbeScenario4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe is slow")
+	}
+	f := Framework()
+	cfg := core.DefaultStageII(Deadline, 42)
+	sc := core.Scenario{Name: "4", IM: ra.Exhaustive{}, RAS: core.RobustRAS()}
+	res, err := f.RunScenario(sc, Cases(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("phi1=%.4f alloc=%v", res.StageI.Phi1, res.StageI.Alloc)
+	for _, c := range res.Cases {
+		t.Logf("%s decrease=%.2f%% allMeet=%v", c.Case.Name, c.Decrease*100, c.AllMeet)
+		for i, outs := range c.PerApp {
+			line := "  " + AppNames[i] + ": "
+			for _, o := range outs {
+				mark := " "
+				if o.Meets {
+					mark = "*"
+				}
+				line += fmt.Sprintf("%s=%.0f%s ", o.Technique, o.MeanTime, mark)
+			}
+			line += "best=" + c.Best[i]
+			t.Log(line)
+		}
+	}
+}

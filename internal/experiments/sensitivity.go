@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cdsf/internal/availability"
+	"cdsf/internal/core"
+	"cdsf/internal/dls"
+	"cdsf/internal/pmf"
+	"cdsf/internal/ra"
+	"cdsf/internal/report"
+	"cdsf/internal/robustness"
+	"cdsf/internal/sim"
+	"cdsf/internal/stats"
+	"cdsf/internal/sysmodel"
+)
+
+// This file implements the sensitivity studies that back DESIGN.md's
+// ablation list: how the reproduction's conclusions react to the
+// simulator knobs the paper does not pin down (scheduling overhead,
+// iteration variability, availability dynamics) and to the PMF
+// granularity of Stage I.
+
+// sensApp returns the paper's application 3 on its robust allocation
+// (8 processors of type 2) — the batch's tightest deadline margin and
+// therefore the most sensitive probe.
+func sensApp() (app int, workers int, iterMean float64, avail pmf.PMF) {
+	b := PaperBatch(DefaultPulses)
+	a := b[2]
+	return 2, 8, a.ExecTime[1].Mean() / float64(a.TotalIters()), availCase1Type2
+}
+
+func sensSim(tech dls.Technique, overhead, cv float64, model availability.Model, reps int, seed uint64) (*sim.Sample, error) {
+	_, workers, iterMean, _ := sensApp()
+	b := PaperBatch(DefaultPulses)
+	return sim.RunMany(sim.Config{
+		SerialIters:      b[2].SerialIters,
+		ParallelIters:    b[2].ParallelIters,
+		Workers:          workers,
+		IterTime:         stats.NewNormal(iterMean, cv*iterMean),
+		Avail:            model,
+		Technique:        tech,
+		WeightsFromAvail: true,
+		BestMaster:       true,
+		Overhead:         overhead,
+		Seed:             seed,
+	}, reps)
+}
+
+// GenerateOverheadSensitivity sweeps the per-chunk scheduling overhead
+// for each Stage-II technique on the paper's application 3 and reports
+// mean makespans — the overhead/imbalance tradeoff that separates SS
+// from the batched techniques.
+func GenerateOverheadSensitivity(seed uint64, reps int) (*report.Table, error) {
+	overheads := []float64{0, 0.5, 1, 5, 20}
+	headers := []string{"Technique"}
+	for _, h := range overheads {
+		headers = append(headers, fmt.Sprintf("h=%g", h))
+	}
+	t := report.NewTable("Overhead sensitivity: mean makespan of App 3 (robust allocation, case-1 availability)", headers...)
+	_, _, _, avail := sensApp()
+	model := availability.Markov{PMF: avail, Interval: Deadline / 4, Persistence: 0.5}
+	for _, name := range []string{"SS", "GSS", "FAC", "WF", "AWF-B", "AF"} {
+		tech, ok := dls.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: technique %q missing", name)
+		}
+		row := []string{name}
+		for _, h := range overheads {
+			s, err := sensSim(tech, h, 0.3, model, reps, seed)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.0f", s.Mean()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// GenerateCVSensitivity sweeps the per-iteration coefficient of
+// variation — the paper's "uncertain input data" — for the robust
+// technique set.
+func GenerateCVSensitivity(seed uint64, reps int) (*report.Table, error) {
+	cvs := []float64{0.05, 0.1, 0.3, 0.6, 1.0}
+	headers := []string{"Technique"}
+	for _, cv := range cvs {
+		headers = append(headers, fmt.Sprintf("cv=%g", cv))
+	}
+	t := report.NewTable("Iteration-variability sensitivity: mean makespan of App 3", headers...)
+	_, _, _, avail := sensApp()
+	model := availability.Markov{PMF: avail, Interval: Deadline / 4, Persistence: 0.5}
+	for _, tech := range dls.PaperRobustSet() {
+		row := []string{tech.Name}
+		for _, cv := range cvs {
+			s, err := sensSim(tech, 1, cv, model, reps, seed)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.0f", s.Mean()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// GenerateModelSensitivity compares availability-model families at the
+// same marginal distribution: the same case-1 PMF driving static
+// draws, periodic redraws, and Markov bursts of varying persistence.
+func GenerateModelSensitivity(seed uint64, reps int) (*report.Table, error) {
+	_, _, _, avail := sensApp()
+	models := []availability.Model{
+		availability.Static{PMF: avail},
+		availability.Redraw{PMF: avail, Interval: Deadline / 4},
+		availability.Markov{PMF: avail, Interval: Deadline / 4, Persistence: 0.25},
+		availability.Markov{PMF: avail, Interval: Deadline / 4, Persistence: 0.5},
+		availability.Markov{PMF: avail, Interval: Deadline / 4, Persistence: 0.9},
+	}
+	headers := []string{"Technique"}
+	for _, m := range models {
+		headers = append(headers, m.Name())
+	}
+	t := report.NewTable("Availability-model sensitivity: mean makespan of App 3 (same marginal PMF)", headers...)
+	for _, tech := range dls.PaperRobustSet() {
+		row := []string{tech.Name}
+		for _, m := range models {
+			s, err := sensSim(tech, 1, 0.3, m, reps, seed)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.0f", s.Mean()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// GenerateGranularitySensitivity reports phi_1 for both Table IV
+// allocations as the execution-time PMF pulse count grows — the
+// Stage-I quantization study.
+func GenerateGranularitySensitivity() (*report.Table, error) {
+	counts := []int{5, 10, 25, 50, 100, 250, 1000}
+	headers := []string{"Allocation"}
+	for _, c := range counts {
+		headers = append(headers, fmt.Sprintf("%d pulses", c))
+	}
+	t := report.NewTable("PMF-granularity sensitivity: phi1 (%) vs pulse count", headers...)
+	sys := ReferenceSystem()
+	naive := []string{"naive IM"}
+	robust := []string{"robust IM"}
+	for _, c := range counts {
+		batch := PaperBatch(c)
+		pn, err := robustness.StageIProbability(sys, batch, PaperNaiveAllocation(), Deadline)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := robustness.StageIProbability(sys, batch, PaperRobustAllocation(), Deadline)
+		if err != nil {
+			return nil, err
+		}
+		naive = append(naive, fmt.Sprintf("%.2f", pn*100))
+		robust = append(robust, fmt.Sprintf("%.2f", pr*100))
+	}
+	t.AddRow(naive...)
+	t.AddRow(robust...)
+	return t, nil
+}
+
+// GenerateDeadlineCurve renders phi_1 of both Table IV allocations as a
+// function of the deadline — the robustness curve behind the paper's
+// single Delta = 3250 snapshot.
+func GenerateDeadlineCurve() (*report.Table, error) {
+	sys := ReferenceSystem()
+	batch := PaperBatch(DefaultPulses)
+	deadlines := []float64{2000, 2500, 2750, 3000, 3250, 3500, 4000, 5000, 8000, 12000}
+	headers := []string{"Allocation"}
+	for _, d := range deadlines {
+		headers = append(headers, fmt.Sprintf("%.0f", d))
+	}
+	t := report.NewTable("Deadline sweep: phi1 (%) vs Delta", headers...)
+	naiveCurve, err := robustness.DeadlineSweep(sys, batch, PaperNaiveAllocation(), deadlines)
+	if err != nil {
+		return nil, err
+	}
+	robustCurve, err := robustness.DeadlineSweep(sys, batch, PaperRobustAllocation(), deadlines)
+	if err != nil {
+		return nil, err
+	}
+	rowOf := func(name string, curve []robustness.CurvePoint) []string {
+		row := []string{name}
+		for _, p := range curve {
+			row = append(row, fmt.Sprintf("%.1f", p.Value*100))
+		}
+		return row
+	}
+	t.AddRow(rowOf("naive IM", naiveCurve)...)
+	t.AddRow(rowOf("robust IM", robustCurve)...)
+	return t, nil
+}
+
+// GenerateToleranceCurve renders phi_1 of the robust allocation under
+// uniformly scaled availability — the continuous Stage-II perturbation
+// curve whose 74.5%-threshold crossing generalizes rho_2.
+func GenerateToleranceCurve() (*report.Table, error) {
+	sys := ReferenceSystem()
+	batch := PaperBatch(DefaultPulses)
+	scales := []float64{1, 0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.6, 0.5}
+	curve, err := robustness.AvailabilityScalingCurve(sys, batch, PaperRobustAllocation(), Deadline, scales)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Availability-scaling curve: robust allocation",
+		"Scale", "Weighted-availability decrease (%)", "phi1 (%)")
+	for i, p := range curve {
+		t.AddRow(
+			fmt.Sprintf("%.2f", scales[i]),
+			fmt.Sprintf("%.1f", p.X*100),
+			fmt.Sprintf("%.2f", p.Value*100))
+	}
+	return t, nil
+}
+
+// RunExtendedTechniqueStudy evaluates every registered DLS technique
+// (not just the paper's set) on the scenario-4 allocation across the
+// four cases, reporting the number of (application, case) cells whose
+// deadline each technique satisfies — the "which techniques would have
+// sufficed" extension study.
+func RunExtendedTechniqueStudy(seed uint64, reps int) (*report.Table, error) {
+	f := Framework()
+	cfg := core.DefaultStageII(Deadline, seed)
+	cfg.Reps = reps
+	sc := core.Scenario{Name: "extended", IM: paperRobustIM{}, RAS: dls.All()}
+	res, err := f.RunScenario(sc, Cases(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	headers := []string{"Technique", "Cells met (of 12)", "Mean time (case 1..4 avg)"}
+	t := report.NewTable("Extended technique study: scenario-4 allocation, all registered techniques", headers...)
+	for ti, tech := range sc.RAS {
+		met := 0
+		sum := 0.0
+		n := 0
+		for _, c := range res.Cases {
+			for _, outs := range c.PerApp {
+				o := outs[ti]
+				if o.Technique != tech.Name {
+					return nil, fmt.Errorf("experiments: outcome order mismatch")
+				}
+				if o.Meets {
+					met++
+				}
+				sum += o.MeanTime
+				n++
+			}
+		}
+		t.AddRow(tech.Name, fmt.Sprintf("%d", met), fmt.Sprintf("%.0f", sum/float64(n)))
+	}
+	return t, nil
+}
+
+// paperRobustIM is a Heuristic that returns the paper's Table IV robust
+// allocation directly, pinning the extended study to the exact paper
+// configuration.
+type paperRobustIM struct{}
+
+func (paperRobustIM) Name() string { return "paper-robust" }
+
+func (paperRobustIM) Allocate(p *ra.Problem) (sysmodel.Allocation, error) {
+	return PaperRobustAllocation(), nil
+}

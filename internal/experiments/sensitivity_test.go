@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseCells pulls float cells out of a rendered row by column order.
+func rowFloats(t *testing.T, table, rowPrefix string) []float64 {
+	t.Helper()
+	for _, line := range strings.Split(table, "\n") {
+		if !strings.HasPrefix(line, rowPrefix) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(line, rowPrefix))
+		var out []float64
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err == nil {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	t.Fatalf("row %q not found in:\n%s", rowPrefix, table)
+	return nil
+}
+
+func TestOverheadSensitivityMonotoneForSS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep is slow")
+	}
+	tbl, err := GenerateOverheadSensitivity(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := rowFloats(t, tbl.String(), "SS")
+	if len(ss) < 4 {
+		t.Fatalf("SS row cells: %v", ss)
+	}
+	// SS pays per-iteration overhead: makespan must grow sharply from
+	// h=0 to the largest h.
+	if ss[len(ss)-1] <= ss[0]*1.5 {
+		t.Errorf("SS not overhead-sensitive: %v", ss)
+	}
+	// FAC amortizes: growth bounded.
+	fac := rowFloats(t, tbl.String(), "FAC")
+	if fac[len(fac)-1] > fac[0]*1.5 {
+		t.Errorf("FAC unexpectedly overhead-sensitive: %v", fac)
+	}
+}
+
+func TestCVSensitivityRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep is slow")
+	}
+	tbl, err := GenerateCVSensitivity(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"FAC", "WF", "AWF-B", "AF"} {
+		row := rowFloats(t, tbl.String(), name)
+		for _, v := range row {
+			if v <= 0 {
+				t.Errorf("%s has non-positive makespan %v", name, v)
+			}
+		}
+	}
+}
+
+func TestModelSensitivityRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep is slow")
+	}
+	tbl, err := GenerateModelSensitivity(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "markov") || !strings.Contains(tbl.String(), "static") {
+		t.Errorf("model columns missing:\n%s", tbl.String())
+	}
+}
+
+func TestGranularitySensitivityConverges(t *testing.T) {
+	tbl, err := GenerateGranularitySensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust := rowFloats(t, tbl.String(), "robust IM")
+	// The last two pulse counts (250, 1000) must agree to half a point
+	// and sit near the paper's 74.5%.
+	last, prev := robust[len(robust)-1], robust[len(robust)-2]
+	if diff := last - prev; diff > 0.5 || diff < -0.5 {
+		t.Errorf("phi1 not converged: %v", robust)
+	}
+	if last < 73.5 || last > 75.5 {
+		t.Errorf("converged phi1 = %v, want ~74.5", last)
+	}
+}
+
+func TestDeadlineCurveMonotone(t *testing.T) {
+	tbl, err := GenerateDeadlineCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"naive IM", "robust IM"} {
+		row := rowFloats(t, tbl.String(), name)
+		for i := 1; i < len(row); i++ {
+			if row[i] < row[i-1]-1e-9 {
+				t.Errorf("%s curve not monotone: %v", name, row)
+				break
+			}
+		}
+		if row[len(row)-1] < 99.9 {
+			t.Errorf("%s curve does not reach 1 at a huge deadline: %v", name, row)
+		}
+	}
+}
+
+func TestToleranceCurveDecreasing(t *testing.T) {
+	tbl, err := GenerateToleranceCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "74.50") {
+		t.Errorf("unscaled phi1 not 74.50:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	prev := 101.0
+	for _, line := range lines[2:] {
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue // header/separator row
+		}
+		if v > prev+1e-9 {
+			t.Errorf("phi1 increased as availability shrank:\n%s", out)
+		}
+		prev = v
+	}
+}
+
+func TestExtendedTechniqueStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep is slow")
+	}
+	tbl, err := RunExtendedTechniqueStudy(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	// Every registered technique appears; STATIC must satisfy fewer
+	// cells than AF.
+	staticCells := rowFloats(t, out, "STATIC")
+	afCells := rowFloats(t, out, "AF ")
+	if len(staticCells) == 0 || len(afCells) == 0 {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if staticCells[0] >= afCells[0] {
+		t.Errorf("STATIC met %v cells >= AF %v:\n%s", staticCells[0], afCells[0], out)
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+
+	"cdsf/internal/ra"
+)
+
+// TestPaperTableIV verifies that the naive load-balancing policy and the
+// exhaustive search reproduce the paper's Table IV allocations.
+func TestPaperTableIV(t *testing.T) {
+	f := Framework()
+	prob := &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline}
+
+	naive, err := ra.NaiveLoadBalance{}.Allocate(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := PaperNaiveAllocation(); !naive.Equal(want) {
+		t.Errorf("naive IM allocation = %v, want %v", naive, want)
+	}
+
+	robust, err := ra.Exhaustive{}.Allocate(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := PaperRobustAllocation(); !robust.Equal(want) {
+		t.Errorf("robust IM allocation = %v, want %v", robust, want)
+	}
+}
+
+// TestHeuristicsFeasibleAndCompetitive checks every registered heuristic
+// returns a feasible allocation on the paper instance and that none
+// beats the exhaustive optimum.
+func TestHeuristicsFeasibleAndCompetitive(t *testing.T) {
+	f := Framework()
+	prob := &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline}
+	opt, err := prob.Objective(PaperRobustAllocation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range ra.Names() {
+		h, ok := ra.Get(name)
+		if !ok {
+			t.Fatalf("heuristic %q not found", name)
+		}
+		al, err := h.Allocate(prob)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := al.Validate(f.Sys, f.Batch); err != nil {
+			t.Errorf("%s: infeasible allocation: %v", name, err)
+			continue
+		}
+		phi, err := prob.Objective(al)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if phi > opt+1e-9 {
+			t.Errorf("%s: phi1 %v exceeds exhaustive optimum %v", name, phi, opt)
+		}
+		t.Logf("%-10s phi1=%.4f alloc=%v", name, phi, al)
+	}
+}

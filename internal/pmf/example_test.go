@@ -1,0 +1,60 @@
+package pmf_test
+
+import (
+	"fmt"
+
+	"cdsf/internal/pmf"
+	"cdsf/internal/stats"
+)
+
+// ExampleDiv models the paper's Stage-I completion time: a parallel
+// execution time divided by an uncertain fractional availability.
+func ExampleDiv() {
+	execTime := pmf.Point(1000)
+	avail := pmf.MustNew([]pmf.Pulse{
+		{Value: 0.5, Prob: 0.25},
+		{Value: 1.0, Prob: 0.75},
+	})
+	completion := pmf.Div(execTime, avail)
+	fmt.Printf("E[T] = %.0f\n", completion.Mean())
+	fmt.Printf("Pr(T <= 1500) = %.2f\n", completion.PrLE(1500))
+	// Output:
+	// E[T] = 1250
+	// Pr(T <= 1500) = 0.75
+}
+
+// ExampleDiscretize converts the paper's Normal(mu, mu/10) execution
+// times into the discrete PMFs Stage I operates on.
+func ExampleDiscretize() {
+	p := pmf.Discretize(stats.NewNormal(8000, 800), 250)
+	fmt.Printf("mean ~ %.0f, stddev ~ %.0f\n", p.Mean(), p.StdDev())
+	fmt.Printf("Pr(T <= 9000) = %.2f\n", p.PrLE(9000))
+	// Output:
+	// mean ~ 8000, stddev ~ 798
+	// Pr(T <= 9000) = 0.90
+}
+
+// ExamplePMF_Map applies the paper's Eq. 2 pulse by pulse: the time on
+// n processors is s*T + p*T/n.
+func ExamplePMF_Map() {
+	single := pmf.MustNew([]pmf.Pulse{
+		{Value: 900, Prob: 0.5},
+		{Value: 1100, Prob: 0.5},
+	})
+	const s, par, n = 0.3, 0.7, 4.0
+	parallel := single.Map(func(t float64) float64 { return s*t + par*t/n })
+	fmt.Printf("E[T_par] = %.1f\n", parallel.Mean())
+	// Output:
+	// E[T_par] = 475.0
+}
+
+// ExampleMax composes a batch makespan from independent application
+// completion times.
+func ExampleMax() {
+	a := pmf.MustNew([]pmf.Pulse{{Value: 10, Prob: 0.5}, {Value: 20, Prob: 0.5}})
+	b := pmf.MustNew([]pmf.Pulse{{Value: 15, Prob: 1}})
+	makespan := pmf.Max(a, b)
+	fmt.Printf("E[max] = %.1f\n", makespan.Mean())
+	// Output:
+	// E[max] = 17.5
+}

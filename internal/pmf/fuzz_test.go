@@ -1,0 +1,58 @@
+package pmf
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzNew exercises PMF construction with arbitrary pulse pairs; the
+// invariant is that New either rejects the input or returns a PMF
+// satisfying Validate with the mean inside the support.
+func FuzzNew(f *testing.F) {
+	f.Add(1.0, 0.5, 2.0, 0.5)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(-5.0, 1.0, 5.0, 3.0)
+	f.Add(1e300, 0.1, -1e300, 0.9)
+	f.Fuzz(func(t *testing.T, v1, p1, v2, p2 float64) {
+		pmf, err := New([]Pulse{{Value: v1, Prob: p1}, {Value: v2, Prob: p2}})
+		if err != nil {
+			return
+		}
+		if err := pmf.Validate(); err != nil {
+			t.Fatalf("accepted PMF fails validation: %v", err)
+		}
+		m := pmf.Mean()
+		if math.IsNaN(m) {
+			t.Fatal("mean is NaN")
+		}
+		if m < pmf.Min()-1e-6*math.Abs(pmf.Min())-1e-9 ||
+			m > pmf.Max()+1e-6*math.Abs(pmf.Max())+1e-9 {
+			t.Fatalf("mean %v outside support [%v, %v]", m, pmf.Min(), pmf.Max())
+		}
+		if pr := pmf.PrLE(pmf.Max()); math.Abs(pr-1) > 1e-9 {
+			t.Fatalf("PrLE(max) = %v", pr)
+		}
+	})
+}
+
+// FuzzRebin checks mass and mean preservation for arbitrary bin widths.
+func FuzzRebin(f *testing.F) {
+	f.Add(1.0)
+	f.Add(0.001)
+	f.Add(1000.0)
+	f.Fuzz(func(t *testing.T, width float64) {
+		if width <= 0 || math.IsNaN(width) || math.IsInf(width, 0) || width > 1e12 {
+			return
+		}
+		p := MustNew([]Pulse{
+			{Value: 10, Prob: 0.25}, {Value: 20, Prob: 0.25},
+			{Value: 100, Prob: 0.25}, {Value: 1000, Prob: 0.25}})
+		r := p.Rebin(width)
+		if err := r.Validate(); err != nil {
+			t.Fatalf("rebinned PMF invalid: %v", err)
+		}
+		if math.Abs(r.Mean()-p.Mean()) > 1e-6*p.Mean() {
+			t.Fatalf("rebin moved mean: %v -> %v (width %v)", p.Mean(), r.Mean(), width)
+		}
+	})
+}

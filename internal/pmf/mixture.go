@@ -1,0 +1,104 @@
+package pmf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mixture returns the mixture distribution sum_i w_i * P_i for
+// non-negative weights (normalized internally). It models regime-mixed
+// quantities such as availability aggregated over day/night load
+// profiles. It returns an error when inputs are inconsistent or all
+// weights are zero.
+func Mixture(weights []float64, dists []PMF) (PMF, error) {
+	if len(weights) != len(dists) {
+		return PMF{}, fmt.Errorf("pmf: %d weights for %d distributions", len(weights), len(dists))
+	}
+	if len(dists) == 0 {
+		return PMF{}, fmt.Errorf("pmf: empty mixture")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return PMF{}, fmt.Errorf("pmf: invalid mixture weight %v", w)
+		}
+		if dists[i].IsZero() {
+			return PMF{}, fmt.Errorf("pmf: mixture component %d is empty", i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return PMF{}, fmt.Errorf("pmf: all mixture weights are zero")
+	}
+	var pulses []Pulse
+	for i, d := range dists {
+		w := weights[i] / total
+		if w == 0 {
+			continue
+		}
+		for _, pl := range d.pulses {
+			pulses = append(pulses, Pulse{Value: pl.Value, Prob: w * pl.Prob})
+		}
+	}
+	return New(pulses)
+}
+
+// Between returns P(a < X <= b).
+func (p PMF) Between(a, b float64) float64 {
+	if b < a {
+		return 0
+	}
+	return p.PrLE(b) - p.PrLE(a)
+}
+
+// Conditional returns the distribution of X given a < X <= b, i.e. the
+// PMF restricted to that interval and renormalized. It returns an error
+// when the interval carries no mass.
+func (p PMF) Conditional(a, b float64) (PMF, error) {
+	var kept []Pulse
+	for _, pl := range p.pulses {
+		if pl.Value > a && pl.Value <= b {
+			kept = append(kept, pl)
+		}
+	}
+	if len(kept) == 0 {
+		return PMF{}, fmt.Errorf("pmf: no mass in (%v, %v]", a, b)
+	}
+	return New(kept)
+}
+
+// StochasticallyDominates reports whether X (first-order) stochastically
+// dominates Y: P(X <= t) <= P(Y <= t) for every t, with strict
+// inequality somewhere — X is "statistically at least as large" as Y.
+// For completion times one usually wants the reverse direction; see
+// DominatedBy.
+func StochasticallyDominates(x, y PMF) bool {
+	strict := false
+	// Check at every support point of either distribution.
+	for _, pl := range x.pulses {
+		fx, fy := x.PrLE(pl.Value), y.PrLE(pl.Value)
+		if fx > fy+probTol {
+			return false
+		}
+		if fx < fy-probTol {
+			strict = true
+		}
+	}
+	for _, pl := range y.pulses {
+		fx, fy := x.PrLE(pl.Value), y.PrLE(pl.Value)
+		if fx > fy+probTol {
+			return false
+		}
+		if fx < fy-probTol {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// DominatedBy reports whether X is stochastically dominated by Y —
+// i.e. X is "statistically at least as small". An allocation whose
+// makespan PMF is DominatedBy another's is preferable at every deadline
+// simultaneously, a stronger statement than comparing phi_1 at one
+// deadline.
+func (p PMF) DominatedBy(y PMF) bool { return StochasticallyDominates(y, p) }

@@ -1,0 +1,109 @@
+package pmf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMixtureMeanIsWeightedMean(t *testing.T) {
+	a := Point(10)
+	b := Point(20)
+	m, err := Mixture([]float64{1, 3}, []PMF{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mean(); math.Abs(got-17.5) > 1e-12 {
+		t.Errorf("mixture mean = %v, want 17.5", got)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixtureErrors(t *testing.T) {
+	a := Point(1)
+	if _, err := Mixture([]float64{1}, []PMF{a, a}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Mixture(nil, nil); err == nil {
+		t.Error("empty mixture accepted")
+	}
+	if _, err := Mixture([]float64{-1}, []PMF{a}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := Mixture([]float64{0, 0}, []PMF{a, a}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := Mixture([]float64{1}, []PMF{{}}); err == nil {
+		t.Error("empty component accepted")
+	}
+}
+
+func TestMixtureSkipsZeroWeight(t *testing.T) {
+	m, err := Mixture([]float64{1, 0}, []PMF{Point(5), Point(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 || m.Mean() != 5 {
+		t.Errorf("zero-weight component leaked: %v", m)
+	}
+}
+
+func TestBetweenAndConditional(t *testing.T) {
+	p := MustNew([]Pulse{
+		{Value: 1, Prob: 0.25}, {Value: 2, Prob: 0.25},
+		{Value: 3, Prob: 0.25}, {Value: 4, Prob: 0.25}})
+	if got := p.Between(1, 3); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Between(1,3] = %v, want 0.5", got)
+	}
+	if got := p.Between(3, 1); got != 0 {
+		t.Errorf("inverted Between = %v", got)
+	}
+	c, err := p.Conditional(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || math.Abs(c.Mean()-2.5) > 1e-12 {
+		t.Errorf("conditional = %v", c)
+	}
+	if _, err := p.Conditional(10, 20); err == nil {
+		t.Error("empty conditional accepted")
+	}
+}
+
+func TestStochasticDominance(t *testing.T) {
+	low := MustNew([]Pulse{{Value: 1, Prob: 0.5}, {Value: 2, Prob: 0.5}})
+	high := MustNew([]Pulse{{Value: 2, Prob: 0.5}, {Value: 3, Prob: 0.5}})
+	if !StochasticallyDominates(high, low) {
+		t.Error("high should dominate low")
+	}
+	if StochasticallyDominates(low, high) {
+		t.Error("low should not dominate high")
+	}
+	if !low.DominatedBy(high) {
+		t.Error("low should be dominated by high")
+	}
+	// A distribution does not strictly dominate itself.
+	if StochasticallyDominates(low, low) {
+		t.Error("self-dominance should be false (no strict inequality)")
+	}
+	// Crossing CDFs: neither dominates.
+	a := MustNew([]Pulse{{Value: 0, Prob: 0.5}, {Value: 10, Prob: 0.5}})
+	b := Point(5)
+	if StochasticallyDominates(a, b) || StochasticallyDominates(b, a) {
+		t.Error("crossing CDFs should have no dominance either way")
+	}
+}
+
+func TestDominanceMeansOrderedMeans(t *testing.T) {
+	// Dominance implies ordered expectations (sanity link between the
+	// two comparison notions).
+	low := MustNew([]Pulse{{Value: 1, Prob: 0.3}, {Value: 5, Prob: 0.7}})
+	high := low.Shift(2)
+	if !StochasticallyDominates(high, low) {
+		t.Fatal("shifted distribution should dominate")
+	}
+	if high.Mean() <= low.Mean() {
+		t.Error("dominating distribution has smaller mean")
+	}
+}

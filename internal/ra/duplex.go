@@ -1,0 +1,40 @@
+package ra
+
+import (
+	"cdsf/internal/sysmodel"
+)
+
+// Duplex runs Min-Min and Max-Min and keeps the allocation with the
+// higher phi_1 — the classic Duplex heuristic of the Braun et al.
+// heterogeneous-mapping taxonomy, adapted to the stochastic objective.
+type Duplex struct{}
+
+func init() {
+	registerHeuristic("duplex", func() Heuristic { return Duplex{} })
+}
+
+// Name returns "duplex".
+func (Duplex) Name() string { return "duplex" }
+
+// Allocate implements Heuristic.
+func (Duplex) Allocate(p *Problem) (sysmodel.Allocation, error) {
+	a, errA := MinMin{}.Allocate(p)
+	b, errB := MaxMin{}.Allocate(p)
+	switch {
+	case errA != nil && errB != nil:
+		return nil, errA
+	case errA != nil:
+		return b, nil
+	case errB != nil:
+		return a, nil
+	}
+	phiA, errA := p.Objective(a)
+	phiB, errB := p.Objective(b)
+	if errA != nil {
+		return b, nil
+	}
+	if errB != nil || phiA >= phiB {
+		return a, nil
+	}
+	return b, nil
+}

@@ -1,0 +1,134 @@
+package ra
+
+import (
+	"fmt"
+
+	"cdsf/internal/sysmodel"
+)
+
+// MinimalRobust finds the allocation using the fewest processors whose
+// phi_1 still reaches a target probability — the complementary
+// objective of the grid-allocation literature the paper contrasts with
+// ("minimizes their makespan and allocates the minimum number of
+// resources"): don't maximize robustness, buy exactly as much as the
+// SLA requires and leave the rest of the machine for other work.
+//
+// For instances small enough to enumerate it is exact; otherwise it
+// starts from a portfolio allocation and greedily halves the largest
+// assignments while the target still holds. When no allocation reaches
+// the target, the phi_1-maximizing allocation is returned instead
+// (best effort) unless Strict is set.
+type MinimalRobust struct {
+	// Target is the required phi_1 in (0, 1].
+	Target float64
+	// Strict makes an unreachable target an error instead of falling
+	// back to the most robust allocation found.
+	Strict bool
+	// EnumerationLimit bounds the instance size for the exact search
+	// (number of feasible allocations); larger instances use the greedy
+	// shrink. Default 200000.
+	EnumerationLimit int
+}
+
+func init() {
+	registerHeuristic("minimal", func() Heuristic { return MinimalRobust{Target: 0.7} })
+}
+
+// Name returns "minimal".
+func (MinimalRobust) Name() string { return "minimal" }
+
+// Allocate implements Heuristic.
+func (m MinimalRobust) Allocate(p *Problem) (sysmodel.Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Target <= 0 || m.Target > 1 {
+		return nil, fmt.Errorf("ra: minimal-robust target %v outside (0,1]", m.Target)
+	}
+	limit := m.EnumerationLimit
+	if limit <= 0 {
+		limit = 200000
+	}
+	if sysmodel.CountAllocations(p.Sys, p.Batch) <= limit {
+		return m.exact(p)
+	}
+	return m.shrink(p)
+}
+
+// exact enumerates all allocations, keeping the fewest-processor one
+// meeting the target (ties broken by higher phi_1).
+func (m MinimalRobust) exact(p *Problem) (sysmodel.Allocation, error) {
+	var best, fallback sysmodel.Allocation
+	bestProcs := 1 << 30
+	bestPhi, fallbackPhi := -1.0, -1.0
+	sysmodel.EnumerateAllocations(p.Sys, p.Batch, func(al sysmodel.Allocation) bool {
+		phi, err := p.Objective(al)
+		if err != nil {
+			return true
+		}
+		if phi > fallbackPhi {
+			fallback = al.Clone()
+			fallbackPhi = phi
+		}
+		if phi < m.Target {
+			return true
+		}
+		procs := 0
+		for _, as := range al {
+			procs += as.Procs
+		}
+		if procs < bestProcs || (procs == bestProcs && phi > bestPhi) {
+			best = al.Clone()
+			bestProcs = procs
+			bestPhi = phi
+		}
+		return true
+	})
+	if best == nil {
+		if !m.Strict && fallback != nil {
+			return fallback, nil
+		}
+		return nil, fmt.Errorf("ra: no allocation reaches phi1 >= %v", m.Target)
+	}
+	return best, nil
+}
+
+// shrink starts from the portfolio's allocation and halves the largest
+// assignment that keeps the target satisfied until no halving fits.
+func (m MinimalRobust) shrink(p *Problem) (sysmodel.Allocation, error) {
+	al, err := Portfolio{}.Allocate(p)
+	if err != nil {
+		return nil, err
+	}
+	phi, err := p.Objective(al)
+	if err != nil {
+		return nil, err
+	}
+	if phi < m.Target {
+		if !m.Strict {
+			return al, nil // best effort: the most robust allocation found
+		}
+		return nil, fmt.Errorf("ra: best found phi1 %v below target %v", phi, m.Target)
+	}
+	for {
+		// Try halving assignments from the largest down; accept the
+		// first that keeps the target.
+		type cand struct{ idx, procs int }
+		best := cand{idx: -1}
+		for i, as := range al {
+			if as.Procs < 2 {
+				continue
+			}
+			al[i].Procs = as.Procs / 2
+			phi, err := p.Objective(al)
+			al[i].Procs = as.Procs
+			if err == nil && phi >= m.Target && as.Procs > best.procs {
+				best = cand{idx: i, procs: as.Procs}
+			}
+		}
+		if best.idx < 0 {
+			return al, nil
+		}
+		al[best.idx].Procs /= 2
+	}
+}

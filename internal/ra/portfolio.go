@@ -1,0 +1,74 @@
+package ra
+
+import (
+	"fmt"
+
+	"cdsf/internal/sysmodel"
+)
+
+// Portfolio runs several heuristics and keeps the allocation with the
+// highest phi_1 — the standard way to harden a production allocator
+// against any single heuristic's blind spots. Objective evaluations are
+// shared across members through the Problem's memo, so the portfolio
+// costs roughly the sum of its members' search time, not its
+// evaluations.
+type Portfolio struct {
+	// Members are the competing heuristics; empty uses the default
+	// portfolio (greedy, maxmin, duplex, twophase, anneal, genetic).
+	Members []Heuristic
+}
+
+func init() {
+	registerHeuristic("portfolio", func() Heuristic { return Portfolio{} })
+}
+
+// Name returns "portfolio".
+func (Portfolio) Name() string { return "portfolio" }
+
+// DefaultPortfolio returns the default member set: the cheap
+// constructive heuristics plus the two strongest metaheuristics.
+func DefaultPortfolio() []Heuristic {
+	names := []string{"greedy", "maxmin", "duplex", "twophase", "anneal", "genetic"}
+	out := make([]Heuristic, 0, len(names))
+	for _, n := range names {
+		if h, ok := Get(n); ok {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Allocate implements Heuristic: best member wins; members that fail
+// are skipped, and an error is returned only if every member fails.
+func (p Portfolio) Allocate(prob *Problem) (sysmodel.Allocation, error) {
+	members := p.Members
+	if len(members) == 0 {
+		members = DefaultPortfolio()
+	}
+	var best sysmodel.Allocation
+	bestPhi := -1.0
+	var lastErr error
+	for _, h := range members {
+		al, err := h.Allocate(prob)
+		if err != nil {
+			lastErr = fmt.Errorf("ra: portfolio member %s: %w", h.Name(), err)
+			continue
+		}
+		phi, err := prob.Objective(al)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if phi > bestPhi {
+			bestPhi = phi
+			best = al
+		}
+	}
+	if best == nil {
+		if lastErr != nil {
+			return nil, lastErr
+		}
+		return nil, fmt.Errorf("ra: portfolio has no members")
+	}
+	return best, nil
+}

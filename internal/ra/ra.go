@@ -1,0 +1,193 @@
+// Package ra implements the Stage-I resource allocation (initial
+// mapping) heuristics.
+//
+// Stage I assigns every application of a batch to a power-of-2 number of
+// processors of a single type, maximizing the robustness objective
+// phi_1 = Pr(Psi <= Delta): the joint probability, computed from the
+// execution-time and availability PMFs, that all applications finish by
+// the common deadline.
+//
+// The paper uses two policies at its small scale — a naive equal-share
+// load balancer and an exhaustive search for the optimum — and calls for
+// scalable robust heuristics as future work. This package provides both
+// paper policies plus the scalable family its future-work section
+// anticipates (greedy, min-min/max-min adaptations of Ibarra & Kim,
+// two-phase greedy in the spirit of Shestak et al., and simulated
+// annealing / genetic / tabu metaheuristics), all optimizing the same
+// stochastic objective so they can be ablated against the exhaustive
+// optimum.
+package ra
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cdsf/internal/sysmodel"
+)
+
+// Problem is one Stage-I instance.
+type Problem struct {
+	Sys      *sysmodel.System
+	Batch    sysmodel.Batch
+	Deadline float64
+
+	// memo caches per-(application, assignment) evaluations. The search
+	// heuristics evaluate the same cell many times (the exhaustive
+	// search revisits each application/type/count triple across
+	// thousands of allocations), and a completion-PMF construction
+	// costs O(pulses) — memoization removes >90% of the Stage-I search
+	// cost. Lazily initialized; not safe for concurrent Allocate calls
+	// on the same Problem.
+	memo map[memoKey]memoVal
+}
+
+type memoKey struct {
+	app   int
+	typ   int
+	procs int
+}
+
+type memoVal struct {
+	prob     float64
+	expected float64
+}
+
+// evalCell returns (Pr(T_i <= Delta), E[T_i]) for application i under
+// assignment as, memoized.
+func (p *Problem) evalCell(i int, as sysmodel.Assignment) memoVal {
+	key := memoKey{app: i, typ: as.Type, procs: as.Procs}
+	if v, ok := p.memo[key]; ok {
+		return v
+	}
+	c := p.Batch[i].CompletionPMF(as.Type, as.Procs, p.Sys.Types[as.Type].Avail)
+	v := memoVal{prob: c.PrLE(p.Deadline), expected: c.Mean()}
+	if p.memo == nil {
+		p.memo = make(map[memoKey]memoVal)
+	}
+	p.memo[key] = v
+	return v
+}
+
+// Validate checks the instance.
+func (p *Problem) Validate() error {
+	if p.Sys == nil {
+		return fmt.Errorf("ra: nil system")
+	}
+	if err := p.Sys.Validate(); err != nil {
+		return err
+	}
+	if err := p.Batch.Validate(len(p.Sys.Types)); err != nil {
+		return err
+	}
+	if p.Deadline <= 0 {
+		return fmt.Errorf("ra: non-positive deadline %v", p.Deadline)
+	}
+	return nil
+}
+
+// Objective returns phi_1 for an allocation; invalid allocations return
+// an error. Evaluations are memoized per (application, assignment) on
+// the Problem.
+func (p *Problem) Objective(al sysmodel.Allocation) (float64, error) {
+	if err := al.Validate(p.Sys, p.Batch); err != nil {
+		return 0, err
+	}
+	phi := 1.0
+	for i := range p.Batch {
+		phi *= p.evalCell(i, al[i]).prob
+	}
+	return phi, nil
+}
+
+// appProb returns Pr(T_i <= Delta) for a single application under one
+// assignment; it is the incremental building block shared by the
+// constructive heuristics.
+func (p *Problem) appProb(i int, as sysmodel.Assignment) float64 {
+	return p.evalCell(i, as).prob
+}
+
+// appExpected returns E[T_i] for a single application under one
+// assignment.
+func (p *Problem) appExpected(i int, as sysmodel.Assignment) float64 {
+	return p.evalCell(i, as).expected
+}
+
+// Heuristic is a Stage-I resource allocation policy.
+type Heuristic interface {
+	// Name identifies the heuristic in reports.
+	Name() string
+	// Allocate returns a feasible allocation for the problem, or an
+	// error if none exists or the instance is invalid.
+	Allocate(p *Problem) (sysmodel.Allocation, error)
+}
+
+var heuristics = map[string]func() Heuristic{}
+
+func registerHeuristic(name string, mk func() Heuristic) {
+	key := strings.ToLower(name)
+	if _, dup := heuristics[key]; dup {
+		panic("ra: duplicate heuristic " + name)
+	}
+	heuristics[key] = mk
+}
+
+// Get returns a fresh instance of the named heuristic
+// (case-insensitive) with default parameters.
+func Get(name string) (Heuristic, bool) {
+	mk, ok := heuristics[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	return mk(), true
+}
+
+// Names returns the registered heuristic names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(heuristics))
+	for k := range heuristics {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// feasibleCounts returns the power-of-2 processor counts available for
+// type j given the remaining capacity.
+func feasibleCounts(remaining int) []int {
+	return sysmodel.PowerOfTwoCounts(remaining)
+}
+
+// bestSingleApp returns the assignment maximizing the application's own
+// deadline probability within the remaining capacity (ties broken by
+// smaller expected completion time, then by fewer processors), leaving
+// at least `reserve` processors free for yet-unassigned applications.
+// ok is false if no assignment satisfies the reservation.
+func (p *Problem) bestSingleApp(i int, remaining []int, reserve int) (sysmodel.Assignment, bool) {
+	total := 0
+	for _, r := range remaining {
+		total += r
+	}
+	best := sysmodel.Assignment{}
+	bestProb := -1.0
+	bestExp := math.Inf(1)
+	found := false
+	for j := range p.Sys.Types {
+		for _, c := range feasibleCounts(remaining[j]) {
+			if total-c < reserve {
+				continue
+			}
+			as := sysmodel.Assignment{Type: j, Procs: c}
+			prob := p.appProb(i, as)
+			exp := p.appExpected(i, as)
+			better := prob > bestProb+1e-12 ||
+				(math.Abs(prob-bestProb) <= 1e-12 && exp < bestExp-1e-9) ||
+				(math.Abs(prob-bestProb) <= 1e-12 && math.Abs(exp-bestExp) <= 1e-9 && c < best.Procs)
+			if !found || better {
+				best, bestProb, bestExp, found = as, prob, exp, true
+			}
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,412 @@
+package ra
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cdsf/internal/pmf"
+	"cdsf/internal/rng"
+	"cdsf/internal/stats"
+	"cdsf/internal/sysmodel"
+)
+
+// smallProblem builds a compact instance with a known-good structure:
+// one short and one long application on a 2-type system.
+func smallProblem() *Problem {
+	sys := &sysmodel.System{Types: []sysmodel.ProcType{
+		{Name: "T1", Count: 2, Avail: pmf.MustNew([]pmf.Pulse{
+			{Value: 0.5, Prob: 0.5}, {Value: 1, Prob: 0.5}})},
+		{Name: "T2", Count: 4, Avail: pmf.Point(1)},
+	}}
+	app := func(t1, t2 float64) sysmodel.Application {
+		return sysmodel.Application{
+			Name:          "app",
+			SerialIters:   100,
+			ParallelIters: 900,
+			ExecTime: []pmf.PMF{
+				pmf.Discretize(stats.NewNormal(t1, t1/10), 50),
+				pmf.Discretize(stats.NewNormal(t2, t2/10), 50),
+			},
+		}
+	}
+	return &Problem{
+		Sys:      sys,
+		Batch:    sysmodel.Batch{app(1000, 1400), app(2500, 1800)},
+		Deadline: 1200,
+	}
+}
+
+// randomProblem builds a random feasible instance for property tests.
+func randomProblem(seed uint64, apps int) *Problem {
+	r := rng.New(seed)
+	sys := &sysmodel.System{Types: []sysmodel.ProcType{
+		{Name: "T1", Count: 2 + r.Intn(4), Avail: pmf.MustNew([]pmf.Pulse{
+			{Value: 0.5 + 0.5*r.Float64(), Prob: 0.5},
+			{Value: 0.25 + 0.25*r.Float64(), Prob: 0.5}})},
+		{Name: "T2", Count: 2 + r.Intn(8), Avail: pmf.MustNew([]pmf.Pulse{
+			{Value: 0.4 + 0.6*r.Float64(), Prob: 1}})},
+	}}
+	b := make(sysmodel.Batch, apps)
+	for i := range b {
+		mu1 := 500 + 2500*r.Float64()
+		mu2 := 500 + 2500*r.Float64()
+		b[i] = sysmodel.Application{
+			Name:          fmt.Sprintf("app%d", i),
+			SerialIters:   1 + r.Intn(200),
+			ParallelIters: 200 + r.Intn(2000),
+			ExecTime: []pmf.PMF{
+				pmf.Discretize(stats.NewNormal(mu1, mu1/10), 30),
+				pmf.Discretize(stats.NewNormal(mu2, mu2/10), 30),
+			},
+		}
+	}
+	return &Problem{Sys: sys, Batch: b, Deadline: 800 + 2000*r.Float64()}
+}
+
+func TestGetAndNames(t *testing.T) {
+	names := Names()
+	if len(names) < 10 {
+		t.Fatalf("only %d heuristics registered: %v", len(names), names)
+	}
+	for _, n := range names {
+		if _, ok := Get(n); !ok {
+			t.Errorf("Get(%q) failed", n)
+		}
+	}
+	if _, ok := Get("EXHAUSTIVE"); !ok {
+		t.Error("lookup not case-insensitive")
+	}
+	if _, ok := Get("bogus"); ok {
+		t.Error("unknown heuristic found")
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	p := smallProblem()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *p
+	bad.Deadline = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero deadline validated")
+	}
+	bad2 := *p
+	bad2.Sys = nil
+	if err := bad2.Validate(); err == nil {
+		t.Error("nil system validated")
+	}
+}
+
+func TestExhaustiveIsOptimal(t *testing.T) {
+	p := smallProblem()
+	best, err := Exhaustive{}.Allocate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestPhi, err := p.Objective(best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysmodel.EnumerateAllocations(p.Sys, p.Batch, func(al sysmodel.Allocation) bool {
+		phi, err := p.Objective(al)
+		if err == nil && phi > bestPhi+1e-12 {
+			t.Fatalf("allocation %v has phi %v > exhaustive %v", al, phi, bestPhi)
+		}
+		return true
+	})
+}
+
+func TestAllHeuristicsFeasibleOnRandomInstances(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		for _, apps := range []int{1, 2, 4} {
+			p := randomProblem(seed, apps)
+			for _, name := range Names() {
+				h, _ := Get(name)
+				al, err := h.Allocate(p)
+				if err != nil {
+					t.Errorf("seed %d apps %d %s: %v", seed, apps, name, err)
+					continue
+				}
+				if err := al.Validate(p.Sys, p.Batch); err != nil {
+					t.Errorf("seed %d apps %d %s: infeasible: %v", seed, apps, name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestHeuristicsNeverBeatExhaustive(t *testing.T) {
+	for seed := uint64(10); seed < 14; seed++ {
+		p := randomProblem(seed, 3)
+		opt, err := Exhaustive{}.Allocate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optPhi, err := p.Objective(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range Names() {
+			if name == "exhaustive" {
+				continue
+			}
+			h, _ := Get(name)
+			al, err := h.Allocate(p)
+			if err != nil {
+				t.Errorf("seed %d %s: %v", seed, name, err)
+				continue
+			}
+			phi, err := p.Objective(al)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if phi > optPhi+1e-9 {
+				t.Errorf("seed %d: %s phi %v beats exhaustive %v", seed, name, phi, optPhi)
+			}
+		}
+	}
+}
+
+func TestMetaheuristicsReachOptimumOnSmall(t *testing.T) {
+	p := smallProblem()
+	opt, err := Exhaustive{}.Allocate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optPhi, _ := p.Objective(opt)
+	for _, name := range []string{"anneal", "genetic", "tabu"} {
+		h, _ := Get(name)
+		al, err := h.Allocate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phi, _ := p.Objective(al)
+		if phi < optPhi-0.02 {
+			t.Errorf("%s phi %v far from optimum %v on a tiny instance", name, phi, optPhi)
+		}
+	}
+}
+
+func TestRepairShrinksOversubscription(t *testing.T) {
+	p := smallProblem()
+	al := sysmodel.Allocation{{Type: 0, Procs: 2}, {Type: 0, Procs: 2}} // 4 > 2 of T1
+	if !repair(p, al) {
+		t.Fatal("repair failed")
+	}
+	if err := al.Validate(p.Sys, p.Batch); err != nil {
+		t.Fatalf("repair left infeasible allocation: %v", err)
+	}
+	// Power-of-2 invariant preserved.
+	for _, as := range al {
+		if as.Procs&(as.Procs-1) != 0 {
+			t.Errorf("repair broke power-of-2: %d", as.Procs)
+		}
+	}
+}
+
+func TestRepairFailsWhenImpossible(t *testing.T) {
+	// 3 applications on 2 processors of a single type cannot fit.
+	sys := &sysmodel.System{Types: []sysmodel.ProcType{
+		{Name: "T1", Count: 2, Avail: pmf.Point(1)},
+	}}
+	app := sysmodel.Application{
+		Name: "a", SerialIters: 1, ParallelIters: 10,
+		ExecTime: []pmf.PMF{pmf.Point(100)},
+	}
+	p := &Problem{Sys: sys, Batch: sysmodel.Batch{app, app, app}, Deadline: 100}
+	al := sysmodel.Allocation{{Type: 0, Procs: 1}, {Type: 0, Procs: 1}, {Type: 0, Procs: 1}}
+	if repair(p, al) {
+		t.Error("repair succeeded on an impossible instance")
+	}
+}
+
+func TestNeighborPreservesFeasibility(t *testing.T) {
+	p := smallProblem()
+	r := rng.New(1)
+	cur, ok := randomAllocation(p, r)
+	if !ok {
+		t.Fatal("no initial allocation")
+	}
+	for i := 0; i < 200; i++ {
+		next, ok := neighbor(p, cur, r)
+		if !ok {
+			continue
+		}
+		if err := next.Validate(p.Sys, p.Batch); err != nil {
+			t.Fatalf("neighbor produced infeasible allocation: %v", err)
+		}
+		cur = next
+	}
+}
+
+func TestRandomAllocationAlwaysFeasible(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randomProblem(seed%1000, int(seed%4)+1)
+		r := rng.New(seed)
+		al, ok := randomAllocation(p, r)
+		if !ok {
+			return false
+		}
+		return al.Validate(p.Sys, p.Batch) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreOrdering(t *testing.T) {
+	a := score{phi: 0.9, maxExp: 100, sumExp: 200, defined: true}
+	b := score{phi: 0.8, maxExp: 50, sumExp: 100, defined: true}
+	if !a.better(b) {
+		t.Error("higher phi should win")
+	}
+	c := score{phi: 0.9, maxExp: 90, sumExp: 300, defined: true}
+	if !c.better(a) {
+		t.Error("equal phi, lower maxExp should win")
+	}
+	d := score{phi: 0.9, maxExp: 100, sumExp: 150, defined: true}
+	if !d.better(a) {
+		t.Error("equal phi and maxExp, lower sumExp should win")
+	}
+	if !a.better(score{}) {
+		t.Error("anything beats undefined")
+	}
+}
+
+func TestObjectiveMatchesScorePhi(t *testing.T) {
+	p := smallProblem()
+	al := sysmodel.Allocation{{Type: 1, Procs: 2}, {Type: 1, Procs: 2}}
+	phi, err := p.Objective(al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.scoreOf(al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi-s.phi) > 1e-12 {
+		t.Errorf("Objective %v != scoreOf.phi %v", phi, s.phi)
+	}
+}
+
+func TestPortfolioBeatsEveryMember(t *testing.T) {
+	p := smallProblem()
+	port := Portfolio{}
+	al, err := port.Allocate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phiPort, err := p.Objective(al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range DefaultPortfolio() {
+		mal, err := h.Allocate(p)
+		if err != nil {
+			continue
+		}
+		phi, err := p.Objective(mal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if phi > phiPort+1e-9 {
+			t.Errorf("member %s phi %v beats portfolio %v", h.Name(), phi, phiPort)
+		}
+	}
+}
+
+func TestPortfolioCustomMembers(t *testing.T) {
+	p := smallProblem()
+	port := Portfolio{Members: []Heuristic{NaiveLoadBalance{}}}
+	al, err := port.Allocate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveLoadBalance{}.Allocate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !al.Equal(naive) {
+		t.Error("single-member portfolio differs from the member")
+	}
+}
+
+func TestMinimalRobustExact(t *testing.T) {
+	p := smallProblem()
+	opt, err := Exhaustive{}.Allocate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optPhi, _ := p.Objective(opt)
+	target := optPhi * 0.9
+	al, err := MinimalRobust{Target: target}.Allocate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, _ := p.Objective(al)
+	if phi < target {
+		t.Fatalf("minimal allocation phi %v below target %v", phi, target)
+	}
+	procsOf := func(a sysmodel.Allocation) int {
+		n := 0
+		for _, as := range a {
+			n += as.Procs
+		}
+		return n
+	}
+	if procsOf(al) > procsOf(opt) {
+		t.Errorf("minimal allocation uses %d procs > phi-optimal %d", procsOf(al), procsOf(opt))
+	}
+	// Unreachable target errors only in strict mode; best-effort
+	// returns the most robust allocation.
+	if optPhi*1.5 <= 1 {
+		if _, err := (MinimalRobust{Target: optPhi * 1.5, Strict: true}).Allocate(p); err == nil {
+			t.Error("strict unreachable target accepted")
+		}
+		be, err := (MinimalRobust{Target: optPhi * 1.5}).Allocate(p)
+		if err != nil {
+			t.Fatalf("best-effort failed: %v", err)
+		}
+		bePhi, _ := p.Objective(be)
+		if bePhi < optPhi-1e-9 {
+			t.Errorf("best-effort phi %v below optimum %v", bePhi, optPhi)
+		}
+	}
+	if _, err := (MinimalRobust{Target: 0}).Allocate(p); err == nil {
+		t.Error("target 0 accepted")
+	}
+}
+
+func TestMinimalRobustShrink(t *testing.T) {
+	p := smallProblem()
+	m := MinimalRobust{Target: 0.5, EnumerationLimit: 1} // force the greedy path
+	al, err := m.Allocate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := al.Validate(p.Sys, p.Batch); err != nil {
+		t.Fatal(err)
+	}
+	phi, _ := p.Objective(al)
+	if phi < 0.5 {
+		t.Errorf("shrunk allocation phi %v below target", phi)
+	}
+	// Exact search at the same target must not use more processors.
+	exact, err := (MinimalRobust{Target: 0.5}).Allocate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(a sysmodel.Allocation) int {
+		n := 0
+		for _, as := range a {
+			n += as.Procs
+		}
+		return n
+	}
+	if sum(exact) > sum(al) {
+		t.Errorf("exact minimal %d procs > greedy %d", sum(exact), sum(al))
+	}
+}

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one bar of a horizontal bar chart.
+type Bar struct {
+	// Label is printed left of the bar.
+	Label string
+	// Value is the bar length in data units.
+	Value float64
+	// Marker annotates the bar end (e.g. "!" for a deadline violation).
+	Marker string
+}
+
+// BarChart renders grouped horizontal bars with an optional vertical
+// reference line (the deadline in the paper's figures).
+type BarChart struct {
+	// Title is printed above the chart when non-empty.
+	Title string
+	// RefLabel and RefValue define the reference line; RefValue <= 0
+	// disables it.
+	RefLabel string
+	RefValue float64
+	// Width is the bar area width in characters (default 60).
+	Width int
+	bars  []Bar
+	gaps  map[int]bool // indices before which a blank line is printed
+}
+
+// NewBarChart returns an empty chart.
+func NewBarChart(title string) *BarChart {
+	return &BarChart{Title: title, Width: 60, gaps: map[int]bool{}}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64, marker string) {
+	c.bars = append(c.bars, Bar{Label: label, Value: value, Marker: marker})
+}
+
+// Gap inserts a blank line before the next added bar, separating groups.
+func (c *BarChart) Gap() {
+	c.gaps[len(c.bars)] = true
+}
+
+// Render writes the chart to w.
+func (c *BarChart) Render(w io.Writer) error {
+	if len(c.bars) == 0 {
+		_, err := io.WriteString(w, c.Title+" (no data)\n")
+		return err
+	}
+	maxVal := c.RefValue
+	labelW := 0
+	for _, b := range c.bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 60
+	}
+	scale := float64(width) / maxVal
+	refCol := -1
+	if c.RefValue > 0 {
+		refCol = int(math.Round(c.RefValue * scale))
+		if refCol >= width {
+			refCol = width - 1
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	if refCol >= 0 && c.RefLabel != "" {
+		fmt.Fprintf(&sb, "%*s%s %s = %.6g\n", labelW+2+refCol, "", "|", c.RefLabel, c.RefValue)
+	}
+	for i, b := range c.bars {
+		if c.gaps[i] {
+			sb.WriteByte('\n')
+		}
+		n := int(math.Round(b.Value * scale))
+		if n > width {
+			n = width
+		}
+		line := make([]byte, width)
+		for j := range line {
+			switch {
+			case j < n:
+				line[j] = '#'
+			case j == refCol:
+				line[j] = '|'
+			default:
+				line[j] = ' '
+			}
+		}
+		if refCol >= 0 && refCol < n {
+			line[refCol] = '|'
+		}
+		fmt.Fprintf(&sb, "%-*s  %s %.6g%s\n", labelW, b.Label, strings.TrimRight(string(line), " "), b.Value, b.Marker)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the chart to a string.
+func (c *BarChart) String() string {
+	var sb strings.Builder
+	_ = c.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Span is one busy interval of one lane (a chunk executing on a
+// worker).
+type Span struct {
+	// Lane indexes the row (worker).
+	Lane int
+	// Start and End delimit the busy interval.
+	Start, End float64
+	// Glyph marks the interval; 0 uses '#'.
+	Glyph byte
+}
+
+// Gantt renders per-worker busy timelines as ASCII — the classic view
+// of DLS chunk placement and load imbalance.
+type Gantt struct {
+	// Title is printed above the chart when non-empty.
+	Title string
+	// Lanes is the number of rows; lanes without spans render empty.
+	Lanes int
+	// Width is the time-axis width in characters (default 80).
+	Width int
+	spans []Span
+}
+
+// NewGantt returns an empty chart with the given number of lanes.
+func NewGantt(title string, lanes int) *Gantt {
+	return &Gantt{Title: title, Lanes: lanes, Width: 80}
+}
+
+// Add appends one busy interval. Spans outside [0, inf) or with
+// End <= Start are ignored.
+func (g *Gantt) Add(lane int, start, end float64, glyph byte) {
+	if lane < 0 || lane >= g.Lanes || end <= start || start < 0 {
+		return
+	}
+	if glyph == 0 {
+		glyph = '#'
+	}
+	g.spans = append(g.spans, Span{Lane: lane, Start: start, End: end, Glyph: glyph})
+}
+
+// Render writes the chart to w.
+func (g *Gantt) Render(w io.Writer) error {
+	width := g.Width
+	if width <= 0 {
+		width = 80
+	}
+	maxT := 0.0
+	for _, s := range g.spans {
+		if s.End > maxT {
+			maxT = s.End
+		}
+	}
+	var b strings.Builder
+	if g.Title != "" {
+		fmt.Fprintf(&b, "%s\n", g.Title)
+	}
+	if maxT == 0 {
+		b.WriteString("(no spans)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	scale := float64(width) / maxT
+	rows := make([][]byte, g.Lanes)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, s := range g.spans {
+		lo := int(math.Floor(s.Start * scale))
+		hi := int(math.Ceil(s.End * scale))
+		if hi > width {
+			hi = width
+		}
+		if hi <= lo {
+			hi = lo + 1
+			if hi > width {
+				lo, hi = width-1, width
+			}
+		}
+		for j := lo; j < hi; j++ {
+			rows[s.Lane][j] = s.Glyph
+		}
+	}
+	laneW := len(fmt.Sprintf("%d", g.Lanes-1))
+	for i, row := range rows {
+		fmt.Fprintf(&b, "w%-*d |%s|\n", laneW, i, row)
+	}
+	fmt.Fprintf(&b, "%*s 0%*s%.6g\n", laneW+2, "", width-1, "", maxT)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the chart to a string.
+func (g *Gantt) String() string {
+	var b strings.Builder
+	_ = g.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGanttRender(t *testing.T) {
+	g := NewGantt("Chunks", 3)
+	g.Width = 40
+	g.Add(0, 0, 100, '#')
+	g.Add(1, 50, 100, 'x')
+	g.Add(2, 0, 10, 0) // zero glyph defaults to '#'
+	out := g.String()
+	if !strings.Contains(out, "Chunks") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + 3 lanes + axis
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	w0 := lines[1]
+	w1 := lines[2]
+	w2 := lines[3]
+	if strings.Count(w0, "#") != 40 {
+		t.Errorf("lane 0 should span full width: %q", w0)
+	}
+	if n := strings.Count(w1, "x"); n < 18 || n > 22 {
+		t.Errorf("lane 1 should span half the width, got %d: %q", n, w1)
+	}
+	if n := strings.Count(w2, "#"); n < 3 || n > 6 {
+		t.Errorf("lane 2 should span ~10%%, got %d: %q", n, w2)
+	}
+	if !strings.Contains(lines[4], "100") {
+		t.Errorf("axis missing max time: %q", lines[4])
+	}
+}
+
+func TestGanttIgnoresInvalidSpans(t *testing.T) {
+	g := NewGantt("", 2)
+	g.Add(-1, 0, 10, '#') // bad lane
+	g.Add(5, 0, 10, '#')  // bad lane
+	g.Add(0, 10, 5, '#')  // end <= start
+	g.Add(0, -5, 5, '#')  // negative start
+	out := g.String()
+	if strings.Contains(out, "#") {
+		t.Errorf("invalid spans rendered: %q", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	g := NewGantt("none", 1)
+	if out := g.String(); !strings.Contains(out, "no spans") {
+		t.Errorf("empty chart = %q", out)
+	}
+}
+
+func TestGanttTinySpanStillVisible(t *testing.T) {
+	g := NewGantt("", 1)
+	g.Width = 20
+	g.Add(0, 999.99, 1000, '#') // 0.001% of the axis
+	g.Add(0, 0, 0.0001, '#')
+	out := g.String()
+	if strings.Count(out, "#") < 2 {
+		t.Errorf("tiny spans invisible: %q", out)
+	}
+}

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"cdsf/internal/stats"
+)
+
+// HistogramChart renders a sample as a vertical-bar ASCII histogram
+// with an optional marker line (e.g. a deadline) — the makespan-
+// distribution view of the Stage-II results.
+type HistogramChart struct {
+	// Title is printed above the chart when non-empty.
+	Title string
+	// Bins is the number of bins (default 20).
+	Bins int
+	// Height is the bar height in rows (default 8).
+	Height int
+	// MarkLabel and MarkValue draw a vertical marker at a data value;
+	// MarkValue = 0 disables it.
+	MarkLabel string
+	MarkValue float64
+	sample    []float64
+}
+
+// NewHistogramChart returns a chart over the sample (copied).
+func NewHistogramChart(title string, sample []float64) *HistogramChart {
+	return &HistogramChart{
+		Title:  title,
+		Bins:   20,
+		Height: 8,
+		sample: append([]float64(nil), sample...),
+	}
+}
+
+// Render writes the chart to w.
+func (h *HistogramChart) Render(w io.Writer) error {
+	if len(h.sample) == 0 {
+		_, err := io.WriteString(w, h.Title+" (no data)\n")
+		return err
+	}
+	bins := h.Bins
+	if bins <= 0 {
+		bins = 20
+	}
+	height := h.Height
+	if height <= 0 {
+		height = 8
+	}
+	hist := stats.NewHistogram(h.sample, bins)
+	maxCount := 0
+	for _, c := range hist.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	markBin := -1
+	if h.MarkValue > 0 {
+		markBin = int(math.Floor((h.MarkValue - hist.Lo) / hist.Width))
+		if markBin < 0 || markBin >= bins {
+			markBin = -1
+		}
+	}
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	for row := height; row >= 1; row-- {
+		threshold := float64(maxCount) * float64(row) / float64(height)
+		for i, c := range hist.Counts {
+			switch {
+			case float64(c) >= threshold:
+				b.WriteByte('#')
+			case i == markBin:
+				b.WriteByte('|')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat("-", bins))
+	b.WriteByte('\n')
+	lo := fmt.Sprintf("%.6g", hist.Lo)
+	hi := fmt.Sprintf("%.6g", hist.Lo+float64(bins)*hist.Width)
+	pad := bins - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s%s%s\n", lo, strings.Repeat(" ", pad), hi)
+	if markBin >= 0 && h.MarkLabel != "" {
+		fmt.Fprintf(&b, "(| marks %s = %.6g)\n", h.MarkLabel, h.MarkValue)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the chart to a string.
+func (h *HistogramChart) String() string {
+	var sb strings.Builder
+	_ = h.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,127 @@
+package robustness
+
+import (
+	"fmt"
+
+	"cdsf/internal/pmf"
+	"cdsf/internal/sysmodel"
+)
+
+// This file provides the robustness *curves* used by the sensitivity
+// studies: how phi_1 varies with the deadline, and how the deadline
+// probability degrades as availability is scaled down — the continuous
+// counterparts of the paper's four discrete availability cases.
+
+// CurvePoint is one (x, value) sample of a robustness curve.
+type CurvePoint struct {
+	X     float64
+	Value float64
+}
+
+// DeadlineSweep evaluates phi_1 for an allocation at each deadline in
+// deadlines (any order; the output preserves it).
+func DeadlineSweep(sys *sysmodel.System, batch sysmodel.Batch, alloc sysmodel.Allocation, deadlines []float64) ([]CurvePoint, error) {
+	if err := alloc.Validate(sys, batch); err != nil {
+		return nil, err
+	}
+	// The per-application completion PMFs do not depend on the deadline;
+	// compute them once.
+	completions := make([]pmf.PMF, len(batch))
+	for i := range batch {
+		as := alloc[i]
+		completions[i] = batch[i].CompletionPMF(as.Type, as.Procs, sys.Types[as.Type].Avail)
+	}
+	out := make([]CurvePoint, len(deadlines))
+	for k, d := range deadlines {
+		phi := 1.0
+		for i := range completions {
+			phi *= completions[i].PrLE(d)
+		}
+		out[k] = CurvePoint{X: d, Value: phi}
+	}
+	return out, nil
+}
+
+// MinDeadlineFor returns the smallest deadline achieving at least the
+// target phi_1 for an allocation, found by bisection over the support
+// of the completion PMFs. It returns an error if the target is
+// unreachable (target > 1 or numerically above the probability at the
+// maximum completion time).
+func MinDeadlineFor(sys *sysmodel.System, batch sysmodel.Batch, alloc sysmodel.Allocation, target float64) (float64, error) {
+	if target <= 0 || target > 1 {
+		return 0, fmt.Errorf("robustness: target probability %v out of (0,1]", target)
+	}
+	if err := alloc.Validate(sys, batch); err != nil {
+		return 0, err
+	}
+	completions := make([]pmf.PMF, len(batch))
+	lo, hi := 0.0, 0.0
+	for i := range batch {
+		as := alloc[i]
+		c := batch[i].CompletionPMF(as.Type, as.Procs, sys.Types[as.Type].Avail)
+		completions[i] = c
+		if c.Max() > hi {
+			hi = c.Max()
+		}
+	}
+	phiAt := func(d float64) float64 {
+		phi := 1.0
+		for _, c := range completions {
+			phi *= c.PrLE(d)
+		}
+		return phi
+	}
+	if phiAt(hi) < target {
+		return 0, fmt.Errorf("robustness: target %v unreachable (max phi %v)", target, phiAt(hi))
+	}
+	for hi-lo > 1e-6*hi {
+		mid := (lo + hi) / 2
+		if phiAt(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// AvailabilityScalingCurve evaluates phi_1 for an allocation while the
+// availability PMFs of every processor type are scaled by each factor
+// in scales (each in (0, 1]); the x of each point is the corresponding
+// weighted-availability decrease. This is the continuous version of the
+// paper's case-based Stage-II perturbation.
+func AvailabilityScalingCurve(sys *sysmodel.System, batch sysmodel.Batch, alloc sysmodel.Allocation, deadline float64, scales []float64) ([]CurvePoint, error) {
+	if err := alloc.Validate(sys, batch); err != nil {
+		return nil, err
+	}
+	out := make([]CurvePoint, len(scales))
+	for k, s := range scales {
+		if s <= 0 || s > 1 {
+			return nil, fmt.Errorf("robustness: scale %v out of (0,1]", s)
+		}
+		scaled := make([]pmf.PMF, len(sys.Types))
+		for j, t := range sys.Types {
+			scaled[j] = t.Avail.Scale(s)
+		}
+		pert := sys.WithAvailability(scaled)
+		phi, err := StageIProbability(pert, batch, alloc, deadline)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = CurvePoint{X: AvailabilityDecrease(sys, pert), Value: phi}
+	}
+	return out, nil
+}
+
+// ToleranceFromCurve returns the largest x whose curve value still
+// meets the threshold, assuming the curve is (weakly) decreasing in x
+// after sorting; ok is false when no point qualifies.
+func ToleranceFromCurve(curve []CurvePoint, threshold float64) (float64, bool) {
+	best, ok := 0.0, false
+	for _, p := range curve {
+		if p.Value >= threshold && (!ok || p.X > best) {
+			best, ok = p.X, true
+		}
+	}
+	return best, ok
+}

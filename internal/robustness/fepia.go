@@ -1,0 +1,67 @@
+package robustness
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the FePIA (Features-Perturbation-Impact-Analysis)
+// robustness radius of Ali, Maciejewski, Siegel and Kim, "Measuring the
+// robustness of a resource allocation" (paper reference [3]) — the
+// general framework the paper instantiates. It is exposed for ablation
+// studies that compare the paper's probabilistic phi_1 metric against
+// the deterministic robustness radius.
+
+// PerturbationImpact maps a scalar perturbation magnitude (e.g. a
+// uniform decrease in system availability) to the value of one
+// performance feature (e.g. an application's completion time).
+// Implementations must be monotonic in the perturbation for FindRadius
+// to be meaningful.
+type PerturbationImpact func(perturbation float64) float64
+
+// RobustnessRadius returns the largest perturbation r such that
+// impact(r) <= bound, searched on [0, maxPert] by bisection to the given
+// tolerance. It returns 0 if even an unperturbed system violates the
+// bound, and maxPert if the bound holds everywhere. impact must be
+// non-decreasing in the perturbation.
+func RobustnessRadius(impact PerturbationImpact, bound, maxPert, tol float64) float64 {
+	if tol <= 0 {
+		panic(fmt.Sprintf("robustness: non-positive tolerance %v", tol))
+	}
+	if impact(0) > bound {
+		return 0
+	}
+	if impact(maxPert) <= bound {
+		return maxPert
+	}
+	lo, hi := 0.0, maxPert
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if impact(mid) <= bound {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CollectiveRadius returns the minimum robustness radius across several
+// performance features sharing one perturbation parameter — FePIA's
+// system-level robustness: the system is only as robust as its most
+// fragile feature. It panics with no impacts.
+func CollectiveRadius(impacts []PerturbationImpact, bounds []float64, maxPert, tol float64) float64 {
+	if len(impacts) == 0 {
+		panic("robustness: CollectiveRadius with no features")
+	}
+	if len(impacts) != len(bounds) {
+		panic(fmt.Sprintf("robustness: %d impacts but %d bounds", len(impacts), len(bounds)))
+	}
+	r := math.Inf(1)
+	for i, im := range impacts {
+		if rr := RobustnessRadius(im, bounds[i], maxPert, tol); rr < r {
+			r = rr
+		}
+	}
+	return r
+}

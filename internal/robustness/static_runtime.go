@@ -1,0 +1,81 @@
+package robustness
+
+import (
+	"cdsf/internal/pmf"
+	"cdsf/internal/sysmodel"
+)
+
+// This file provides the analytic runtime model of STATIC scheduling
+// under per-processor availability draws — the mathematics behind the
+// paper's scenario 2 ("even a 74.5%-robust allocation misses the
+// deadline at runtime under STATIC"). Stage I's model divides an
+// application's whole time by ONE availability draw; at runtime each of
+// the n processors draws its own availability and STATIC cannot move
+// work off the slowest one, so the application completes at the MAX of
+// n per-worker times:
+//
+//	T_static = s*T/a_master + max_{w=1..n} (p*T/n) / a_w.
+//
+// StaticRuntimePMF computes that distribution exactly from the PMFs;
+// comparing it with Application.CompletionPMF quantifies the
+// "max-over-draws" penalty that makes STATIC non-robust.
+
+// StaticRuntimePMF returns the analytic distribution of an
+// application's STATIC makespan on n processors of type j whose
+// availabilities are drawn independently per processor and held for the
+// run. The execution time T is drawn once (input-data uncertainty). The
+// serial phase runs on one processor (an independent draw). pulse
+// growth is bounded by compacting intermediates to maxPulses
+// (<= 0 disables compaction).
+func StaticRuntimePMF(app *sysmodel.Application, j, n int, avail pmf.PMF, maxPulses int) pmf.PMF {
+	exec := app.ExecTime[j]
+	s := app.SerialFraction()
+	p := app.ParallelFraction()
+
+	// Per-worker parallel time factor: (p*T/n) / a for one worker; the
+	// max over n workers has CDF F(x)^n where F is the single-worker
+	// CDF. Because T is shared across workers while the a_w are
+	// independent, condition on T: for each execution-time pulse, build
+	// the max-over-draws PMF of the availability part, then scale.
+	inv := avail.Map(func(a float64) float64 { return 1 / a }) // 1/a draws
+	maxInv := pmf.MaxN(inv, n)                                 // max of n draws of 1/a
+	serialInv := inv                                           // master's own draw
+
+	var out pmf.PMF
+	first := true
+	for _, tp := range exec.Pulses() {
+		// Serial part: s*T * (1/a_master); parallel: p*T/n * max(1/a_w).
+		serial := serialInv.Scale(s * tp.Value)
+		parallel := maxInv.Scale(p * tp.Value / float64(n))
+		total := pmf.Add(serial, parallel)
+		if maxPulses > 0 {
+			total = total.Compact(maxPulses)
+		}
+		// Weight by the execution-time pulse probability.
+		weighted := total.Pulses()
+		for i := range weighted {
+			weighted[i].Prob *= tp.Prob
+		}
+		if first {
+			out = pmf.MustNew(weighted)
+			first = false
+			continue
+		}
+		merged := append(out.Pulses(), weighted...)
+		out = pmf.MustNew(merged)
+		if maxPulses > 0 {
+			out = out.Compact(maxPulses * 4)
+		}
+	}
+	return out
+}
+
+// StaticRuntimePenalty returns the ratio of the expected STATIC runtime
+// makespan (per-worker draws) to Stage I's expected completion time
+// (one draw for the whole application) — >= 1, growing with n and with
+// the spread of the availability PMF.
+func StaticRuntimePenalty(app *sysmodel.Application, j, n int, avail pmf.PMF) float64 {
+	runtime := StaticRuntimePMF(app, j, n, avail, 200)
+	stage1 := app.CompletionPMF(j, n, avail)
+	return runtime.Mean() / stage1.Mean()
+}

@@ -1,0 +1,86 @@
+package robustness
+
+import (
+	"math"
+	"testing"
+
+	"cdsf/internal/pmf"
+	"cdsf/internal/sysmodel"
+)
+
+func paperApp3() *sysmodel.Application {
+	return &sysmodel.Application{
+		Name:          "App 3",
+		SerialIters:   216,
+		ParallelIters: 4104,
+		ExecTime: []pmf.PMF{
+			pmf.Point(12000),
+			pmf.Point(8000),
+		},
+	}
+}
+
+func paperAvail2() pmf.PMF {
+	return pmf.MustNew([]pmf.Pulse{
+		{Value: 0.25, Prob: 0.25}, {Value: 0.5, Prob: 0.25}, {Value: 1, Prob: 0.5}})
+}
+
+func TestStaticRuntimePMFDegenerate(t *testing.T) {
+	// Deterministic availability: runtime and Stage-I models coincide.
+	app := paperApp3()
+	avail := pmf.Point(0.5)
+	run := StaticRuntimePMF(app, 1, 8, avail, 0)
+	stage1 := app.CompletionPMF(1, 8, avail)
+	if math.Abs(run.Mean()-stage1.Mean()) > 1e-6*stage1.Mean() {
+		t.Errorf("degenerate availability: runtime %v != stage1 %v", run.Mean(), stage1.Mean())
+	}
+}
+
+func TestStaticRuntimePenaltyGrowsWithWorkers(t *testing.T) {
+	app := paperApp3()
+	avail := paperAvail2()
+	p2 := StaticRuntimePenalty(app, 1, 2, avail)
+	p8 := StaticRuntimePenalty(app, 1, 8, avail)
+	if p2 < 1 || p8 < 1 {
+		t.Fatalf("penalties below 1: %v, %v", p2, p8)
+	}
+	if p8 <= p2 {
+		t.Errorf("penalty did not grow with workers: %v vs %v", p2, p8)
+	}
+}
+
+// TestStaticRuntimeExplainsScenario2 verifies the analytic model
+// reproduces the paper's scenario-2 surprise: the robust allocation's
+// Stage-I expectation for application 3 is well under the deadline
+// (2700 < 3250) yet the expected STATIC runtime exceeds it.
+func TestStaticRuntimeExplainsScenario2(t *testing.T) {
+	app := paperApp3()
+	avail := paperAvail2()
+	stage1 := app.CompletionPMF(1, 8, avail).Mean()
+	runtime := StaticRuntimePMF(app, 1, 8, avail, 200).Mean()
+	const deadline = 3250
+	if stage1 >= deadline {
+		t.Fatalf("stage-I expectation %v unexpectedly above the deadline", stage1)
+	}
+	if runtime <= deadline {
+		t.Errorf("analytic STATIC runtime %v does not explain the scenario-2 violation", runtime)
+	}
+	t.Logf("stage-I E[T] = %.0f, analytic STATIC runtime E[T] = %.0f (penalty %.2fx)",
+		stage1, runtime, runtime/stage1)
+}
+
+func TestStaticRuntimeProbabilities(t *testing.T) {
+	app := paperApp3()
+	avail := paperAvail2()
+	run := StaticRuntimePMF(app, 1, 8, avail, 300)
+	if err := run.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The runtime CDF is dominated by the Stage-I CDF (runtime is
+	// statistically larger): Pr(runtime <= x) <= Pr(stage1 <= x) at the
+	// deadline.
+	stage1 := app.CompletionPMF(1, 8, avail)
+	if run.PrLE(3250) > stage1.PrLE(3250)+1e-9 {
+		t.Errorf("runtime Pr %v exceeds stage-I Pr %v", run.PrLE(3250), stage1.PrLE(3250))
+	}
+}

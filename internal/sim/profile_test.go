@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"cdsf/internal/availability"
+	"cdsf/internal/pmf"
+	"cdsf/internal/stats"
+)
+
+func TestProfileShapes(t *testing.T) {
+	const n = 1000
+	for name, p := range profiles {
+		// Multipliers stay positive, and the mean over the loop stays
+		// near 1 so total work is comparable across profiles.
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			m := p(i, n)
+			if m <= 0 {
+				t.Fatalf("%s: non-positive multiplier %v at %d", name, m, i)
+			}
+			sum += m
+		}
+		mean := sum / n
+		if mean < 0.85 || mean > 1.15 {
+			t.Errorf("%s: mean multiplier %v far from 1", name, mean)
+		}
+	}
+	// Gradients have the right sign.
+	if IncreasingProfile(0, n) >= IncreasingProfile(n-1, n) {
+		t.Error("increasing profile not increasing")
+	}
+	if DecreasingProfile(0, n) <= DecreasingProfile(n-1, n) {
+		t.Error("decreasing profile not decreasing")
+	}
+	if PeakedProfile(n/2, n) <= PeakedProfile(0, n) {
+		t.Error("peaked profile not peaked")
+	}
+	// Degenerate loops do not divide by zero.
+	for name, p := range profiles {
+		if v := p(0, 1); v <= 0 || math.IsNaN(v) {
+			t.Errorf("%s(0,1) = %v", name, v)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if _, err := ProfileByName("peaked"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestProfiledRunConservesIterations(t *testing.T) {
+	for name := range profiles {
+		p, _ := ProfileByName(name)
+		cfg := baseConfig(t, "FAC")
+		cfg.IterProfile = p
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		total := 0
+		for _, k := range r.WorkerIters {
+			total += k
+		}
+		if total != cfg.ParallelIters {
+			t.Errorf("%s: executed %d iterations", name, total)
+		}
+	}
+}
+
+// TestStaticSuffersOnIncreasingProfile checks the classic result: with
+// a systematic cost gradient, STATIC's equal-iteration shares are
+// unequal work shares, while adaptive chunking absorbs the gradient.
+func TestStaticSuffersOnIncreasingProfile(t *testing.T) {
+	mk := func(techName string, profile Profile) float64 {
+		tc := tech(t, techName)
+		s, err := RunMany(Config{
+			ParallelIters: 4000,
+			Workers:       8,
+			IterTime:      stats.NewNormal(1, 0.1),
+			Avail:         availability.Static{PMF: pmf.Point(1)},
+			Technique:     tc,
+			IterProfile:   profile,
+			Overhead:      0.5,
+			Seed:          5,
+		}, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Mean()
+	}
+	staticFlat := mk("STATIC", nil)
+	staticInc := mk("STATIC", IncreasingProfile)
+	afInc := mk("AF", IncreasingProfile)
+	// Dedicated workers, flat loop: STATIC is near-optimal.
+	ideal := 4000.0 / 8
+	if staticFlat > ideal*1.15 {
+		t.Errorf("flat STATIC %v far above ideal %v", staticFlat, ideal)
+	}
+	// The increasing gradient hands the last worker ~1.44x the work.
+	if staticInc < staticFlat*1.2 {
+		t.Errorf("increasing profile did not hurt STATIC: %v vs %v", staticInc, staticFlat)
+	}
+	if afInc > staticInc*0.85 {
+		t.Errorf("AF did not absorb the gradient: %v vs STATIC %v", afInc, staticInc)
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cdsf/internal/rng"
+	"cdsf/internal/stats"
+)
+
+// Sample aggregates repeated simulation runs of the same configuration
+// under different seeds.
+type Sample struct {
+	// Makespans holds the per-run makespans in run order.
+	Makespans []float64
+	// MeanChunks is the average number of dispatched chunks per run.
+	MeanChunks float64
+	// MeanImbalance is the average load-imbalance metric per run.
+	MeanImbalance float64
+}
+
+// Mean returns the mean makespan.
+func (s *Sample) Mean() float64 { return stats.Mean(s.Makespans) }
+
+// StdDev returns the makespan standard deviation.
+func (s *Sample) StdDev() float64 { return stats.StdDev(s.Makespans) }
+
+// Quantile returns the p-quantile of the makespans.
+func (s *Sample) Quantile(p float64) float64 { return stats.Quantile(s.Makespans, p) }
+
+// PrLE returns the fraction of runs whose makespan was <= x — the
+// empirical counterpart of Stage I's Pr(T <= Delta).
+func (s *Sample) PrLE(x float64) float64 {
+	n := 0
+	for _, m := range s.Makespans {
+		if m <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.Makespans))
+}
+
+// RunMany executes reps independent simulations of cfg, deriving the
+// per-run seeds deterministically from cfg.Seed, and aggregates the
+// results. Repetitions run in parallel across CPUs when the
+// availability model allows it (group-scoped models such as
+// availability.SharedLoad carry per-run shared state and force
+// sequential execution); the aggregate is identical either way because
+// every repetition's seed is fixed up front.
+func RunMany(cfg Config, reps int) (*Sample, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("sim: %d repetitions", reps)
+	}
+	seeds := rng.New(cfg.Seed)
+	runSeeds := make([]uint64, reps)
+	for i := range runSeeds {
+		runSeeds[i] = seeds.Uint64()
+	}
+
+	results := make([]*Result, reps)
+	errs := make([]error, reps)
+	runOne := func(i int) {
+		c := cfg
+		c.Seed = runSeeds[i]
+		c.CollectChunks = false
+		results[i], errs[i] = Run(c)
+	}
+
+	_, groupScoped := cfg.Avail.(interface{ ResetGroup() })
+	workers := runtime.GOMAXPROCS(0)
+	if groupScoped || workers <= 1 || reps < 4 {
+		for i := 0; i < reps; i++ {
+			runOne(i)
+		}
+	} else {
+		if workers > reps {
+			workers = reps
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= reps {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	out := &Sample{Makespans: make([]float64, 0, reps)}
+	sumChunks, sumImb := 0.0, 0.0
+	for i := 0; i < reps; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		r := results[i]
+		out.Makespans = append(out.Makespans, r.Makespan)
+		sumChunks += float64(r.NumChunks)
+		sumImb += r.Imbalance
+	}
+	out.MeanChunks = sumChunks / float64(reps)
+	out.MeanImbalance = sumImb / float64(reps)
+	return out, nil
+}
+
+// ConfidenceInterval returns the normal-approximation confidence
+// interval for the mean makespan at the given level (0.90, 0.95, or
+// 0.99). With the repetition counts used throughout this repository
+// (>= 20) the normal approximation is adequate.
+func (s *Sample) ConfidenceInterval(level float64) (lo, hi float64, err error) {
+	var z float64
+	switch {
+	case level == 0.90:
+		z = 1.6449
+	case level == 0.95:
+		z = 1.9600
+	case level == 0.99:
+		z = 2.5758
+	default:
+		return 0, 0, fmt.Errorf("sim: unsupported confidence level %v", level)
+	}
+	n := float64(len(s.Makespans))
+	if n < 2 {
+		return 0, 0, fmt.Errorf("sim: %d makespans too few for a confidence interval", len(s.Makespans))
+	}
+	mean := s.Mean()
+	se := s.StdDev() / math.Sqrt(n)
+	return mean - z*se, mean + z*se, nil
+}

@@ -1,0 +1,365 @@
+// Package sim is the Stage-II runtime substrate: a discrete-event
+// simulation of one data-parallel application executing its loop on a
+// group of processors under a dynamic loop scheduling technique and
+// time-varying processor availability.
+//
+// The execution model follows the paper's Stage-II narrative. The
+// application's serial iterations run first on the group's master
+// (worker 0). The parallel iterations are then scheduled by the chosen
+// DLS technique: whenever a worker goes idle the master hands it a chunk
+// whose size the technique decides; dispatching a chunk costs a fixed
+// scheduling overhead; executing k iterations requires the sum of k
+// stochastic iteration times of dedicated work, delivered at the
+// worker's current fractional availability (a processor that is 50%
+// available computes at half speed). The application's makespan is the
+// time the last chunk completes.
+//
+// This simulator substitutes for the authors' MPI runtime and
+// historically-loaded testbed (see DESIGN.md): availability processes
+// from package availability reproduce the stochastic load, and the
+// chunk-level dynamics are exactly what distinguishes STATIC from the
+// robust DLS techniques.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"cdsf/internal/availability"
+	"cdsf/internal/dls"
+	"cdsf/internal/rng"
+	"cdsf/internal/stats"
+)
+
+// Config describes one simulated application execution.
+type Config struct {
+	// SerialIters run on worker 0 before the parallel loop; may be 0.
+	SerialIters int
+	// ParallelIters are scheduled by the DLS technique; must be > 0.
+	ParallelIters int
+	// Workers is the number of processors in the allocated group.
+	Workers int
+	// IterTime is the distribution of one iteration's dedicated
+	// execution time. Draws are clamped to be strictly positive.
+	IterTime stats.Dist
+	// IterProfile optionally shapes the parallel loop's costs across
+	// the iteration space (see Profile); nil means a flat loop.
+	// Iterations are dispatched in index order, so chunk costs follow
+	// the profile's gradient.
+	IterProfile Profile
+	// Avail supplies each worker's availability process.
+	Avail availability.Model
+	// Technique schedules the parallel loop.
+	Technique dls.Technique
+	// Weights are optional a-priori worker weights handed to the
+	// technique (used by WF and as the AWF starting point).
+	Weights []float64
+	// WeightsFromAvail, when true and Weights is nil, derives the
+	// a-priori weights from each worker's availability at time zero —
+	// the "known current load" assumption behind weighted factoring in
+	// non-dedicated systems.
+	WeightsFromAvail bool
+	// BestMaster, when true, runs the serial phase on the worker with
+	// the highest availability at time zero instead of worker 0 — the
+	// resource manager designating the least-loaded processor of the
+	// group as its coordinator when staging the application.
+	BestMaster bool
+	// Overhead is the scheduling cost charged per dispatched chunk.
+	Overhead float64
+	// TimeSteps is the number of sweeps over the iteration space
+	// (time-stepping applications); 0 or 1 means a single sweep. For
+	// multi-sweep runs the serial phase executes once per sweep, and
+	// schedulers implementing dls.TimeStepper (the original AWF) carry
+	// their learned state across sweeps; other techniques restart
+	// fresh each sweep.
+	TimeSteps int
+	// Seed drives all randomness of the run.
+	Seed uint64
+	// CollectChunks enables the per-chunk log in the result (costs
+	// memory on large runs).
+	CollectChunks bool
+}
+
+func (c *Config) validate() error {
+	if c.ParallelIters <= 0 {
+		return fmt.Errorf("sim: %d parallel iterations", c.ParallelIters)
+	}
+	if c.SerialIters < 0 {
+		return fmt.Errorf("sim: %d serial iterations", c.SerialIters)
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("sim: %d workers", c.Workers)
+	}
+	if c.IterTime == nil {
+		return fmt.Errorf("sim: nil iteration time distribution")
+	}
+	if c.Avail == nil {
+		return fmt.Errorf("sim: nil availability model")
+	}
+	if c.Technique.New == nil {
+		return fmt.Errorf("sim: technique %q has no factory", c.Technique.Name)
+	}
+	if c.Overhead < 0 {
+		return fmt.Errorf("sim: negative overhead %v", c.Overhead)
+	}
+	return nil
+}
+
+// ChunkRecord logs one dispatched chunk.
+type ChunkRecord struct {
+	Worker  int
+	Start   float64 // dispatch time (before overhead)
+	Size    int
+	Elapsed float64 // execution time excluding overhead
+}
+
+// Result reports one simulated run.
+type Result struct {
+	// Makespan is the completion time of the whole application,
+	// including the serial phase.
+	Makespan float64
+	// SerialTime is the duration of the serial phase.
+	SerialTime float64
+	// ParallelTime is Makespan - SerialTime.
+	ParallelTime float64
+	// NumChunks counts dispatched chunks.
+	NumChunks int
+	// WorkerBusy[i] is the total execution time (excluding overhead)
+	// spent by worker i in the parallel phase.
+	WorkerBusy []float64
+	// WorkerIters[i] is the number of parallel iterations executed by
+	// worker i.
+	WorkerIters []int
+	// Imbalance is (max - min)/max of the per-worker finish times of the
+	// parallel phase, the classic load-imbalance metric (0 = perfect).
+	Imbalance float64
+	// Chunks is the per-chunk log when Config.CollectChunks is set.
+	Chunks []ChunkRecord
+}
+
+// event is a worker becoming idle at time t.
+type event struct {
+	t      float64
+	worker int
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int      { return len(q) }
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].worker < q[j].worker // deterministic tie-break
+}
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// drawWork returns the dedicated-time cost of k iterations as the sum of
+// k positive draws from dist.
+func drawWork(dist stats.Dist, k int, r *rng.Source) float64 {
+	w := 0.0
+	for i := 0; i < k; i++ {
+		x := dist.Sample(r)
+		for x <= 0 {
+			x = dist.Sample(r)
+		}
+		w += x
+	}
+	return w
+}
+
+// drawProfiledWork returns the cost of iterations [start, start+k) of
+// an n-iteration loop, applying the profile multiplier per iteration.
+func drawProfiledWork(dist stats.Dist, profile Profile, start, k, n int, r *rng.Source) float64 {
+	if profile == nil {
+		return drawWork(dist, k, r)
+	}
+	w := 0.0
+	for i := 0; i < k; i++ {
+		x := dist.Sample(r)
+		for x <= 0 {
+			x = dist.Sample(r)
+		}
+		w += x * profile(start+i, n)
+	}
+	return w
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	availRng := root.Split()
+	workRng := root.Split()
+
+	// Group-scoped availability models (e.g. availability.SharedLoad)
+	// reset their shared state per run so repetitions stay independent.
+	if gr, ok := cfg.Avail.(interface{ ResetGroup() }); ok {
+		gr.ResetGroup()
+	}
+	procs := make([]availability.Process, cfg.Workers)
+	for i := range procs {
+		procs[i] = cfg.Avail.NewProcess(availRng)
+	}
+
+	weights := cfg.Weights
+	if weights == nil && cfg.WeightsFromAvail {
+		weights = make([]float64, cfg.Workers)
+		for i, p := range procs {
+			weights[i] = p.At(0)
+		}
+	}
+
+	newSched := func() (dls.Scheduler, error) {
+		return cfg.Technique.New(dls.Setup{
+			Iterations: cfg.ParallelIters,
+			Workers:    cfg.Workers,
+			Weights:    weights,
+			Overhead:   cfg.Overhead,
+			IterMean:   cfg.IterTime.Mean(),
+			IterStdDev: sqrtOrZero(cfg.IterTime.Var()),
+		})
+	}
+	sched, err := newSched()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		WorkerBusy:  make([]float64, cfg.Workers),
+		WorkerIters: make([]int, cfg.Workers),
+	}
+
+	steps := cfg.TimeSteps
+	if steps < 1 {
+		steps = 1
+	}
+	clock := 0.0
+	for step := 0; step < steps; step++ {
+		if step > 0 {
+			// A time-stepping scheduler (the original AWF) carries its
+			// learned weights into the next sweep; every other
+			// technique restarts fresh.
+			if ts, ok := sched.(dls.TimeStepper); ok {
+				ts.EndStep()
+			} else if sched, err = newSched(); err != nil {
+				return nil, err
+			}
+		}
+
+		// Serial phase on the group master (worker 0, or the currently
+		// most available worker under BestMaster).
+		master := 0
+		if cfg.BestMaster {
+			for i := 1; i < cfg.Workers; i++ {
+				if procs[i].At(clock) > procs[master].At(clock) {
+					master = i
+				}
+			}
+		}
+		start := clock
+		if cfg.SerialIters > 0 {
+			work := drawWork(cfg.IterTime, cfg.SerialIters, workRng)
+			start = procs[master].FinishTime(clock, work)
+		}
+		res.SerialTime += start - clock
+
+		clock = runSweep(&cfg, sched, procs, workRng, start, res)
+	}
+
+	res.Makespan = clock
+	res.ParallelTime = clock - res.SerialTime
+	return res, nil
+}
+
+// runSweep executes one full pass of the parallel loop starting all
+// workers at `start`, returning the sweep's makespan. It updates the
+// aggregate counters and the Imbalance metric (of the latest sweep) in
+// res.
+func runSweep(cfg *Config, sched dls.Scheduler, procs []availability.Process, workRng *rng.Source, start float64, res *Result) float64 {
+	q := make(eventQueue, 0, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		q = append(q, event{t: start, worker: w})
+	}
+	heap.Init(&q)
+
+	finish := make([]float64, cfg.Workers)
+	for i := range finish {
+		finish[i] = start
+	}
+	// pending[w] holds the chunk worker w is executing; its Report is
+	// delivered when the completion event is popped, so the scheduler
+	// only ever sees measurements that have happened in simulated time.
+	type pendingChunk struct {
+		size    int
+		elapsed float64
+	}
+	pending := make([]*pendingChunk, cfg.Workers)
+
+	makespan := start
+	nextIter := 0 // iterations are dispatched in index order
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		if p := pending[e.worker]; p != nil {
+			sched.Report(e.worker, p.size, p.elapsed)
+			pending[e.worker] = nil
+		}
+		k := sched.Next(e.worker)
+		if k == 0 {
+			// Worker done; it leaves the queue.
+			continue
+		}
+		work := drawProfiledWork(cfg.IterTime, cfg.IterProfile, nextIter, k, cfg.ParallelIters, workRng)
+		nextIter += k
+		execStart := e.t + cfg.Overhead
+		end := procs[e.worker].FinishTime(execStart, work)
+		elapsed := end - execStart
+		pending[e.worker] = &pendingChunk{size: k, elapsed: elapsed}
+
+		res.NumChunks++
+		res.WorkerBusy[e.worker] += elapsed
+		res.WorkerIters[e.worker] += k
+		if cfg.CollectChunks {
+			res.Chunks = append(res.Chunks, ChunkRecord{
+				Worker: e.worker, Start: e.t, Size: k, Elapsed: elapsed,
+			})
+		}
+		finish[e.worker] = end
+		if end > makespan {
+			makespan = end
+		}
+		heap.Push(&q, event{t: end, worker: e.worker})
+	}
+
+	maxF, minF := finish[0], finish[0]
+	for _, f := range finish[1:] {
+		if f > maxF {
+			maxF = f
+		}
+		if f < minF {
+			minF = f
+		}
+	}
+	if maxF > start {
+		res.Imbalance = (maxF - minF) / (maxF - start)
+	}
+	return makespan
+}
+
+func sqrtOrZero(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"cdsf/internal/availability"
+	"cdsf/internal/pmf"
+	"cdsf/internal/stats"
+)
+
+func TestTimeStepsIterationConservation(t *testing.T) {
+	cfg := baseConfig(t, "FAC")
+	cfg.TimeSteps = 5
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, k := range r.WorkerIters {
+		total += k
+	}
+	if total != 5*cfg.ParallelIters {
+		t.Errorf("5 sweeps executed %d iterations, want %d", total, 5*cfg.ParallelIters)
+	}
+	// The serial phase runs once per sweep.
+	single, err := Run(baseConfig(t, "FAC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SerialTime < 3*single.SerialTime {
+		t.Errorf("multi-sweep serial time %v vs single %v", r.SerialTime, single.SerialTime)
+	}
+	if r.Makespan < 4*single.Makespan {
+		t.Errorf("5-sweep makespan %v suspiciously small vs single %v", r.Makespan, single.Makespan)
+	}
+}
+
+func TestAWFImprovesAcrossTimeSteps(t *testing.T) {
+	// Persistently heterogeneous workers: AWF learns the weights at the
+	// first step boundary, so a multi-sweep run beats WF-with-equal-
+	// weights restarted each sweep... and in a single sweep AWF equals
+	// equal-weight WF by construction. Compare per-sweep cost of AWF's
+	// later sweeps against its first.
+	avail := pmf.MustNew([]pmf.Pulse{{Value: 0.25, Prob: 0.5}, {Value: 1, Prob: 0.5}})
+	mkCfg := func(steps int) Config {
+		return Config{
+			ParallelIters: 2000,
+			Workers:       4,
+			IterTime:      stats.NewNormal(1, 0.1),
+			Avail:         availability.Static{PMF: avail},
+			Technique:     tech(t, "AWF"),
+			Overhead:      0.5,
+			Seed:          3,
+		}
+	}
+	oneCfg := mkCfg(1)
+	oneCfg.TimeSteps = 1
+	one, err := Run(oneCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fourCfg := mkCfg(4)
+	fourCfg.TimeSteps = 4
+	four, err := Run(fourCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSweepLater := (four.Makespan - one.Makespan) / 3
+	// Later sweeps should not be slower than the unadapted first sweep
+	// by any meaningful margin (they share the availability draws).
+	if perSweepLater > one.Makespan*1.05 {
+		t.Errorf("AWF later sweeps average %v vs first sweep %v", perSweepLater, one.Makespan)
+	}
+}
+
+func TestTimeStepsDeterministic(t *testing.T) {
+	cfg := baseConfig(t, "AWF")
+	cfg.TimeSteps = 3
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Makespan-b.Makespan) > 1e-9 {
+		t.Error("multi-sweep run not deterministic")
+	}
+}

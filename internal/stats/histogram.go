@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-width binning of a sample, used to turn empirical
+// (or sampled) execution times into the discrete PMFs the paper's Stage-I
+// model operates on.
+type Histogram struct {
+	// Lo is the left edge of the first bin.
+	Lo float64
+	// Width is the width of every bin; it is positive.
+	Width float64
+	// Counts holds the number of observations per bin.
+	Counts []int
+	// Total is the number of observations across all bins.
+	Total int
+}
+
+// NewHistogram builds a histogram of xs with the given number of bins
+// spanning [min(xs), max(xs)]. It panics if xs is empty or bins < 1.
+func NewHistogram(xs []float64, bins int) *Histogram {
+	if len(xs) == 0 {
+		panic("stats: NewHistogram of empty sample")
+	}
+	if bins < 1 {
+		panic(fmt.Sprintf("stats: NewHistogram with %d bins", bins))
+	}
+	lo, hi := Min(xs), Max(xs)
+	if hi == lo {
+		hi = lo + 1 // degenerate sample: single bin of width 1/bins
+	}
+	h := &Histogram{
+		Lo:     lo,
+		Width:  (hi - lo) / float64(bins),
+		Counts: make([]int, bins),
+	}
+	for _, x := range xs {
+		h.Observe(x)
+	}
+	return h
+}
+
+// Observe adds one observation, clamping into the edge bins so that no
+// data is silently dropped.
+func (h *Histogram) Observe(x float64) {
+	i := int(math.Floor((x - h.Lo) / h.Width))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.Total++
+}
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.Width
+}
+
+// Probabilities returns the normalized per-bin relative frequencies.
+// It panics if the histogram is empty.
+func (h *Histogram) Probabilities() []float64 {
+	if h.Total == 0 {
+		panic("stats: Probabilities of empty histogram")
+	}
+	p := make([]float64, len(h.Counts))
+	for i, c := range h.Counts {
+		p[i] = float64(c) / float64(h.Total)
+	}
+	return p
+}
+
+// Mode returns the center of the most populated bin (ties broken toward
+// the lower bin).
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF copies and sorts xs. It panics on an empty sample.
+func NewECDF(xs []float64) *ECDF {
+	if len(xs) == 0 {
+		panic("stats: NewECDF of empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns the fraction of the sample that is <= x.
+func (e *ECDF) At(x float64) float64 {
+	// First index with value > x.
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }

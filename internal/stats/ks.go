@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the two-sample Kolmogorov-Smirnov statistic: the
+// maximum absolute difference between the empirical CDFs of xs and ys.
+// It panics on empty samples.
+func KSStatistic(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		panic("stats: KSStatistic of empty sample")
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	i, j := 0, 0
+	d := 0.0
+	for i < len(a) && j < len(b) {
+		// Process one distinct value, consuming all its ties from both
+		// samples, then compare the empirical CDFs.
+		v := math.Min(a[i], b[j])
+		for i < len(a) && a[i] == v {
+			i++
+		}
+		for j < len(b) && b[j] == v {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSStatisticAgainstCDF returns the one-sample KS statistic of xs
+// against a reference CDF.
+func KSStatisticAgainstCDF(xs []float64, cdf func(float64) float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: KSStatisticAgainstCDF of empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	d := 0.0
+	for i, x := range s {
+		f := cdf(x)
+		lo := math.Abs(f - float64(i)/n)
+		hi := math.Abs(float64(i+1)/n - f)
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+// KSCritical returns the approximate critical value of the two-sample
+// KS statistic at the given significance level (alpha in {0.10, 0.05,
+// 0.01}) for sample sizes n and m — the large-sample c(alpha) *
+// sqrt((n+m)/(n*m)) approximation.
+func KSCritical(alpha float64, n, m int) (float64, error) {
+	var c float64
+	switch {
+	case math.Abs(alpha-0.10) < 1e-9:
+		c = 1.22
+	case math.Abs(alpha-0.05) < 1e-9:
+		c = 1.36
+	case math.Abs(alpha-0.01) < 1e-9:
+		c = 1.63
+	default:
+		return 0, fmt.Errorf("stats: unsupported KS significance level %v", alpha)
+	}
+	if n <= 0 || m <= 0 {
+		return 0, fmt.Errorf("stats: invalid KS sample sizes %d, %d", n, m)
+	}
+	return c * math.Sqrt(float64(n+m)/float64(n*m)), nil
+}

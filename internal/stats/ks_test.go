@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"cdsf/internal/rng"
+)
+
+func TestKSStatisticIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic(xs, xs); d != 0 {
+		t.Errorf("KS of identical samples = %v", d)
+	}
+}
+
+func TestKSStatisticDisjointSamples(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{10, 20, 30}
+	if d := KSStatistic(xs, ys); math.Abs(d-1) > 1e-12 {
+		t.Errorf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSSameDistributionBelowCritical(t *testing.T) {
+	n := NewNormal(5, 2)
+	r := rng.New(11)
+	const m = 2000
+	xs := make([]float64, m)
+	ys := make([]float64, m)
+	for i := 0; i < m; i++ {
+		xs[i] = n.Sample(r)
+		ys[i] = n.Sample(r)
+	}
+	d := KSStatistic(xs, ys)
+	crit, err := KSCritical(0.05, m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > crit {
+		t.Errorf("same-distribution KS %v above critical %v", d, crit)
+	}
+	// A clearly shifted distribution must exceed the critical value.
+	for i := range ys {
+		ys[i] += 1
+	}
+	if d := KSStatistic(xs, ys); d <= crit {
+		t.Errorf("shifted-distribution KS %v below critical %v", d, crit)
+	}
+}
+
+func TestKSAgainstCDF(t *testing.T) {
+	n := NewNormal(0, 1)
+	r := rng.New(3)
+	const m = 3000
+	xs := make([]float64, m)
+	for i := range xs {
+		xs[i] = n.Sample(r)
+	}
+	d := KSStatisticAgainstCDF(xs, n.CDF)
+	crit, _ := KSCritical(0.05, m, m)
+	if d > crit {
+		t.Errorf("one-sample KS %v above critical %v", d, crit)
+	}
+	// Against the wrong CDF it must blow up.
+	wrong := NewNormal(2, 1)
+	if d := KSStatisticAgainstCDF(xs, wrong.CDF); d < 0.5 {
+		t.Errorf("KS against wrong CDF only %v", d)
+	}
+}
+
+func TestKSCriticalErrors(t *testing.T) {
+	if _, err := KSCritical(0.2, 10, 10); err == nil {
+		t.Error("unsupported alpha accepted")
+	}
+	if _, err := KSCritical(0.05, 0, 10); err == nil {
+		t.Error("zero sample size accepted")
+	}
+	c10, _ := KSCritical(0.10, 100, 100)
+	c01, _ := KSCritical(0.01, 100, 100)
+	if c10 >= c01 {
+		t.Error("critical values not ordered by significance")
+	}
+}

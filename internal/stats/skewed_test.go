@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"cdsf/internal/rng"
+)
+
+func TestLogNormalMoments(t *testing.T) {
+	l := LogNormalFromMoments(100, 30)
+	if math.Abs(l.Mean()-100) > 1e-9 {
+		t.Errorf("mean = %v", l.Mean())
+	}
+	if math.Abs(math.Sqrt(l.Var())-30) > 1e-9 {
+		t.Errorf("stddev = %v", math.Sqrt(l.Var()))
+	}
+}
+
+func TestLogNormalCDFQuantileRoundTrip(t *testing.T) {
+	l := NewLogNormal(1, 0.5)
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		x := l.Quantile(p)
+		if got := l.CDF(x); math.Abs(got-p) > 1e-10 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if l.CDF(-1) != 0 || l.CDF(0) != 0 {
+		t.Error("CDF not zero at non-positive x")
+	}
+}
+
+func TestLogNormalSampleMoments(t *testing.T) {
+	l := LogNormalFromMoments(50, 20)
+	r := rng.New(3)
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		x := l.Sample(r)
+		if x <= 0 {
+			t.Fatalf("non-positive sample %v", x)
+		}
+		w.Add(x)
+	}
+	if math.Abs(w.Mean()-50) > 0.5 {
+		t.Errorf("sample mean = %v", w.Mean())
+	}
+	if math.Abs(w.StdDev()-20) > 0.5 {
+		t.Errorf("sample stddev = %v", w.StdDev())
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	g := GammaFromMoments(100, 30)
+	if math.Abs(g.Mean()-100) > 1e-9 {
+		t.Errorf("mean = %v", g.Mean())
+	}
+	if math.Abs(math.Sqrt(g.Var())-30) > 1e-9 {
+		t.Errorf("stddev = %v", math.Sqrt(g.Var()))
+	}
+}
+
+func TestGammaCDFKnownValues(t *testing.T) {
+	// Gamma(k=1, theta=1) is Exponential(1): CDF(x) = 1 - e^-x.
+	g := NewGamma(1, 1)
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-x)
+		if got := g.CDF(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Gamma(k=2, theta=1): CDF(x) = 1 - (1+x) e^-x.
+	g2 := NewGamma(2, 1)
+	for _, x := range []float64{0.5, 1, 3} {
+		want := 1 - (1+x)*math.Exp(-x)
+		if got := g2.CDF(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("k=2 CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestGammaQuantileRoundTrip(t *testing.T) {
+	g := NewGamma(3.7, 2.1)
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		x := g.Quantile(p)
+		if got := g.CDF(x); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	for _, tc := range []struct{ k, theta float64 }{
+		{0.5, 2}, {1, 1}, {4, 0.5}, {20, 3},
+	} {
+		g := NewGamma(tc.k, tc.theta)
+		r := rng.New(7)
+		var w Welford
+		for i := 0; i < 200000; i++ {
+			x := g.Sample(r)
+			if x < 0 {
+				t.Fatalf("negative gamma sample %v", x)
+			}
+			w.Add(x)
+		}
+		if math.Abs(w.Mean()-g.Mean()) > 0.02*g.Mean()+0.01 {
+			t.Errorf("k=%v: sample mean %v, want %v", tc.k, w.Mean(), g.Mean())
+		}
+		relVar := math.Abs(w.Var()-g.Var()) / g.Var()
+		if relVar > 0.05 {
+			t.Errorf("k=%v: sample var %v, want %v", tc.k, w.Var(), g.Var())
+		}
+	}
+}
+
+func TestSkewedImplementDist(t *testing.T) {
+	var _ Dist = LogNormal{MuLog: 0, SigmaLog: 1}
+	var _ Dist = Gamma{K: 1, Theta: 1}
+}

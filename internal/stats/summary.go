@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN if len(xs) == 0.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the p-quantile of xs using linear interpolation
+// between order statistics (type-7 estimator). It panics on an empty
+// slice or p outside [0,1]. xs is not modified.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: quantile probability %v out of [0,1]", p))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	h := p * float64(len(s)-1)
+	i := int(math.Floor(h))
+	if i >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	return s[i] + (h-float64(i))*(s[i+1]-s[i])
+}
+
+// Welford is a streaming mean/variance accumulator (Welford's online
+// algorithm). The adaptive DLS techniques use one per worker to estimate
+// per-iteration execution moments from observed chunk times.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// AddWeighted folds an observation that represents k identical
+// measurements (e.g. a chunk of k iterations whose per-iteration time
+// averaged x). The variance contribution treats the k measurements as
+// all equal to x, which underestimates spread slightly but keeps the
+// estimator stable for the adaptive schedulers.
+func (w *Welford) AddWeighted(x float64, k int) {
+	for i := 0; i < k; i++ {
+		w.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean, or NaN before any observation.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Var returns the running population variance, or NaN before any
+// observation.
+func (w *Welford) Var() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Var()) }
+
+// Merge combines another accumulator into w (Chan et al. parallel
+// update), leaving other unchanged.
+func (w *Welford) Merge(other Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = other
+		return
+	}
+	n1, n2 := float64(w.n), float64(other.n)
+	d := other.mean - w.mean
+	tot := n1 + n2
+	w.mean += d * n2 / tot
+	w.m2 += other.m2 + d*d*n1*n2/tot
+	w.n += other.n
+}

@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cdsf/internal/rng"
+)
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Errorf("variance = %v", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Errorf("stddev = %v", s)
+	}
+}
+
+func TestEmptySliceNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Error("empty-slice summaries should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Error("min/max wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must not be mutated (it would be if sorted in place).
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := rng.New(2)
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 7
+		w.Add(xs[i])
+	}
+	if math.Abs(w.Mean()-Mean(xs)) > 1e-9 {
+		t.Errorf("welford mean %v != batch %v", w.Mean(), Mean(xs))
+	}
+	if math.Abs(w.Var()-Variance(xs)) > 1e-9 {
+		t.Errorf("welford var %v != batch %v", w.Var(), Variance(xs))
+	}
+	if w.N() != 1000 {
+		t.Errorf("welford N = %d", w.N())
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	r := rng.New(4)
+	var a, b, all Welford
+	for i := 0; i < 500; i++ {
+		x := r.Float64() * 10
+		a.Add(x)
+		all.Add(x)
+	}
+	for i := 0; i < 300; i++ {
+		x := r.Float64()*2 - 5
+		b.Add(x)
+		all.Add(x)
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Errorf("merged mean %v != %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Var()-all.Var()) > 1e-9 {
+		t.Errorf("merged var %v != %v", a.Var(), all.Var())
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Error("merging empty changed accumulator")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Mean() != 2 {
+		t.Errorf("merge into empty: mean %v", b.Mean())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h := NewHistogram(xs, 5)
+	if h.Total != 10 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 10 {
+		t.Errorf("counts sum = %d", sum)
+	}
+	ps := h.Probabilities()
+	total := 0.0
+	for _, p := range ps {
+		total += p
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v", total)
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	h := NewHistogram([]float64{0, 10}, 2)
+	h.Observe(-5)
+	h.Observe(100)
+	if h.Counts[0] != 2 || h.Counts[1] != 2 {
+		t.Errorf("clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{3, 3, 3}, 4)
+	if h.Total != 3 {
+		t.Errorf("total = %d", h.Total)
+	}
+	if h.Mode() < 3-1 || h.Mode() > 3+1 {
+		t.Errorf("mode = %v for constant sample", h.Mode())
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {9, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ECDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.N() != 4 {
+		t.Errorf("N = %d", e.N())
+	}
+}
+
+// TestQuickQuantileBounded property-checks that sample quantiles stay
+// within [min, max].
+func TestQuickQuantileBounded(t *testing.T) {
+	f := func(raw []float64, praw float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			// Bound magnitudes so interpolation differences cannot
+			// overflow; simulator times are far below this.
+			if !math.IsNaN(x) && math.Abs(x) <= 1e150 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := math.Abs(praw)
+		p -= math.Floor(p)
+		q := Quantile(xs, p)
+		return q >= Min(xs)-1e-9 && q <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWelfordNonNegativeVar property-checks variance >= 0.
+func TestQuickWelfordNonNegativeVar(t *testing.T) {
+	f := func(raw []float64) bool {
+		var w Welford
+		for _, x := range raw {
+			// Keep magnitudes where (x-mean)^2 cannot overflow float64;
+			// the simulator's time values are far below this.
+			if math.IsNaN(x) || math.Abs(x) > 1e150 {
+				continue
+			}
+			w.Add(x)
+		}
+		return w.N() == 0 || w.Var() >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

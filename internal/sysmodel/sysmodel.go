@@ -1,0 +1,196 @@
+// Package sysmodel defines the heterogeneous system and application
+// model of the paper: processor types with stochastic availability,
+// data-parallel applications with stochastic single-processor execution
+// times and serial/parallel fractions, batches, and resource
+// allocations. It implements the paper's Eq. 1 (weighted system
+// availability) and Eq. 2 (parallel execution-time PMF) plus the
+// completion-time PMF used by Stage I.
+package sysmodel
+
+import (
+	"fmt"
+
+	"cdsf/internal/pmf"
+)
+
+// ProcType describes one class of processors in the heterogeneous
+// system.
+type ProcType struct {
+	// Name identifies the type in reports (e.g. "Type 1").
+	Name string
+	// Count is the number of processors of this type.
+	Count int
+	// Avail is the PMF of the fractional availability of a processor of
+	// this type, with support in (0, 1]. The paper's Table I expresses
+	// these in percent; this model uses fractions.
+	Avail pmf.PMF
+}
+
+// ExpectedAvail returns E[Avail], the expected fractional availability.
+func (t ProcType) ExpectedAvail() float64 { return t.Avail.Mean() }
+
+// System is a heterogeneous computing system: a set of processor types.
+type System struct {
+	Types []ProcType
+}
+
+// Validate checks counts are positive and availability PMFs have support
+// in (0, 1].
+func (s *System) Validate() error {
+	if len(s.Types) == 0 {
+		return fmt.Errorf("sysmodel: system has no processor types")
+	}
+	for i, t := range s.Types {
+		if t.Count <= 0 {
+			return fmt.Errorf("sysmodel: type %d (%s) has count %d", i, t.Name, t.Count)
+		}
+		if t.Avail.IsZero() {
+			return fmt.Errorf("sysmodel: type %d (%s) has no availability PMF", i, t.Name)
+		}
+		if err := t.Avail.Validate(); err != nil {
+			return fmt.Errorf("sysmodel: type %d (%s): %w", i, t.Name, err)
+		}
+		if t.Avail.Min() <= 0 || t.Avail.Max() > 1 {
+			return fmt.Errorf("sysmodel: type %d (%s) availability support [%v,%v] outside (0,1]",
+				i, t.Name, t.Avail.Min(), t.Avail.Max())
+		}
+	}
+	return nil
+}
+
+// TotalProcessors returns the number of processors across all types.
+func (s *System) TotalProcessors() int {
+	n := 0
+	for _, t := range s.Types {
+		n += t.Count
+	}
+	return n
+}
+
+// WeightedAvailability implements the paper's Eq. 1: the
+// processor-count-weighted mean of the per-type expected availabilities,
+// as a fraction in (0, 1].
+func (s *System) WeightedAvailability() float64 {
+	num, den := 0.0, 0.0
+	for _, t := range s.Types {
+		num += float64(t.Count) * t.ExpectedAvail()
+		den += float64(t.Count)
+	}
+	return num / den
+}
+
+// WithAvailability returns a copy of the system whose per-type
+// availability PMFs are replaced by avail (indexed like Types). It is
+// used to evaluate the Stage-II cases, which perturb availability while
+// keeping the machine inventory fixed. It panics if the lengths differ.
+func (s *System) WithAvailability(avail []pmf.PMF) *System {
+	if len(avail) != len(s.Types) {
+		panic(fmt.Sprintf("sysmodel: %d availability PMFs for %d types", len(avail), len(s.Types)))
+	}
+	out := &System{Types: make([]ProcType, len(s.Types))}
+	for i, t := range s.Types {
+		t.Avail = avail[i]
+		out.Types[i] = t
+	}
+	return out
+}
+
+// Application is one data-parallel scientific application of the batch
+// (paper Table II + Table III). Its loop body has SerialIters iterations
+// that must run on a single processor and ParallelIters iterations that
+// may be spread over the allocated processors of one type.
+type Application struct {
+	// Name identifies the application in reports (e.g. "App 1").
+	Name string
+	// SerialIters and ParallelIters count the loop iterations of each
+	// kind; their ratio determines the serial/parallel time fractions.
+	SerialIters   int
+	ParallelIters int
+	// ExecTime[j] is the PMF of the execution time of the whole
+	// application on a single dedicated processor of type j.
+	ExecTime []pmf.PMF
+}
+
+// Validate checks iteration counts and per-type execution-time PMFs.
+func (a *Application) Validate(numTypes int) error {
+	if a.SerialIters < 0 || a.ParallelIters <= 0 {
+		return fmt.Errorf("sysmodel: app %s has %d serial / %d parallel iterations",
+			a.Name, a.SerialIters, a.ParallelIters)
+	}
+	if len(a.ExecTime) != numTypes {
+		return fmt.Errorf("sysmodel: app %s has %d exec-time PMFs for %d types",
+			a.Name, len(a.ExecTime), numTypes)
+	}
+	for j, p := range a.ExecTime {
+		if p.IsZero() {
+			return fmt.Errorf("sysmodel: app %s missing exec-time PMF for type %d", a.Name, j)
+		}
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("sysmodel: app %s type %d: %w", a.Name, j, err)
+		}
+		if p.Min() <= 0 {
+			return fmt.Errorf("sysmodel: app %s type %d has non-positive execution time %v",
+				a.Name, j, p.Min())
+		}
+	}
+	return nil
+}
+
+// TotalIters returns the total number of loop iterations.
+func (a *Application) TotalIters() int { return a.SerialIters + a.ParallelIters }
+
+// SerialFraction returns the serial share s of the application's work,
+// i.e. SerialIters / TotalIters (paper Table II's "% serial").
+func (a *Application) SerialFraction() float64 {
+	return float64(a.SerialIters) / float64(a.TotalIters())
+}
+
+// ParallelFraction returns 1 - SerialFraction.
+func (a *Application) ParallelFraction() float64 {
+	return float64(a.ParallelIters) / float64(a.TotalIters())
+}
+
+// ParallelTimePMF implements the paper's Eq. 2: the PMF of the
+// application's execution time on n dedicated processors of type j,
+// obtained by rescaling every pulse T of the single-processor PMF to
+// s*T + p*T/n. Probabilities are unchanged. It panics if n < 1 or j is
+// out of range.
+func (a *Application) ParallelTimePMF(j, n int) pmf.PMF {
+	if n < 1 {
+		panic(fmt.Sprintf("sysmodel: ParallelTimePMF with n=%d", n))
+	}
+	if j < 0 || j >= len(a.ExecTime) {
+		panic(fmt.Sprintf("sysmodel: ParallelTimePMF with type %d of %d", j, len(a.ExecTime)))
+	}
+	s := a.SerialFraction()
+	p := a.ParallelFraction()
+	nf := float64(n)
+	return a.ExecTime[j].Map(func(t float64) float64 {
+		return s*t + p*t/nf
+	})
+}
+
+// CompletionPMF returns the PMF of the application's completion time on
+// n processors of type j whose availability follows avail: the parallel
+// execution time divided by the (independent) fractional availability.
+// This is the PMF Stage I sums below the deadline to obtain each
+// application's completion probability.
+func (a *Application) CompletionPMF(j, n int, avail pmf.PMF) pmf.PMF {
+	return pmf.Div(a.ParallelTimePMF(j, n), avail)
+}
+
+// Batch is the set of applications mapped together in Stage I.
+type Batch []Application
+
+// Validate validates each application against the system's type count.
+func (b Batch) Validate(numTypes int) error {
+	if len(b) == 0 {
+		return fmt.Errorf("sysmodel: empty batch")
+	}
+	for i := range b {
+		if err := b[i].Validate(numTypes); err != nil {
+			return fmt.Errorf("sysmodel: batch[%d]: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Package trace analyzes and exports chunk-level execution logs from
+// the Stage-II simulator: per-worker busy/idle accounting, overhead
+// breakdowns, and CSV export for external plotting. It is the
+// post-mortem side of the runtime substrate — the numbers behind the
+// Gantt pictures.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cdsf/internal/sim"
+)
+
+// WorkerSummary aggregates one worker's activity in a run.
+type WorkerSummary struct {
+	Worker int
+	// Chunks is the number of chunks the worker executed.
+	Chunks int
+	// Iterations is the number of iterations executed.
+	Iterations int
+	// Busy is the total execution time (excluding dispatch overhead).
+	Busy float64
+	// Overhead is the total dispatch overhead charged (chunks * h).
+	Overhead float64
+	// Idle is span - busy - overhead, where span runs from the worker's
+	// first dispatch to its last completion.
+	Idle float64
+	// FirstStart and LastEnd delimit the worker's activity.
+	FirstStart, LastEnd float64
+}
+
+// Analysis summarizes a whole run's chunk log.
+type Analysis struct {
+	Workers []WorkerSummary
+	// TotalChunks and TotalIterations aggregate the log.
+	TotalChunks, TotalIterations int
+	// MeanChunkSize is TotalIterations / TotalChunks.
+	MeanChunkSize float64
+	// BusyEfficiency is total busy time over total worker-span time —
+	// 1 means no worker ever waited.
+	BusyEfficiency float64
+}
+
+// Analyze builds per-worker summaries from a chunk log (as produced by
+// sim.Run with CollectChunks) and the per-chunk overhead h used in the
+// run. It returns an error on an empty log.
+func Analyze(chunks []sim.ChunkRecord, workers int, overhead float64) (*Analysis, error) {
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("trace: empty chunk log")
+	}
+	if workers <= 0 {
+		return nil, fmt.Errorf("trace: %d workers", workers)
+	}
+	ws := make([]WorkerSummary, workers)
+	for i := range ws {
+		ws[i].Worker = i
+		ws[i].FirstStart = -1
+	}
+	a := &Analysis{}
+	for _, c := range chunks {
+		if c.Worker < 0 || c.Worker >= workers {
+			return nil, fmt.Errorf("trace: chunk names worker %d of %d", c.Worker, workers)
+		}
+		w := &ws[c.Worker]
+		w.Chunks++
+		w.Iterations += c.Size
+		w.Busy += c.Elapsed
+		w.Overhead += overhead
+		if w.FirstStart < 0 || c.Start < w.FirstStart {
+			w.FirstStart = c.Start
+		}
+		if end := c.Start + overhead + c.Elapsed; end > w.LastEnd {
+			w.LastEnd = end
+		}
+		a.TotalChunks++
+		a.TotalIterations += c.Size
+	}
+	span, busy := 0.0, 0.0
+	for i := range ws {
+		w := &ws[i]
+		if w.Chunks == 0 {
+			w.FirstStart = 0
+			continue
+		}
+		w.Idle = (w.LastEnd - w.FirstStart) - w.Busy - w.Overhead
+		if w.Idle < 0 {
+			w.Idle = 0
+		}
+		span += w.LastEnd - w.FirstStart
+		busy += w.Busy
+	}
+	a.Workers = ws
+	a.MeanChunkSize = float64(a.TotalIterations) / float64(a.TotalChunks)
+	if span > 0 {
+		a.BusyEfficiency = busy / span
+	}
+	return a, nil
+}
+
+// WriteCSV emits the raw chunk log as CSV (worker, start, size,
+// elapsed), sorted by start time, for external tooling.
+func WriteCSV(w io.Writer, chunks []sim.ChunkRecord) error {
+	sorted := append([]sim.ChunkRecord(nil), chunks...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].Worker < sorted[j].Worker
+	})
+	if _, err := io.WriteString(w, "worker,start,size,elapsed\n"); err != nil {
+		return err
+	}
+	for _, c := range sorted {
+		if _, err := fmt.Fprintf(w, "%d,%.6g,%d,%.6g\n", c.Worker, c.Start, c.Size, c.Elapsed); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cdsf/internal/availability"
+	"cdsf/internal/dls"
+	"cdsf/internal/pmf"
+	"cdsf/internal/sim"
+	"cdsf/internal/stats"
+)
+
+func runWithChunks(t *testing.T, overhead float64) *sim.Result {
+	t.Helper()
+	fac, ok := dls.Get("FAC")
+	if !ok {
+		t.Fatal("FAC missing")
+	}
+	r, err := sim.Run(sim.Config{
+		ParallelIters: 500,
+		Workers:       4,
+		IterTime:      stats.NewNormal(1, 0.2),
+		Avail:         availability.Static{PMF: pmf.Point(1)},
+		Technique:     fac,
+		Overhead:      overhead,
+		Seed:          6,
+		CollectChunks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAnalyzeConservation(t *testing.T) {
+	const h = 0.5
+	r := runWithChunks(t, h)
+	a, err := Analyze(r.Chunks, 4, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalIterations != 500 {
+		t.Errorf("iterations = %d", a.TotalIterations)
+	}
+	if a.TotalChunks != r.NumChunks {
+		t.Errorf("chunks = %d vs result %d", a.TotalChunks, r.NumChunks)
+	}
+	if math.Abs(a.MeanChunkSize-500/float64(r.NumChunks)) > 1e-9 {
+		t.Errorf("mean chunk size = %v", a.MeanChunkSize)
+	}
+	sumIters, sumBusy := 0, 0.0
+	for _, w := range a.Workers {
+		sumIters += w.Iterations
+		sumBusy += w.Busy
+		if w.Busy < 0 || w.Idle < 0 || w.Overhead < 0 {
+			t.Errorf("worker %d has negative accounting: %+v", w.Worker, w)
+		}
+		if math.Abs(w.Overhead-float64(w.Chunks)*h) > 1e-9 {
+			t.Errorf("worker %d overhead = %v for %d chunks", w.Worker, w.Overhead, w.Chunks)
+		}
+		if w.LastEnd > r.Makespan+1e-9 {
+			t.Errorf("worker %d ends after the makespan", w.Worker)
+		}
+	}
+	if sumIters != 500 {
+		t.Errorf("per-worker iterations sum to %d", sumIters)
+	}
+	if math.Abs(sumBusy-sumWorkerBusy(r)) > 1e-9 {
+		t.Errorf("busy sum %v != result %v", sumBusy, sumWorkerBusy(r))
+	}
+	if a.BusyEfficiency <= 0 || a.BusyEfficiency > 1+1e-9 {
+		t.Errorf("efficiency = %v", a.BusyEfficiency)
+	}
+}
+
+func sumWorkerBusy(r *sim.Result) float64 {
+	s := 0.0
+	for _, b := range r.WorkerBusy {
+		s += b
+	}
+	return s
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, 4, 0); err == nil {
+		t.Error("empty log accepted")
+	}
+	bad := []sim.ChunkRecord{{Worker: 7, Start: 0, Size: 1, Elapsed: 1}}
+	if _, err := Analyze(bad, 4, 0); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+	if _, err := Analyze(bad, 0, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	chunks := []sim.ChunkRecord{
+		{Worker: 1, Start: 5, Size: 10, Elapsed: 2.5},
+		{Worker: 0, Start: 0, Size: 20, Elapsed: 4},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, chunks); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0] != "worker,start,size,elapsed" {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Sorted by start time.
+	if !strings.HasPrefix(lines[1], "0,0,20,") || !strings.HasPrefix(lines[2], "1,5,10,") {
+		t.Errorf("rows not sorted: %v", lines[1:])
+	}
+}
