@@ -1,0 +1,29 @@
+# Standard development targets for the CDSF reproduction.
+#
+#   make build   compile every package and command
+#   make test    run the full test suite
+#   make race    run the concurrency-sensitive packages under the race
+#                detector (the parallel Stage-I engine's gate)
+#   make bench   run the benchmark suite with allocation stats
+#   make fuzz    run each pmf fuzz target briefly
+
+GO ?= go
+
+.PHONY: build test race bench fuzz
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/ra ./internal/pmf ./internal/experiments ./internal/sim
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fuzz:
+	$(GO) test -run=xxx -fuzz=FuzzNew -fuzztime=10s ./internal/pmf
+	$(GO) test -run=xxx -fuzz=FuzzCombineMerge -fuzztime=10s ./internal/pmf
+	$(GO) test -run=xxx -fuzz=FuzzRebin -fuzztime=10s ./internal/pmf

@@ -10,6 +10,7 @@ package cdsf_bench
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"cdsf/internal/availability"
@@ -340,6 +341,75 @@ func BenchmarkExhaustiveEnumeration(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := (ra.Exhaustive{}).Allocate(prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// CPU scaling: the parallel Stage-I engine at 1, 2, and NumCPU workers.
+// Results are bit-identical across worker counts (the engine's hard
+// guarantee), so these isolate pure wall-clock scaling.
+
+// benchWorkerCounts returns the worker counts the scaling benches sweep.
+func benchWorkerCounts() []int {
+	ws := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		ws = append(ws, n)
+	}
+	return ws
+}
+
+// BenchmarkEvalTableBuild measures the cold concurrent build of the
+// (app x type x log2 count) evaluation table on the paper instance.
+func BenchmarkEvalTableBuild(b *testing.B) {
+	f := experiments.Framework()
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prob := &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline}
+				if err := prob.Precompute(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExhaustiveParallel measures the partitioned exhaustive search
+// over a warm table, isolating the enumeration fan-out.
+func BenchmarkExhaustiveParallel(b *testing.B) {
+	f := experiments.Framework()
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			prob := &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline}
+			if err := prob.Precompute(w); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (&ra.Exhaustive{Workers: w}).Allocate(prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaleStudyWorkers measures the scale study's per-cell
+// fan-out (same reduced configuration as BenchmarkScaleStudy).
+func BenchmarkScaleStudyWorkers(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.DefaultScaleConfig(uint64(i))
+				cfg.Instances = 3
+				cfg.Sizes = [][3]int{{6, 8, 16}}
+				cfg.Reps = 6
+				cfg.Workers = w
+				if _, err := experiments.RunScaleStudy(cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"cdsf/internal/batch"
@@ -35,21 +36,23 @@ func main() {
 	tech := flag.String("tech", "AF", "DLS technique for the sim executor")
 	reps := flag.Int("reps", 10, "sim-executor repetitions per application")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the Stage-I heuristic (results are identical for any value)")
 	flag.Parse()
 
-	if err := run(*jobs, *rate, *heuristic, *deadline, *maxBatch, *executor, *tech, *reps, *seed); err != nil {
+	if err := run(*jobs, *rate, *heuristic, *deadline, *maxBatch, *executor, *tech, *reps, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "batchsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(jobs int, rate float64, heuristic string, deadline float64, maxBatch int,
-	executor, tech string, reps int, seed uint64) error {
+	executor, tech string, reps int, seed uint64, workers int) error {
 
 	h, ok := ra.Get(heuristic)
 	if !ok {
 		return fmt.Errorf("unknown heuristic %q (have %s)", heuristic, strings.Join(ra.Names(), ", "))
 	}
+	ra.SetWorkers(h, workers)
 	if rate <= 0 {
 		return fmt.Errorf("non-positive arrival rate %v", rate)
 	}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"cdsf/internal/experiments"
 	"cdsf/internal/report"
@@ -26,6 +27,7 @@ func main() {
 	sensitivity := flag.Bool("sensitivity", false, "emit the sensitivity/ablation studies instead of the paper tables")
 	scale := flag.Bool("scale", false, "run the future-work probabilistic scale study instead of the paper tables")
 	reps := flag.Int("reps", 20, "stage-II repetitions for the sensitivity studies")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the scale study (results are identical for any value)")
 	flag.Parse()
 
 	var err error
@@ -33,7 +35,7 @@ func main() {
 	case *sensitivity:
 		err = runSensitivity(*seed, *reps, *csv)
 	case *scale:
-		err = runScale(*seed, *csv)
+		err = runScale(*seed, *workers, *csv)
 	default:
 		err = run(*table, *figure, *seed, *csv)
 	}
@@ -43,8 +45,10 @@ func main() {
 	}
 }
 
-func runScale(seed uint64, csv bool) error {
-	t, err := experiments.RunScaleStudy(experiments.DefaultScaleConfig(seed))
+func runScale(seed uint64, workers int, csv bool) error {
+	cfg := experiments.DefaultScaleConfig(seed)
+	cfg.Workers = workers
+	t, err := experiments.RunScaleStudy(cfg)
 	if err != nil {
 		return err
 	}

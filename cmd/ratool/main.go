@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -40,9 +41,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "synthetic instance seed")
 	exhaustiveRef := flag.Bool("optimum", true, "also compute the exhaustive optimum for reference")
 	instance := flag.String("instance", "", "JSON instance file (overrides -apps and the paper instance)")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the parallel Stage-I engine (results are identical for any value)")
 	flag.Parse()
 
-	if err := run(*heuristic, *apps, *type1, *type2, *deadline, *seed, *exhaustiveRef, *instance); err != nil {
+	if err := run(*heuristic, *apps, *type1, *type2, *deadline, *seed, *exhaustiveRef, *instance, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "ratool:", err)
 		os.Exit(1)
 	}
@@ -81,7 +83,7 @@ func syntheticProblem(apps, type1, type2 int, deadline float64, seed uint64) *ra
 	return &ra.Problem{Sys: sys, Batch: b, Deadline: deadline}
 }
 
-func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64, optimum bool, instance string) error {
+func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64, optimum bool, instance string, workers int) error {
 	var prob *ra.Problem
 	switch {
 	case instance != "":
@@ -102,11 +104,17 @@ func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64
 		names = []string{heuristic}
 	}
 
+	// Build the evaluation table once up front; every heuristic below
+	// shares it.
+	if err := prob.Precompute(workers); err != nil {
+		return err
+	}
+
 	var optPhi float64
 	haveOpt := false
 	if optimum {
 		if n := sysmodel.CountAllocations(prob.Sys, prob.Batch); n <= 2_000_000 {
-			al, err := (ra.Exhaustive{}).Allocate(prob)
+			al, err := (&ra.Exhaustive{Workers: workers}).Allocate(prob)
 			if err == nil {
 				optPhi, _ = prob.Objective(al)
 				haveOpt = true
@@ -128,6 +136,7 @@ func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64
 		if !ok {
 			return fmt.Errorf("unknown heuristic %q (have %s)", name, strings.Join(ra.Names(), ", "))
 		}
+		ra.SetWorkers(h, workers)
 		t0 := time.Now()
 		al, err := h.Allocate(prob)
 		dt := time.Since(t0)

@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cdsf/internal/availability"
 	"cdsf/internal/core"
@@ -92,6 +95,11 @@ type ScaleConfig struct {
 	Reps int
 	// Seed drives instance generation and simulations.
 	Seed uint64
+	// Workers bounds the pool evaluating (size, quadrant, instance)
+	// cells concurrently; non-positive means runtime.NumCPU(). Every
+	// cell derives its randomness from Seed alone, so the study's output
+	// is identical for any worker count.
+	Workers int
 }
 
 // DefaultScaleConfig returns the configuration used by the repository's
@@ -136,22 +144,58 @@ func RunScaleStudy(cfg ScaleConfig) (*report.Table, error) {
 		fmt.Sprintf("Scale study: %d instances per size, runtime availability scaled to %.0f%%, deadline slack %.2f",
 			cfg.Instances, cfg.Scale*100, cfg.Slack),
 		"Size (apps x procs)", "Quadrant", "Mean phi1 (%)", "Batch met deadline (%)")
+	// Flatten every (size, quadrant, instance) cell into one job list
+	// and evaluate the cells across a worker pool. Each cell's seed is a
+	// pure function of the config, and each worker writes only its own
+	// result slot, so aggregation below sees identical inputs for any
+	// worker count.
+	type cell struct {
+		size [3]int
+		quad int
+		inst int
+	}
+	type cellResult struct {
+		phi float64
+		met bool
+		err error
+	}
+	var jobs []cell
+	for _, size := range cfg.Sizes {
+		for qi := range quadrants {
+			for k := 0; k < cfg.Instances; k++ {
+				jobs = append(jobs, cell{size: size, quad: qi, inst: k})
+			}
+		}
+	}
+	results := make([]cellResult, len(jobs))
+	forEachParallel(cfg.Workers, len(jobs), func(i int) {
+		j := jobs[i]
+		apps, t1, t2 := j.size[0], j.size[1], j.size[2]
+		seed := cfg.Seed ^ uint64(j.inst)<<16 ^ uint64(apps)<<40
+		prob, err := SyntheticInstance(seed, apps, t1, t2, cfg.Slack)
+		if err != nil {
+			results[i] = cellResult{err: err}
+			return
+		}
+		ok, phi, err := evalQuadrant(prob, quadrants[j.quad], cfg, seed)
+		results[i] = cellResult{phi: phi, met: ok, err: err}
+	})
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	// Aggregate sequentially in the original (size, quadrant) order.
+	i := 0
 	for _, size := range cfg.Sizes {
 		apps, t1, t2 := size[0], size[1], size[2]
 		for _, q := range quadrants {
 			sumPhi, met := 0.0, 0
 			for k := 0; k < cfg.Instances; k++ {
-				seed := cfg.Seed ^ uint64(k)<<16 ^ uint64(apps)<<40
-				prob, err := SyntheticInstance(seed, apps, t1, t2, cfg.Slack)
-				if err != nil {
-					return nil, err
-				}
-				ok, phi, err := evalQuadrant(prob, q, cfg, seed)
-				if err != nil {
-					return nil, err
-				}
-				sumPhi += phi
-				if ok {
+				r := results[i]
+				i++
+				sumPhi += r.phi
+				if r.met {
 					met++
 				}
 			}
@@ -163,6 +207,40 @@ func RunScaleStudy(cfg ScaleConfig) (*report.Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// forEachParallel runs fn(0..n-1) across a bounded worker pool (the
+// experiments-layer twin of ra's internal helper). workers <= 1 runs
+// inline; non-positive workers means runtime.NumCPU().
+func forEachParallel(workers, n int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // evalQuadrant runs one quadrant on one instance: Stage I allocation,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -86,5 +87,34 @@ func TestScaleStudySmoke(t *testing.T) {
 	rr := sumMet("robust IM + robust DLS")
 	if rr < nn {
 		t.Errorf("robust-robust met %v < naive-naive %v", rr, nn)
+	}
+}
+
+// TestScaleStudyDeterministicAcrossWorkers checks that the parallel
+// per-cell fan-out produces a byte-identical report for every worker
+// count: each cell's seed is a pure function of the config, and the
+// aggregation runs in the original order.
+func TestScaleStudyDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale study is slow")
+	}
+	cfg := DefaultScaleConfig(7)
+	cfg.Instances = 2
+	cfg.Sizes = [][3]int{{3, 4, 8}}
+	cfg.Reps = 3
+	cfg.Workers = 1
+	ref, err := RunScaleStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{3, runtime.NumCPU()} {
+		cfg.Workers = w
+		tbl, err := RunScaleStudy(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if tbl.String() != ref.String() {
+			t.Fatalf("workers=%d report differs from sequential:\n%s\n--- want ---\n%s", w, tbl, ref)
+		}
 	}
 }

@@ -1,0 +1,215 @@
+package pmf
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file implements the merge-based cross-combination kernel behind
+// Combine and the chained-combination helper CombineMany. The kernel is
+// the hot path of Stage I: every evaluation-table cell is a Div of an
+// execution-time PMF by an availability PMF, so the search engines call
+// it millions of times.
+
+// pulseScratch recycles the flat row buffer used by combineMerge. The
+// buffer holds the full n*m cross product while it is being merged and
+// is returned to the pool before the call ends, so steady-state
+// combinations allocate only the output slice.
+var pulseScratch = sync.Pool{
+	New: func() any { b := make([]Pulse, 0, 1024); return &b },
+}
+
+func getScratch(n int) *[]Pulse {
+	bp := pulseScratch.Get().(*[]Pulse)
+	if cap(*bp) < n {
+		*bp = make([]Pulse, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// rowHeap is a min-heap of row cursors ordered by the current head value
+// of each row, with the row index as a deterministic tie-break.
+type rowHeap struct {
+	flat []Pulse // n rows of m pulses each, each row ascending
+	m    int
+	rows []int // heap of row indices
+	pos  []int // pos[r] = cursor into row r
+}
+
+func (h *rowHeap) Len() int { return len(h.rows) }
+func (h *rowHeap) Less(i, j int) bool {
+	ri, rj := h.rows[i], h.rows[j]
+	vi := h.flat[ri*h.m+h.pos[ri]].Value
+	vj := h.flat[rj*h.m+h.pos[rj]].Value
+	if vi != vj {
+		return vi < vj
+	}
+	return ri < rj
+}
+func (h *rowHeap) Swap(i, j int) { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *rowHeap) Push(x any)    { h.rows = append(h.rows, x.(int)) }
+func (h *rowHeap) Pop() any {
+	old := h.rows
+	n := len(old)
+	x := old[n-1]
+	h.rows = old[:n-1]
+	return x
+}
+
+// combineMerge is the fast path of Combine: it lays the cross product
+// out as k sorted rows (k = the smaller of the two pulse counts, so the
+// merge degree is minimal), checks that every row is monotone, orients
+// each row ascending, and k-way-merges the rows so pulses are emitted in
+// globally sorted order. ok is false when a row is non-monotone or
+// contains a non-finite value, in which case the caller must use the
+// naive path (whose constructor reports the error).
+func combineMerge(p, q PMF, f func(x, y float64) float64) (PMF, bool) {
+	outer, inner := p.pulses, q.pulses
+	swapped := false
+	if len(outer) > len(inner) {
+		outer, inner = inner, outer
+		swapped = true
+	}
+	k, m := len(outer), len(inner)
+	if k == 0 {
+		return PMF{}, false
+	}
+	flatp := getScratch(k * m)
+	defer pulseScratch.Put(flatp)
+	flat := *flatp
+
+	total := 0.0
+	for i, a := range outer {
+		row := flat[i*m : (i+1)*m]
+		for j, b := range inner {
+			var v float64
+			if swapped {
+				v = f(b.Value, a.Value)
+			} else {
+				v = f(a.Value, b.Value)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return PMF{}, false
+			}
+			row[j] = Pulse{Value: v, Prob: a.Prob * b.Prob}
+			total += row[j].Prob
+		}
+		dir := 0 // -1 descending, +1 ascending
+		for j := 1; j < m; j++ {
+			switch {
+			case row[j].Value > row[j-1].Value:
+				if dir < 0 {
+					return PMF{}, false
+				}
+				dir = 1
+			case row[j].Value < row[j-1].Value:
+				if dir > 0 {
+					return PMF{}, false
+				}
+				dir = -1
+			}
+		}
+		if dir < 0 {
+			for l, r := 0, m-1; l < r; l, r = l+1, r-1 {
+				row[l], row[r] = row[r], row[l]
+			}
+		}
+	}
+	if total <= 0 {
+		return PMF{}, false
+	}
+
+	out := make([]Pulse, 0, k*m)
+	switch {
+	case k == 1:
+		out = append(out, flat...)
+	case k <= 6:
+		// Low merge degree (the common case: availability PMFs have a
+		// handful of pulses): a straight multi-cursor scan beats the
+		// interface-dispatched heap.
+		pos := make([]int, k)
+		for len(out) < k*m {
+			best := -1
+			var bestV float64
+			for r := 0; r < k; r++ {
+				if pos[r] == m {
+					continue
+				}
+				v := flat[r*m+pos[r]].Value
+				if best < 0 || v < bestV {
+					best, bestV = r, v
+				}
+			}
+			out = append(out, flat[best*m+pos[best]])
+			pos[best]++
+		}
+	default:
+		h := &rowHeap{flat: flat, m: m, rows: make([]int, k), pos: make([]int, k)}
+		for i := range h.rows {
+			h.rows[i] = i
+		}
+		heap.Init(h)
+		for h.Len() > 0 {
+			r := h.rows[0]
+			out = append(out, flat[r*m+h.pos[r]])
+			h.pos[r]++
+			if h.pos[r] == m {
+				heap.Pop(h)
+			} else {
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	pm, err := finishSorted(out, total)
+	if err != nil {
+		return PMF{}, false
+	}
+	return pm, true
+}
+
+// CombineOption configures CombineMany.
+type CombineOption func(*combineConfig)
+
+type combineConfig struct {
+	maxPulses int
+}
+
+// WithMaxPulses caps the pulse count of every intermediate (and the
+// final) PMF of a chained combination: after each pairwise Combine the
+// result is Compacted to at most n pulses. Without a cap, chaining k
+// combinations grows the support multiplicatively, which is the
+// quadratic blowup that makes long Add/Max chains intractable. It
+// panics if n < 1.
+func WithMaxPulses(n int) CombineOption {
+	if n < 1 {
+		panic(fmt.Sprintf("pmf: WithMaxPulses(%d)", n))
+	}
+	return func(c *combineConfig) { c.maxPulses = n }
+}
+
+// CombineMany folds Combine(·, ·, f) left to right over one or more
+// PMFs, applying the configured pulse cap between steps. It panics with
+// no PMFs.
+func CombineMany(f func(x, y float64) float64, ps []PMF, opts ...CombineOption) PMF {
+	if len(ps) == 0 {
+		panic("pmf: CombineMany of nothing")
+	}
+	var cfg combineConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	out := ps[0]
+	if cfg.maxPulses > 0 && out.Len() > cfg.maxPulses {
+		out = out.Compact(cfg.maxPulses)
+	}
+	for _, p := range ps[1:] {
+		out = Combine(out, p, f)
+		if cfg.maxPulses > 0 && out.Len() > cfg.maxPulses {
+			out = out.Compact(cfg.maxPulses)
+		}
+	}
+	return out
+}

@@ -35,6 +35,55 @@ func FuzzNew(f *testing.F) {
 	})
 }
 
+// FuzzCombineMerge checks that the merge-based Combine fast path is
+// pulse-for-pulse identical to the naive cross-product reference for
+// the monotone operators the scheduler uses, over arbitrary pulse
+// placements (including duplicate and near-equal values, which exercise
+// the constructor's merging).
+func FuzzCombineMerge(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0, 5.0, uint8(0))
+	f.Add(1.0, 1.0, 1.0, 2.0, 2.0, uint8(3))
+	f.Add(0.5, 100.0, 0.25, 7.0, 7.0000001, uint8(5))
+	f.Fuzz(func(t *testing.T, v1, v2, v3, w1, w2 float64, op uint8) {
+		for _, v := range []float64{v1, v2, v3, w1, w2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 || math.Abs(v) < 1e-100 {
+				return
+			}
+		}
+		ops := []func(x, y float64) float64{
+			func(x, y float64) float64 { return x + y },
+			func(x, y float64) float64 { return x - y },
+			math.Max,
+			math.Min,
+		}
+		fn := ops[int(op)%len(ops)]
+		p := MustNew([]Pulse{{Value: v1, Prob: 0.2}, {Value: v2, Prob: 0.3}, {Value: v3, Prob: 0.5}})
+		q := MustNew([]Pulse{{Value: w1, Prob: 0.6}, {Value: w2, Prob: 0.4}})
+		fast, ok := combineMerge(p, q, fn)
+		naive := naiveCombine(p, q, fn)
+		if !ok {
+			// Fast path declined (e.g. overflow to Inf); Combine must
+			// still agree with the reference via the fallback.
+			fast = Combine(p, q, fn)
+		}
+		if err := fast.Validate(); err != nil {
+			t.Fatalf("combined PMF invalid: %v", err)
+		}
+		if fast.Len() != naive.Len() {
+			t.Fatalf("pulse count %d, want %d\nfast  %v\nnaive %v", fast.Len(), naive.Len(), fast, naive)
+		}
+		for i := 0; i < fast.Len(); i++ {
+			g, w := fast.At(i), naive.At(i)
+			if math.Abs(g.Value-w.Value) > 1e-9*math.Max(1, math.Abs(w.Value)) {
+				t.Fatalf("pulse %d value %v, want %v", i, g.Value, w.Value)
+			}
+			if math.Abs(g.Prob-w.Prob) > 1e-9 {
+				t.Fatalf("pulse %d prob %v, want %v", i, g.Prob, w.Prob)
+			}
+		}
+	})
+}
+
 // FuzzRebin checks mass and mean preservation for arbitrary bin widths.
 func FuzzRebin(f *testing.F) {
 	f.Add(1.0)

@@ -37,6 +37,10 @@ type Pulse struct {
 // an empty, invalid PMF; construct with New, FromPairs, or a sampler.
 type PMF struct {
 	pulses []Pulse
+	// cdf caches the running sum of pulse probabilities (cdf[i] =
+	// P(X <= pulses[i].Value)) so PrLE and Quantile are binary searches
+	// instead of linear scans. Built once at construction; immutable.
+	cdf []float64
 }
 
 // probTol is the tolerance within which pulse probabilities must sum to 1.
@@ -70,6 +74,16 @@ func New(pulses []Pulse) (PMF, error) {
 		return PMF{}, fmt.Errorf("pmf: total probability mass is zero")
 	}
 	sort.Slice(ps, func(i, j int) bool { return ps[i].Value < ps[j].Value })
+	return finishSorted(ps, total)
+}
+
+// finishSorted completes construction from pulses already in ascending
+// value order: it merges close values, drops zero-probability pulses,
+// normalizes by total, and caches the running CDF. It takes ownership of
+// ps. This is the internal constructor shared by New and the merge-based
+// Combine fast path, which emits pulses in sorted order and therefore
+// skips the sort entirely.
+func finishSorted(ps []Pulse, total float64) (PMF, error) {
 	out := ps[:0]
 	for _, p := range ps {
 		if p.Prob == 0 {
@@ -84,10 +98,14 @@ func New(pulses []Pulse) (PMF, error) {
 	if len(out) == 0 {
 		return PMF{}, fmt.Errorf("pmf: all pulses have zero probability")
 	}
+	cdf := make([]float64, len(out))
+	s := 0.0
 	for i := range out {
 		out[i].Prob /= total
+		s += out[i].Prob
+		cdf[i] = s
 	}
-	return PMF{pulses: out}, nil
+	return PMF{pulses: out, cdf: cdf}, nil
 }
 
 // MustNew is New but panics on error; intended for literals in tests,
@@ -196,15 +214,14 @@ func (p PMF) Min() float64 { return p.pulses[0].Value }
 func (p PMF) Max() float64 { return p.pulses[len(p.pulses)-1].Value }
 
 // PrLE returns P(X <= x) — the paper's per-application deadline
-// probability when x is the system deadline.
+// probability when x is the system deadline. It is a binary search over
+// the cached running CDF, O(log n).
 func (p PMF) PrLE(x float64) float64 {
-	s := 0.0
-	for _, pl := range p.pulses {
-		if pl.Value > x {
-			break
-		}
-		s += pl.Prob
+	i := sort.Search(len(p.pulses), func(i int) bool { return p.pulses[i].Value > x })
+	if i == 0 {
+		return 0
 	}
+	s := p.cdf[i-1]
 	if s > 1 {
 		s = 1
 	}
@@ -215,17 +232,15 @@ func (p PMF) PrLE(x float64) float64 {
 func (p PMF) PrGT(x float64) float64 { return 1 - p.PrLE(x) }
 
 // Quantile returns the smallest support value v with P(X <= v) >= q.
-// It panics unless 0 < q <= 1.
+// It panics unless 0 < q <= 1. It is a binary search over the cached
+// running CDF, O(log n).
 func (p PMF) Quantile(q float64) float64 {
 	if q <= 0 || q > 1 {
 		panic(fmt.Sprintf("pmf: quantile probability %v out of (0,1]", q))
 	}
-	s := 0.0
-	for _, pl := range p.pulses {
-		s += pl.Prob
-		if s >= q-probTol {
-			return pl.Value
-		}
+	i := sort.Search(len(p.cdf), func(i int) bool { return p.cdf[i] >= q-probTol })
+	if i < len(p.pulses) {
+		return p.pulses[i].Value
 	}
 	return p.Max()
 }
@@ -256,7 +271,17 @@ func (p PMF) Shift(c float64) PMF {
 // Combine returns the PMF of f(X, Y) for independent X ~ p and Y ~ q,
 // formed by the cross product of pulses. This is the general operation
 // behind Add, Max, and Div.
+//
+// When f is monotone in y over q's support for every fixed pulse of p
+// (true for all the named operators on their valid inputs), the cross
+// product is generated as a k-way merge of pre-sorted rows, so the
+// result is built in sorted order and the O(nm log nm) sort inside New
+// is skipped. Operators that are not row-monotone fall back to the
+// naive cross product transparently; both paths produce the same PMF.
 func Combine(p, q PMF, f func(x, y float64) float64) PMF {
+	if out, ok := combineMerge(p, q, f); ok {
+		return out
+	}
 	ps := make([]Pulse, 0, len(p.pulses)*len(q.pulses))
 	for _, a := range p.pulses {
 		for _, b := range q.pulses {

@@ -12,7 +12,7 @@ import (
 
 func init() {
 	registerHeuristic("naive", func() Heuristic { return NaiveLoadBalance{} })
-	registerHeuristic("exhaustive", func() Heuristic { return Exhaustive{} })
+	registerHeuristic("exhaustive", func() Heuristic { return &Exhaustive{} })
 	registerHeuristic("greedy", func() Heuristic { return Greedy{} })
 	registerHeuristic("minmin", func() Heuristic { return MinMin{} })
 	registerHeuristic("maxmin", func() Heuristic { return MaxMin{} })
@@ -85,7 +85,16 @@ func (NaiveLoadBalance) Allocate(p *Problem) (sysmodel.Allocation, error) {
 // system makespan (max of E[T_i]), then by the smaller sum of expected
 // completion times, so the chosen allocation is also the most efficient
 // among the equally robust ones.
-type Exhaustive struct{}
+//
+// The enumeration is partitioned by the first application's assignment
+// across a worker pool; each partition is scanned in sequential order
+// and the partition winners are max-reduced in that same order, so the
+// result is bit-identical for every worker count.
+type Exhaustive struct {
+	// Workers bounds the search's worker pool; non-positive means
+	// runtime.NumCPU(). The result never depends on it.
+	Workers int
+}
 
 // Name returns "exhaustive".
 func (Exhaustive) Name() string { return "exhaustive" }
@@ -119,7 +128,7 @@ func (s score) better(o score) bool {
 	return s.sumExp < o.sumExp-1e-9
 }
 
-func (p *Problem) scoreOf(al sysmodel.Allocation) (score, error) {
+func (p *Problem) scoreOf(al sysmodel.Allocation) score {
 	s := score{phi: 1, defined: true}
 	for i := range p.Batch {
 		prob := p.appProb(i, al[i])
@@ -130,24 +139,53 @@ func (p *Problem) scoreOf(al sysmodel.Allocation) (score, error) {
 			s.maxExp = exp
 		}
 	}
-	return s, nil
+	return s
 }
 
-// Allocate implements Heuristic.
-func (Exhaustive) Allocate(p *Problem) (sysmodel.Allocation, error) {
+// Allocate implements Heuristic. The feasible space is partitioned by
+// the first application's assignment (in enumeration order); workers
+// scan partitions concurrently against the shared evaluation table, and
+// the per-partition winners are reduced in partition order with the
+// same first-wins tie-break the sequential scan uses.
+func (h Exhaustive) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := p.Precompute(h.Workers); err != nil {
+		return nil, err
+	}
+	// Partitions: every capacity-feasible assignment of application 0,
+	// in the order the sequential enumeration would try them.
+	var opts []sysmodel.Assignment
+	for j := range p.Sys.Types {
+		for _, c := range feasibleCounts(p.Sys.Types[j].Count) {
+			opts = append(opts, sysmodel.Assignment{Type: j, Procs: c})
+		}
+	}
+	type partBest struct {
+		al sysmodel.Allocation
+		s  score
+	}
+	results := make([]partBest, len(opts))
+	runParallel(h.Workers, len(opts), func(k int) {
+		var best sysmodel.Allocation
+		var bestScore score
+		sysmodel.EnumerateAllocationsFrom(p.Sys, p.Batch, sysmodel.Allocation{opts[k]}, func(al sysmodel.Allocation) bool {
+			if s := p.scoreOf(al); s.better(bestScore) {
+				bestScore = s
+				best = al.Clone()
+			}
+			return true
+		})
+		results[k] = partBest{al: best, s: bestScore}
+	})
 	var best sysmodel.Allocation
 	var bestScore score
-	sysmodel.EnumerateAllocations(p.Sys, p.Batch, func(al sysmodel.Allocation) bool {
-		s, err := p.scoreOf(al)
-		if err == nil && s.better(bestScore) {
-			bestScore = s
-			best = al.Clone()
+	for _, r := range results {
+		if r.al != nil && r.s.better(bestScore) {
+			best, bestScore = r.al, r.s
 		}
-		return true
-	})
+	}
 	if best == nil {
 		return nil, fmt.Errorf("ra: no feasible allocation")
 	}

@@ -15,12 +15,68 @@ import (
 // exhaustive search (power-of-2 counts, single type per application,
 // capacity limits) and share a repair operator that shrinks
 // oversubscribed allocations.
+//
+// Every randomized allocator supports independent restarts fanned out
+// across a worker pool. Each restart draws from its own rng stream,
+// split sequentially from the heuristic's seed before any worker
+// starts, and the restart results are merged in restart order — so for
+// a fixed seed the outcome is bit-identical for any worker count.
 
 func init() {
 	registerHeuristic("random", func() Heuristic { return &Random{Tries: 64, Seed: 1} })
 	registerHeuristic("anneal", func() Heuristic { return &SimulatedAnnealing{} })
 	registerHeuristic("genetic", func() Heuristic { return &GeneticAlgorithm{} })
 	registerHeuristic("tabu", func() Heuristic { return &TabuSearch{} })
+}
+
+// restartStreams derives n independent rng streams from seed. The
+// splits happen sequentially on the calling goroutine, so stream k is
+// the same function of (seed, k) no matter how many workers later
+// consume the streams.
+func restartStreams(seed uint64, n int) []*rng.Source {
+	parent := rng.New(seed)
+	out := make([]*rng.Source, n)
+	for i := range out {
+		out[i] = parent.Split()
+	}
+	return out
+}
+
+// restartResult is one restart's outcome.
+type restartResult struct {
+	al  sysmodel.Allocation
+	phi float64
+	err error
+}
+
+// runRestarts executes run once per stream across a worker pool and
+// merges the results in restart order: the first restart with a
+// strictly higher phi_1 wins. It returns the first error only when
+// every restart failed.
+func runRestarts(workers int, streams []*rng.Source, run func(r *rng.Source) (sysmodel.Allocation, float64, error)) (sysmodel.Allocation, error) {
+	results := make([]restartResult, len(streams))
+	runParallel(workers, len(streams), func(k int) {
+		al, phi, err := run(streams[k])
+		results[k] = restartResult{al: al, phi: phi, err: err}
+	})
+	var best sysmodel.Allocation
+	bestPhi := -1.0
+	var firstErr error
+	for _, r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		if r.phi > bestPhi {
+			best, bestPhi = r.al, r.phi
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
 }
 
 // randomAllocation draws a random feasible allocation by assigning
@@ -95,14 +151,18 @@ func repair(p *Problem, al sysmodel.Allocation) bool {
 	}
 }
 
-// Random draws Tries random feasible allocations and keeps the best —
-// the standard sanity baseline for the metaheuristics.
+// Random draws Tries random feasible allocations — each from its own
+// restart stream, concurrently — and keeps the best: the standard
+// sanity baseline for the metaheuristics.
 type Random struct {
 	// Tries is the number of random allocations evaluated; it must be
 	// positive.
 	Tries int
-	// Seed drives the draw.
+	// Seed drives the draws.
 	Seed uint64
+	// Workers bounds the worker pool; non-positive means
+	// runtime.NumCPU(). The result never depends on it.
+	Workers int
 }
 
 // Name returns "random".
@@ -116,24 +176,25 @@ func (h *Random) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if h.Tries <= 0 {
 		return nil, fmt.Errorf("ra: random heuristic with %d tries", h.Tries)
 	}
-	r := rng.New(h.Seed)
-	var best sysmodel.Allocation
-	bestPhi := -1.0
-	for t := 0; t < h.Tries; t++ {
-		al, ok := randomAllocation(p, r)
-		if !ok {
-			continue
-		}
-		phi, err := p.Objective(al)
-		if err == nil && phi > bestPhi {
-			bestPhi = phi
-			best = al.Clone()
-		}
+	if err := p.Precompute(h.Workers); err != nil {
+		return nil, err
 	}
-	if best == nil {
+	al, err := runRestarts(h.Workers, restartStreams(h.Seed, h.Tries),
+		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
+			al, ok := randomAllocation(p, r)
+			if !ok {
+				return nil, 0, fmt.Errorf("ra: infeasible instance")
+			}
+			phi, err := p.Objective(al)
+			if err != nil {
+				return nil, 0, err
+			}
+			return al, phi, nil
+		})
+	if err != nil {
 		return nil, fmt.Errorf("ra: random heuristic found no feasible allocation in %d tries", h.Tries)
 	}
-	return best, nil
+	return al, err
 }
 
 // neighbor perturbs one application's assignment: with equal probability
@@ -177,7 +238,8 @@ func largestPow2LE(n int) int {
 // SimulatedAnnealing optimizes phi_1 with a geometric cooling schedule
 // over the neighbor move set. Zero-valued fields take sensible defaults.
 type SimulatedAnnealing struct {
-	// Iterations is the number of proposed moves (default 2000).
+	// Iterations is the number of proposed moves per restart
+	// (default 2000).
 	Iterations int
 	// InitialTemp is the starting temperature in phi_1 units
 	// (default 0.2).
@@ -185,8 +247,14 @@ type SimulatedAnnealing struct {
 	// Cooling is the per-iteration temperature multiplier
 	// (default 0.998).
 	Cooling float64
-	// Seed drives the walk.
+	// Restarts is the number of independent annealing walks
+	// (default 1); the best result wins.
+	Restarts int
+	// Seed drives the walks.
 	Seed uint64
+	// Workers bounds the restart worker pool; non-positive means
+	// runtime.NumCPU(). The result never depends on it.
+	Workers int
 }
 
 // Name returns "anneal".
@@ -197,6 +265,21 @@ func (h *SimulatedAnnealing) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := p.Precompute(h.Workers); err != nil {
+		return nil, err
+	}
+	restarts := h.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	return runRestarts(h.Workers, restartStreams(h.Seed+0x5a5a, restarts),
+		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
+			return h.annealOnce(p, r)
+		})
+}
+
+// annealOnce runs one annealing walk on its own rng stream.
+func (h *SimulatedAnnealing) annealOnce(p *Problem, r *rng.Source) (sysmodel.Allocation, float64, error) {
 	iters := h.Iterations
 	if iters <= 0 {
 		iters = 2000
@@ -209,14 +292,13 @@ func (h *SimulatedAnnealing) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if cool <= 0 || cool >= 1 {
 		cool = 0.998
 	}
-	r := rng.New(h.Seed + 0x5a5a)
 	cur, ok := randomAllocation(p, r)
 	if !ok {
-		return nil, fmt.Errorf("ra: anneal could not build an initial allocation")
+		return nil, 0, fmt.Errorf("ra: anneal could not build an initial allocation")
 	}
 	curPhi, err := p.Objective(cur)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	best, bestPhi := cur.Clone(), curPhi
 	for k := 0; k < iters; k++ {
@@ -236,7 +318,7 @@ func (h *SimulatedAnnealing) Allocate(p *Problem) (sysmodel.Allocation, error) {
 		}
 		temp *= cool
 	}
-	return best, nil
+	return best, bestPhi, nil
 }
 
 // GeneticAlgorithm evolves a population of allocations with tournament
@@ -249,8 +331,14 @@ type GeneticAlgorithm struct {
 	Generations int
 	// MutationRate is the per-child mutation probability (default 0.3).
 	MutationRate float64
-	// Seed drives the evolution.
+	// Restarts is the number of independent evolutions (default 1); the
+	// best result wins.
+	Restarts int
+	// Seed drives the evolutions.
 	Seed uint64
+	// Workers bounds the restart worker pool; non-positive means
+	// runtime.NumCPU(). The result never depends on it.
+	Workers int
 }
 
 // Name returns "genetic".
@@ -261,6 +349,21 @@ func (h *GeneticAlgorithm) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := p.Precompute(h.Workers); err != nil {
+		return nil, err
+	}
+	restarts := h.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	return runRestarts(h.Workers, restartStreams(h.Seed+0x6e6e, restarts),
+		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
+			return h.evolveOnce(p, r)
+		})
+}
+
+// evolveOnce runs one evolution on its own rng stream.
+func (h *GeneticAlgorithm) evolveOnce(p *Problem, r *rng.Source) (sysmodel.Allocation, float64, error) {
 	pop := h.Population
 	if pop <= 0 {
 		pop = 32
@@ -273,8 +376,6 @@ func (h *GeneticAlgorithm) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if mut <= 0 {
 		mut = 0.3
 	}
-	r := rng.New(h.Seed + 0x6e6e)
-
 	type indiv struct {
 		al  sysmodel.Allocation
 		phi float64
@@ -335,22 +436,29 @@ func (h *GeneticAlgorithm) Allocate(p *Problem) (sysmodel.Allocation, error) {
 			best = in
 		}
 	}
-	return best.al, nil
+	return best.al, best.phi, nil
 }
 
 // TabuSearch is a best-improvement local search over the neighbor move
 // set with a fixed-length tabu list on visited allocations. Zero-valued
 // fields take defaults.
 type TabuSearch struct {
-	// Iterations is the number of search steps (default 400).
+	// Iterations is the number of search steps per restart
+	// (default 400).
 	Iterations int
 	// Tenure is the tabu list length (default 50).
 	Tenure int
 	// Candidates is the number of neighbors sampled per step
 	// (default 20).
 	Candidates int
+	// Restarts is the number of independent searches (default 1); the
+	// best result wins.
+	Restarts int
 	// Seed drives the sampling.
 	Seed uint64
+	// Workers bounds the restart worker pool; non-positive means
+	// runtime.NumCPU(). The result never depends on it.
+	Workers int
 }
 
 // Name returns "tabu".
@@ -361,6 +469,21 @@ func (h *TabuSearch) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := p.Precompute(h.Workers); err != nil {
+		return nil, err
+	}
+	restarts := h.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	return runRestarts(h.Workers, restartStreams(h.Seed+0x7a7a, restarts),
+		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
+			return h.searchOnce(p, r)
+		})
+}
+
+// searchOnce runs one tabu search on its own rng stream.
+func (h *TabuSearch) searchOnce(p *Problem, r *rng.Source) (sysmodel.Allocation, float64, error) {
 	iters := h.Iterations
 	if iters <= 0 {
 		iters = 400
@@ -373,14 +496,13 @@ func (h *TabuSearch) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if cands <= 0 {
 		cands = 20
 	}
-	r := rng.New(h.Seed + 0x7a7a)
 	cur, ok := randomAllocation(p, r)
 	if !ok {
-		return nil, fmt.Errorf("ra: tabu could not build an initial allocation")
+		return nil, 0, fmt.Errorf("ra: tabu could not build an initial allocation")
 	}
 	curPhi, err := p.Objective(cur)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	best, bestPhi := cur.Clone(), curPhi
 	tabu := map[string]bool{cur.String(): true}
@@ -424,5 +546,5 @@ func (h *TabuSearch) Allocate(p *Problem) (sysmodel.Allocation, error) {
 			best, bestPhi = cur.Clone(), curPhi
 		}
 	}
-	return best, nil
+	return best, bestPhi, nil
 }

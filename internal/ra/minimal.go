@@ -28,10 +28,14 @@ type MinimalRobust struct {
 	// (number of feasible allocations); larger instances use the greedy
 	// shrink. Default 200000.
 	EnumerationLimit int
+	// Workers bounds the worker pool used for the evaluation-table
+	// build and the portfolio seeding the greedy shrink; non-positive
+	// means runtime.NumCPU(). The result never depends on it.
+	Workers int
 }
 
 func init() {
-	registerHeuristic("minimal", func() Heuristic { return MinimalRobust{Target: 0.7} })
+	registerHeuristic("minimal", func() Heuristic { return &MinimalRobust{Target: 0.7} })
 }
 
 // Name returns "minimal".
@@ -44,6 +48,9 @@ func (m MinimalRobust) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	}
 	if m.Target <= 0 || m.Target > 1 {
 		return nil, fmt.Errorf("ra: minimal-robust target %v outside (0,1]", m.Target)
+	}
+	if err := p.Precompute(m.Workers); err != nil {
+		return nil, err
 	}
 	limit := m.EnumerationLimit
 	if limit <= 0 {
@@ -96,7 +103,7 @@ func (m MinimalRobust) exact(p *Problem) (sysmodel.Allocation, error) {
 // shrink starts from the portfolio's allocation and halves the largest
 // assignment that keeps the target satisfied until no halving fits.
 func (m MinimalRobust) shrink(p *Problem) (sysmodel.Allocation, error) {
-	al, err := Portfolio{}.Allocate(p)
+	al, err := Portfolio{Workers: m.Workers}.Allocate(p)
 	if err != nil {
 		return nil, err
 	}

@@ -8,18 +8,22 @@ import (
 
 // Portfolio runs several heuristics and keeps the allocation with the
 // highest phi_1 — the standard way to harden a production allocator
-// against any single heuristic's blind spots. Objective evaluations are
-// shared across members through the Problem's memo, so the portfolio
-// costs roughly the sum of its members' search time, not its
-// evaluations.
+// against any single heuristic's blind spots. Members run concurrently
+// across a worker pool and share the Problem's precomputed evaluation
+// table, so the portfolio costs roughly its slowest member's search
+// time, not the sum. Results are merged in member order (first member
+// wins phi_1 ties), so the outcome is identical for any worker count.
 type Portfolio struct {
 	// Members are the competing heuristics; empty uses the default
 	// portfolio (greedy, maxmin, duplex, twophase, anneal, genetic).
 	Members []Heuristic
+	// Workers bounds the member worker pool; non-positive means
+	// runtime.NumCPU(). The result never depends on it.
+	Workers int
 }
 
 func init() {
-	registerHeuristic("portfolio", func() Heuristic { return Portfolio{} })
+	registerHeuristic("portfolio", func() Heuristic { return &Portfolio{} })
 }
 
 // Name returns "portfolio".
@@ -41,27 +45,42 @@ func DefaultPortfolio() []Heuristic {
 // Allocate implements Heuristic: best member wins; members that fail
 // are skipped, and an error is returned only if every member fails.
 func (p Portfolio) Allocate(prob *Problem) (sysmodel.Allocation, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prob.Precompute(p.Workers); err != nil {
+		return nil, err
+	}
 	members := p.Members
 	if len(members) == 0 {
 		members = DefaultPortfolio()
 	}
+	type memberResult struct {
+		al  sysmodel.Allocation
+		phi float64
+		err error
+	}
+	results := make([]memberResult, len(members))
+	runParallel(p.Workers, len(members), func(i int) {
+		al, err := members[i].Allocate(prob)
+		if err != nil {
+			results[i] = memberResult{err: fmt.Errorf("ra: portfolio member %s: %w", members[i].Name(), err)}
+			return
+		}
+		phi, err := prob.Objective(al)
+		results[i] = memberResult{al: al, phi: phi, err: err}
+	})
 	var best sysmodel.Allocation
 	bestPhi := -1.0
 	var lastErr error
-	for _, h := range members {
-		al, err := h.Allocate(prob)
-		if err != nil {
-			lastErr = fmt.Errorf("ra: portfolio member %s: %w", h.Name(), err)
+	for _, r := range results {
+		if r.err != nil {
+			lastErr = r.err
 			continue
 		}
-		phi, err := prob.Objective(al)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if phi > bestPhi {
-			bestPhi = phi
-			best = al
+		if r.phi > bestPhi {
+			bestPhi = r.phi
+			best = r.al
 		}
 	}
 	if best == nil {

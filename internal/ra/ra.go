@@ -16,6 +16,14 @@
 // annealing / genetic / tabu metaheuristics), all optimizing the same
 // stochastic objective so they can be ablated against the exhaustive
 // optimum.
+//
+// The package is a parallel search engine: Problem.Precompute builds an
+// immutable evaluation table with a bounded worker pool, after which
+// every heuristic's inner loop is a lock-free array read and the
+// expensive searches (Exhaustive, Portfolio, the metaheuristic
+// restarts) fan out across workers. All parallel searches reduce
+// deterministically — for a fixed seed they return bit-identical
+// allocations and phi_1 values for any worker count, including 1.
 package ra
 
 import (
@@ -28,25 +36,30 @@ import (
 )
 
 // Problem is one Stage-I instance.
+//
+// Concurrency contract: a Problem is logically immutable once its
+// evaluation table exists. Call Precompute (directly, or implicitly via
+// any heuristic's Allocate or the first Objective evaluation) from a
+// single goroutine; from then on Sys, Batch, Deadline, and the table
+// must not be mutated, and the Problem may be shared freely — any
+// number of goroutines may call Objective, Allocate (of any heuristic),
+// and the other read paths concurrently. All heuristics in this package
+// precompute before fanning out their own workers, so the only way to
+// race is to hand an un-precomputed Problem to multiple goroutines
+// without calling Precompute first.
 type Problem struct {
 	Sys      *sysmodel.System
 	Batch    sysmodel.Batch
 	Deadline float64
 
-	// memo caches per-(application, assignment) evaluations. The search
+	// table is the eagerly built (application x type x log2(count))
+	// evaluation table; see Precompute in table.go. The search
 	// heuristics evaluate the same cell many times (the exhaustive
 	// search revisits each application/type/count triple across
 	// thousands of allocations), and a completion-PMF construction
-	// costs O(pulses) — memoization removes >90% of the Stage-I search
-	// cost. Lazily initialized; not safe for concurrent Allocate calls
-	// on the same Problem.
-	memo map[memoKey]memoVal
-}
-
-type memoKey struct {
-	app   int
-	typ   int
-	procs int
+	// costs O(pulses) — the dense table removes >90% of the Stage-I
+	// search cost and makes the inner loops lock-free O(1) array reads.
+	table *evalTable
 }
 
 type memoVal struct {
@@ -55,19 +68,27 @@ type memoVal struct {
 }
 
 // evalCell returns (Pr(T_i <= Delta), E[T_i]) for application i under
-// assignment as, memoized.
+// assignment as. Power-of-2 assignments within capacity — everything
+// the searches generate — are O(1) reads of the evaluation table;
+// anything else (e.g. a hand-written non-power-of-2 allocation passed
+// to Objective) is computed directly.
 func (p *Problem) evalCell(i int, as sysmodel.Assignment) memoVal {
-	key := memoKey{app: i, typ: as.Type, procs: as.Procs}
-	if v, ok := p.memo[key]; ok {
-		return v
+	t := p.table
+	if t == nil {
+		// Lazily build the table on the calling goroutine for Problems
+		// used without an explicit Precompute. An invalid instance
+		// cannot build a table; fall through to the direct computation,
+		// which panics or returns garbage exactly as eager evaluation
+		// would.
+		if err := p.Precompute(1); err != nil {
+			return p.computeCell(i, as)
+		}
+		t = p.table
 	}
-	c := p.Batch[i].CompletionPMF(as.Type, as.Procs, p.Sys.Types[as.Type].Avail)
-	v := memoVal{prob: c.PrLE(p.Deadline), expected: c.Mean()}
-	if p.memo == nil {
-		p.memo = make(map[memoKey]memoVal)
+	if k, ok := log2of(as.Procs); ok && k < t.logs && as.Type >= 0 && as.Type < t.types && i >= 0 && i < len(p.Batch) {
+		return t.cells[(i*t.types+as.Type)*t.logs+k]
 	}
-	p.memo[key] = v
-	return v
+	return p.computeCell(i, as)
 }
 
 // Validate checks the instance.
@@ -88,8 +109,9 @@ func (p *Problem) Validate() error {
 }
 
 // Objective returns phi_1 for an allocation; invalid allocations return
-// an error. Evaluations are memoized per (application, assignment) on
-// the Problem.
+// an error. Evaluations are O(1) reads of the precomputed evaluation
+// table, so Objective is safe for concurrent use once the Problem is
+// precomputed.
 func (p *Problem) Objective(al sysmodel.Allocation) (float64, error) {
 	if err := al.Validate(p.Sys, p.Batch); err != nil {
 		return 0, err
@@ -141,6 +163,34 @@ func Get(name string) (Heuristic, bool) {
 		return nil, false
 	}
 	return mk(), true
+}
+
+// SetWorkers configures the worker-pool bound on heuristics that search
+// in parallel (exhaustive, portfolio, random, and the metaheuristics),
+// returning true if h supports the knob. Worker count never changes a
+// heuristic's result, only its wall-clock time; non-positive values
+// mean runtime.NumCPU(). It is how the CLIs thread their -workers flag
+// through to registry-constructed heuristics.
+func SetWorkers(h Heuristic, workers int) bool {
+	switch v := h.(type) {
+	case *Exhaustive:
+		v.Workers = workers
+	case *Portfolio:
+		v.Workers = workers
+	case *Random:
+		v.Workers = workers
+	case *SimulatedAnnealing:
+		v.Workers = workers
+	case *GeneticAlgorithm:
+		v.Workers = workers
+	case *TabuSearch:
+		v.Workers = workers
+	case *MinimalRobust:
+		v.Workers = workers
+	default:
+		return false
+	}
+	return true
 }
 
 // Names returns the registered heuristic names, sorted.

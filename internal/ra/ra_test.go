@@ -283,10 +283,7 @@ func TestObjectiveMatchesScorePhi(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := p.scoreOf(al)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := p.scoreOf(al)
 	if math.Abs(phi-s.phi) > 1e-12 {
 		t.Errorf("Objective %v != scoreOf.phi %v", phi, s.phi)
 	}

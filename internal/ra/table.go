@@ -1,0 +1,140 @@
+package ra
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cdsf/internal/sysmodel"
+)
+
+// This file implements the Stage-I evaluation table: the dense,
+// immutable (application x type x log2(count)) array of
+// (Pr(T_i <= Delta), E[T_i]) cells that every search heuristic reads
+// instead of recomputing completion PMFs. Building the table up front
+// turns the inner loops of the searches into lock-free O(1) array reads
+// and is what makes a Problem safe to share across goroutines.
+
+// evalTable is the precomputed evaluation table. Cells are indexed by
+// (app*types + type)*logs + log2(procs); slots whose power-of-2 count
+// exceeds the type's capacity are never read. The table is immutable
+// after construction.
+type evalTable struct {
+	types int
+	logs  int // power-of-2 count slots per (app, type): log2(maxCount)+1
+	cells []memoVal
+}
+
+// log2of returns (log2(n), true) when n is a positive power of two.
+func log2of(n int) (int, bool) {
+	if n < 1 || n&(n-1) != 0 {
+		return 0, false
+	}
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k, true
+}
+
+// normWorkers resolves a worker-count knob: non-positive means
+// runtime.NumCPU().
+func normWorkers(w int) int {
+	if w <= 0 {
+		return runtime.NumCPU()
+	}
+	return w
+}
+
+// Precompute eagerly builds the evaluation table with a bounded worker
+// pool (workers <= 0 means runtime.NumCPU()). It validates the instance
+// first and is idempotent: the first successful call builds the table,
+// later calls return immediately. Cell values are independent of the
+// worker count, so precomputed Problems behave identically however many
+// workers built them.
+//
+// Precompute itself must not be called concurrently with other methods
+// of an un-precomputed Problem; every Allocate implementation in this
+// package calls it before fanning out, so plain sequential construction
+// followed by concurrent use is always safe.
+func (p *Problem) Precompute(workers int) error {
+	if p.table != nil {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	maxCount := 0
+	for _, t := range p.Sys.Types {
+		if t.Count > maxCount {
+			maxCount = t.Count
+		}
+	}
+	logs := 1
+	for 1<<logs <= maxCount {
+		logs++
+	}
+	t := &evalTable{
+		types: len(p.Sys.Types),
+		logs:  logs,
+		cells: make([]memoVal, len(p.Batch)*len(p.Sys.Types)*logs),
+	}
+	// One job per feasible cell: count 1<<k must not exceed the type's
+	// capacity.
+	type job struct{ i, j, k int }
+	jobs := make([]job, 0, len(t.cells))
+	for i := range p.Batch {
+		for j, pt := range p.Sys.Types {
+			for k := 0; 1<<k <= pt.Count; k++ {
+				jobs = append(jobs, job{i, j, k})
+			}
+		}
+	}
+	runParallel(workers, len(jobs), func(n int) {
+		jb := jobs[n]
+		as := sysmodel.Assignment{Type: jb.j, Procs: 1 << jb.k}
+		t.cells[(jb.i*t.types+jb.j)*t.logs+jb.k] = p.computeCell(jb.i, as)
+	})
+	p.table = t
+	return nil
+}
+
+// computeCell evaluates one (application, assignment) cell from scratch.
+func (p *Problem) computeCell(i int, as sysmodel.Assignment) memoVal {
+	c := p.Batch[i].CompletionPMF(as.Type, as.Procs, p.Sys.Types[as.Type].Avail)
+	return memoVal{prob: c.PrLE(p.Deadline), expected: c.Mean()}
+}
+
+// runParallel executes fn(0..n-1) across a bounded worker pool. With
+// workers <= 1 (or n <= 1) it degenerates to a plain sequential loop.
+// Tasks are claimed from an atomic counter, so every task runs exactly
+// once; fn must write only to its own task's slot of any shared output.
+func runParallel(workers, n int, fn func(int)) {
+	workers = normWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			fn(k)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				fn(k)
+			}
+		}()
+	}
+	wg.Wait()
+}

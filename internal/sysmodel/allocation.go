@@ -105,10 +105,33 @@ func PowerOfTwoCounts(max int) []int {
 // allocations grows exponentially with the batch size, so this is only
 // for small instances and for validating heuristics.
 func EnumerateAllocations(sys *System, batch Batch, visit func(Allocation) bool) {
+	EnumerateAllocationsFrom(sys, batch, nil, visit)
+}
+
+// EnumerateAllocationsFrom enumerates the feasible completions of a
+// fixed assignment prefix: applications 0..len(prefix)-1 keep their
+// prefix assignments (whose processors are deducted from the
+// capacities), and the remaining applications are enumerated exactly as
+// EnumerateAllocations would. Visit order matches the corresponding
+// subsequence of the full enumeration, which is what lets a parallel
+// search partition the space by prefix and still reduce in the
+// sequential tie-break order. A nil or empty prefix enumerates
+// everything. It panics if the prefix is longer than the batch.
+func EnumerateAllocationsFrom(sys *System, batch Batch, prefix Allocation, visit func(Allocation) bool) {
+	if len(prefix) > len(batch) {
+		panic(fmt.Sprintf("sysmodel: prefix of %d assignments for %d applications", len(prefix), len(batch)))
+	}
 	al := make(Allocation, len(batch))
+	copy(al, prefix)
 	remaining := make([]int, len(sys.Types))
 	for j, t := range sys.Types {
 		remaining[j] = t.Count
+	}
+	for _, as := range prefix {
+		remaining[as.Type] -= as.Procs
+		if remaining[as.Type] < 0 {
+			return // infeasible prefix: nothing to enumerate
+		}
 	}
 	var rec func(i int) bool
 	rec = func(i int) bool {
@@ -128,7 +151,7 @@ func EnumerateAllocations(sys *System, batch Batch, visit func(Allocation) bool)
 		}
 		return true
 	}
-	rec(0)
+	rec(len(prefix))
 }
 
 // CountAllocations returns the number of feasible allocations
