@@ -1,6 +1,8 @@
 # Standard development targets for the CDSF reproduction.
 #
+#   make check   default: build + vet + test + race in one gate
 #   make build   compile every package and command
+#   make vet     run go vet across the module
 #   make test    run the full test suite
 #   make race    run the concurrency-sensitive packages under the race
 #                detector (the parallel Stage-I engine's gate)
@@ -9,16 +11,21 @@
 
 GO ?= go
 
-.PHONY: build test race bench fuzz
+.PHONY: check build vet test race bench fuzz
+
+check: build vet test race
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test: build
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ra ./internal/pmf ./internal/experiments ./internal/sim
+	$(GO) test -race ./internal/ra ./internal/pmf ./internal/experiments ./internal/sim ./internal/metrics ./internal/availability
 
 bench:
 	$(GO) test -bench=. -benchmem .

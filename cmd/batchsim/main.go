@@ -21,6 +21,8 @@ import (
 	"cdsf/internal/core"
 	"cdsf/internal/dls"
 	"cdsf/internal/experiments"
+	"cdsf/internal/metrics"
+	"cdsf/internal/pmf"
 	"cdsf/internal/ra"
 	"cdsf/internal/report"
 	"cdsf/internal/stats"
@@ -37,16 +39,28 @@ func main() {
 	reps := flag.Int("reps", 10, "sim-executor repetitions per application")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the Stage-I heuristic (results are identical for any value)")
+	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
 	flag.Parse()
 
-	if err := run(*jobs, *rate, *heuristic, *deadline, *maxBatch, *executor, *tech, *reps, *seed, *workers); err != nil {
+	if err := run(*jobs, *rate, *heuristic, *deadline, *maxBatch, *executor, *tech, *reps, *seed, *workers, *metricsDest); err != nil {
 		fmt.Fprintln(os.Stderr, "batchsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(jobs int, rate float64, heuristic string, deadline float64, maxBatch int,
-	executor, tech string, reps int, seed uint64, workers int) error {
+	executor, tech string, reps int, seed uint64, workers int, metricsDest string) error {
+
+	var reg *metrics.Registry
+	if metricsDest != "" {
+		reg = metrics.NewRegistry()
+		metrics.SetDefault(reg)
+		pmf.SetMetrics(reg)
+		defer func() {
+			pmf.SetMetrics(nil)
+			metrics.SetDefault(nil)
+		}()
+	}
 
 	h, ok := ra.Get(heuristic)
 	if !ok {
@@ -79,6 +93,7 @@ func run(jobs int, rate float64, heuristic string, deadline float64, maxBatch in
 		}
 		simCfg := core.DefaultStageII(deadline, seed)
 		simCfg.Reps = reps
+		simCfg.Metrics = reg
 		cfg.Executor = core.SimExecutor{Technique: dt, Config: simCfg}
 	default:
 		return fmt.Errorf("unknown executor %q (want expected or sim)", executor)
@@ -107,5 +122,5 @@ func run(jobs int, rate float64, heuristic string, deadline float64, maxBatch in
 	fmt.Printf("\njobs %d  batches %d  mean batch size %.2f  mean wait %.0f  deadline rate %.0f%%  total %.0f\n",
 		len(res.Jobs), len(res.Batches), res.MeanBatchSize, res.MeanWait,
 		res.DeadlineRate*100, res.MakespanTotal)
-	return nil
+	return metrics.WriteTo(reg, metricsDest)
 }

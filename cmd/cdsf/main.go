@@ -23,6 +23,7 @@ import (
 	"cdsf/internal/core"
 	"cdsf/internal/dls"
 	"cdsf/internal/experiments"
+	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
 	"cdsf/internal/ra"
 	"cdsf/internal/report"
@@ -35,9 +36,10 @@ func main() {
 	reps := flag.Int("reps", 0, "stage-II repetitions (0: default)")
 	seed := flag.Uint64("seed", 42, "stage-II seed")
 	instance := flag.String("instance", "", "JSON instance file (default: the embedded paper example)")
+	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
 	flag.Parse()
 
-	if err := run(*scenario, *im, *ras, *reps, *seed, *instance); err != nil {
+	if err := run(*scenario, *im, *ras, *reps, *seed, *instance, *metricsDest); err != nil {
 		fmt.Fprintln(os.Stderr, "cdsf:", err)
 		os.Exit(1)
 	}
@@ -75,7 +77,17 @@ func buildScenario(scenario int, im, ras string) (core.Scenario, error) {
 	return sc, nil
 }
 
-func run(scenario int, im, ras string, reps int, seed uint64, instance string) error {
+func run(scenario int, im, ras string, reps int, seed uint64, instance, metricsDest string) error {
+	var reg *metrics.Registry
+	if metricsDest != "" {
+		reg = metrics.NewRegistry()
+		metrics.SetDefault(reg)
+		pmf.SetMetrics(reg)
+		defer func() {
+			pmf.SetMetrics(nil)
+			metrics.SetDefault(nil)
+		}()
+	}
 	var f *core.Framework
 	var cases []core.Case
 	if instance == "" {
@@ -112,6 +124,7 @@ func run(scenario int, im, ras string, reps int, seed uint64, instance string) e
 		}
 	}
 	cfg := core.DefaultStageII(f.Deadline, seed)
+	cfg.Metrics = reg
 	if reps > 0 {
 		cfg.Reps = reps
 	}
@@ -171,5 +184,5 @@ func run(scenario int, im, ras string, reps int, seed uint64, instance string) e
 
 	tuple := core.SystemRobustness(res)
 	fmt.Printf("System robustness (rho1, rho2) = %s\n", tuple)
-	return nil
+	return metrics.WriteTo(reg, metricsDest)
 }

@@ -21,6 +21,7 @@ import (
 
 	"cdsf/internal/availability"
 	"cdsf/internal/dls"
+	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
 	"cdsf/internal/report"
 	"cdsf/internal/sim"
@@ -49,10 +50,11 @@ func main() {
 	chunksOut := flag.String("chunks", "", "write one run's chunk log per technique to this CSV file prefix")
 	hist := flag.Bool("hist", false, "render an ASCII histogram of each technique's makespan sample")
 	schedule := flag.Bool("schedule", false, "print each technique's idealized dispatch schedule statistics")
+	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
 	flag.Parse()
 
 	if err := run(*iters, *serial, *workers, *mean, *cv, *dist, *profile, *availSpec, *model,
-		*interval, *persistence, *techs, *overhead, *reps, *seed, *deadline, *gantt, *chunksOut, *hist, *schedule); err != nil {
+		*interval, *persistence, *techs, *overhead, *reps, *seed, *deadline, *gantt, *chunksOut, *hist, *schedule, *metricsDest); err != nil {
 		fmt.Fprintln(os.Stderr, "dlssim:", err)
 		os.Exit(1)
 	}
@@ -80,7 +82,18 @@ func parseAvail(spec string) (pmf.PMF, error) {
 
 func run(iters, serial, workers int, mean, cv float64, distName, profileName, availSpec, model string,
 	interval, persistence float64, techs string, overhead float64, reps int,
-	seed uint64, deadline float64, gantt bool, chunksOut string, hist, schedule bool) error {
+	seed uint64, deadline float64, gantt bool, chunksOut string, hist, schedule bool, metricsDest string) error {
+
+	var reg *metrics.Registry
+	if metricsDest != "" {
+		reg = metrics.NewRegistry()
+		metrics.SetDefault(reg)
+		pmf.SetMetrics(reg)
+		defer func() {
+			pmf.SetMetrics(nil)
+			metrics.SetDefault(nil)
+		}()
+	}
 
 	iterDist, err := buildDist(distName, mean, cv)
 	if err != nil {
@@ -163,6 +176,7 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 			BestMaster:       true,
 			Overhead:         overhead,
 			Seed:             seed,
+			Metrics:          reg,
 		}
 		s, err := sim.RunMany(cfg, reps)
 		if err != nil {
@@ -195,7 +209,9 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 			return err
 		}
 	}
-	if !gantt && chunksOut == "" {
+	// The chunk-level pass also runs when metrics are requested, so the
+	// per-worker trace summaries land in the -metrics output.
+	if !gantt && chunksOut == "" && reg == nil {
 		return nil
 	}
 	for _, tech := range techniques {
@@ -212,6 +228,7 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 			Overhead:         overhead,
 			Seed:             seed,
 			CollectChunks:    true,
+			Metrics:          reg,
 		}
 		r, err := sim.Run(cfg)
 		if err != nil {
@@ -232,12 +249,16 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 			}
 			fmt.Printf("wrote %s\n", path)
 		}
-		if !gantt {
+		if !gantt && reg == nil {
 			continue
 		}
 		a, err := trace.Analyze(r.Chunks, workers, overhead)
 		if err != nil {
 			return err
+		}
+		a.Record(reg, "trace."+strings.ToLower(tech.Name))
+		if !gantt {
+			continue
 		}
 		g := report.NewGantt(fmt.Sprintf("\n%s: one run, makespan %.1f, %d chunks, mean chunk %.1f, busy efficiency %.0f%%",
 			tech.Name, r.Makespan, r.NumChunks, a.MeanChunkSize, a.BusyEfficiency*100), workers)
@@ -248,7 +269,7 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 			return err
 		}
 	}
-	return nil
+	return metrics.WriteTo(reg, metricsDest)
 }
 
 // buildDist constructs the iteration-time distribution from its family

@@ -16,6 +16,8 @@ import (
 	"runtime"
 
 	"cdsf/internal/experiments"
+	"cdsf/internal/metrics"
+	"cdsf/internal/pmf"
 	"cdsf/internal/report"
 )
 
@@ -28,7 +30,23 @@ func main() {
 	scale := flag.Bool("scale", false, "run the future-work probabilistic scale study instead of the paper tables")
 	reps := flag.Int("reps", 20, "stage-II repetitions for the sensitivity studies")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the scale study (results are identical for any value)")
+	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
 	flag.Parse()
+
+	// expgen drives everything through internal/experiments, which
+	// builds its own configs; the process-wide default registry routes
+	// their instrumentation here without threading a parameter through
+	// every generator.
+	var reg *metrics.Registry
+	if *metricsDest != "" {
+		reg = metrics.NewRegistry()
+		metrics.SetDefault(reg)
+		pmf.SetMetrics(reg)
+		defer func() {
+			pmf.SetMetrics(nil)
+			metrics.SetDefault(nil)
+		}()
+	}
 
 	var err error
 	switch {
@@ -38,6 +56,9 @@ func main() {
 		err = runScale(*seed, *workers, *csv)
 	default:
 		err = run(*table, *figure, *seed, *csv)
+	}
+	if err == nil {
+		err = metrics.WriteTo(reg, *metricsDest)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "expgen:", err)

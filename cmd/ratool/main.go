@@ -23,6 +23,7 @@ import (
 
 	"cdsf/internal/config"
 	"cdsf/internal/experiments"
+	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
 	"cdsf/internal/ra"
 	"cdsf/internal/report"
@@ -42,9 +43,10 @@ func main() {
 	exhaustiveRef := flag.Bool("optimum", true, "also compute the exhaustive optimum for reference")
 	instance := flag.String("instance", "", "JSON instance file (overrides -apps and the paper instance)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the parallel Stage-I engine (results are identical for any value)")
+	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
 	flag.Parse()
 
-	if err := run(*heuristic, *apps, *type1, *type2, *deadline, *seed, *exhaustiveRef, *instance, *workers); err != nil {
+	if err := run(*heuristic, *apps, *type1, *type2, *deadline, *seed, *exhaustiveRef, *instance, *workers, *metricsDest); err != nil {
 		fmt.Fprintln(os.Stderr, "ratool:", err)
 		os.Exit(1)
 	}
@@ -83,7 +85,17 @@ func syntheticProblem(apps, type1, type2 int, deadline float64, seed uint64) *ra
 	return &ra.Problem{Sys: sys, Batch: b, Deadline: deadline}
 }
 
-func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64, optimum bool, instance string, workers int) error {
+func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64, optimum bool, instance string, workers int, metricsDest string) error {
+	var reg *metrics.Registry
+	if metricsDest != "" {
+		reg = metrics.NewRegistry()
+		metrics.SetDefault(reg)
+		pmf.SetMetrics(reg)
+		defer func() {
+			pmf.SetMetrics(nil)
+			metrics.SetDefault(nil)
+		}()
+	}
 	var prob *ra.Problem
 	switch {
 	case instance != "":
@@ -98,6 +110,8 @@ func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64
 		f := experiments.Framework()
 		prob = &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: deadline}
 	}
+
+	prob.Metrics = reg
 
 	names := ra.Names()
 	if heuristic != "" {
@@ -166,5 +180,8 @@ func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64
 		}
 		tbl.AddRow(row...)
 	}
-	return tbl.Render(os.Stdout)
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	return metrics.WriteTo(reg, metricsDest)
 }

@@ -91,8 +91,12 @@ func (m *SharedLoad) Name() string {
 // ResetGroup discards the shared chain so the next NewProcess starts a
 // fresh one. The simulator calls this at the start of every run, which
 // keeps repetitions independent while processes within one run stay
-// correlated. SharedLoad is therefore not safe for concurrent runs.
+// correlated. SharedLoad is therefore not safe for concurrent runs —
+// it implements GroupScoped, and sim.RunMany detects that (through any
+// Wrapper chain) and executes its repetitions sequentially.
 func (m *SharedLoad) ResetGroup() { m.shared = nil }
+
+var _ GroupScoped = (*SharedLoad)(nil)
 
 type sharedProcess struct {
 	shared   *markovProcess

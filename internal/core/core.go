@@ -17,9 +17,12 @@ package core
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"cdsf/internal/availability"
 	"cdsf/internal/dls"
+	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
 	"cdsf/internal/ra"
 	"cdsf/internal/robustness"
@@ -83,6 +86,19 @@ type StageIIConfig struct {
 	TimeSteps int
 	// Seed drives all Stage-II randomness.
 	Seed uint64
+	// Metrics optionally receives end-to-end instrumentation: it is
+	// threaded into the Stage-I ra.Problem and every Stage-II
+	// sim.Config, and RunScenario adds per-scenario wall time and
+	// repetition counts. Nil falls back to metrics.Default().
+	Metrics *metrics.Registry
+}
+
+// registry resolves the effective metrics registry for this config.
+func (c *StageIIConfig) registry() *metrics.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return metrics.Default()
 }
 
 // DefaultStageII returns the configuration used by the paper
@@ -207,7 +223,12 @@ func (f *Framework) RunScenario(sc Scenario, cases []Case, cfg StageIIConfig) (*
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	alloc, err := sc.IM.Allocate(&ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline})
+	reg := cfg.registry()
+	var t0 time.Time
+	if reg != nil {
+		t0 = time.Now()
+	}
+	alloc, err := sc.IM.Allocate(&ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, fmt.Errorf("core: stage I (%s): %w", sc.IM.Name(), err)
 	}
@@ -223,7 +244,36 @@ func (f *Framework) RunScenario(sc Scenario, cases []Case, cfg StageIIConfig) (*
 		}
 		res.Cases = append(res.Cases, *cr)
 	}
+	if reg != nil {
+		name := metricName(sc.Name)
+		reg.Counter("core.scenarios").Inc()
+		reg.Timer("core.scenario_wall." + name).Observe(time.Since(t0))
+		// One RunMany per (application, technique, case) at cfg.Reps
+		// repetitions each.
+		cells := len(f.Batch) * len(cases) * len(sc.RAS)
+		reg.Counter("core.stage2_reps." + name).Add(int64(cells * cfg.Reps))
+	}
 	return res, nil
+}
+
+// metricName sanitizes a scenario name into a metric-name suffix:
+// lower case, spaces and punctuation collapsed to single underscores.
+func metricName(s string) string {
+	var b strings.Builder
+	lastUnderscore := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastUnderscore = false
+		default:
+			if !lastUnderscore {
+				b.WriteByte('_')
+				lastUnderscore = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "_")
 }
 
 func (f *Framework) runCase(alloc sysmodel.Allocation, ras []dls.Technique, c Case, cfg StageIIConfig, caseSalt uint64) (*CaseResult, error) {
@@ -293,6 +343,7 @@ func (f *Framework) simulateApp(app *sysmodel.Application, as sysmodel.Assignmen
 		Seed:          seed,
 		BestMaster:    cfg.BestMaster,
 		TimeSteps:     cfg.TimeSteps,
+		Metrics:       cfg.Metrics,
 	}
 	if cfg.WeightsFromAvail {
 		c.WeightsFromAvail = true

@@ -151,6 +151,9 @@ func (p PMF) Compact(maxPulses int) PMF {
 	if len(p.pulses) <= maxPulses {
 		return p
 	}
+	if in := instrPtr.Load(); in != nil {
+		in.truncated.Inc()
+	}
 	span := p.Max() - p.Min()
 	if span == 0 {
 		return p

@@ -77,7 +77,7 @@ func TestCombineMergeMatchesNaive(t *testing.T) {
 // non-monotone rows is routed to the naive path and still yields the
 // correct distribution.
 func TestCombineFallbackNonMonotone(t *testing.T) {
-	f := func(x, y float64) float64 { return math.Abs(x-y) } // V-shaped rows
+	f := func(x, y float64) float64 { return math.Abs(x - y) } // V-shaped rows
 	p := MustNew([]Pulse{{1, 0.5}, {3, 0.5}})
 	q := MustNew([]Pulse{{2, 0.25}, {3, 0.25}, {5, 0.5}})
 	if _, ok := combineMerge(p, q, f); ok {

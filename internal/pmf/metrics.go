@@ -1,0 +1,39 @@
+package pmf
+
+import (
+	"sync/atomic"
+
+	"cdsf/internal/metrics"
+)
+
+// Combine and Compact are free functions with no receiver or config
+// struct to hang a registry on, so the package holds one process-wide
+// instrumentation set, installed atomically by the CLIs next to
+// metrics.SetDefault. The counters record how often the merge fast
+// path of Combine applies versus the naive cross-product fallback, and
+// how often Compact actually truncates a PMF to the pulse cap — the
+// two knobs that dominate Stage-I PMF cost and accuracy.
+
+type pmfInstr struct {
+	fast      *metrics.Counter // pmf.combine_fast: merge-path Combines
+	fallback  *metrics.Counter // pmf.combine_fallback: naive cross products
+	truncated *metrics.Counter // pmf.compact_truncations: lossy Compacts
+}
+
+var instrPtr atomic.Pointer[pmfInstr]
+
+// SetMetrics installs reg as the destination of the package's
+// operation counters; nil disables them (the default). Safe to call
+// concurrently with PMF operations, though CLIs install it once at
+// startup. Counting never changes any computed PMF.
+func SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		instrPtr.Store(nil)
+		return
+	}
+	instrPtr.Store(&pmfInstr{
+		fast:      reg.Counter("pmf.combine_fast"),
+		fallback:  reg.Counter("pmf.combine_fallback"),
+		truncated: reg.Counter("pmf.compact_truncations"),
+	})
+}

@@ -1,0 +1,69 @@
+package pmf
+
+import (
+	"testing"
+
+	"cdsf/internal/metrics"
+)
+
+// TestSetMetricsCountsPaths verifies the package counters distinguish
+// the Combine merge fast path from the naive fallback and record
+// Compact truncations, and that counting leaves results untouched.
+func TestSetMetricsCountsPaths(t *testing.T) {
+	a := MustNew([]Pulse{{Value: 1, Prob: 0.5}, {Value: 2, Prob: 0.5}})
+	b := MustNew([]Pulse{{Value: 3, Prob: 0.25}, {Value: 4, Prob: 0.5}, {Value: 5, Prob: 0.25}})
+
+	plain := Add(a, b)
+
+	reg := metrics.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	counted := Add(a, b)
+	if got := reg.Counter("pmf.combine_fast").Value(); got != 1 {
+		t.Errorf("combine_fast = %d, want 1 (Add is row-monotone)", got)
+	}
+	if got := reg.Counter("pmf.combine_fallback").Value(); got != 0 {
+		t.Errorf("combine_fallback = %d, want 0", got)
+	}
+	if len(plain.Pulses()) != len(counted.Pulses()) {
+		t.Fatal("metrics changed the combined PMF")
+	}
+	for i, pl := range plain.Pulses() {
+		if counted.Pulses()[i] != pl {
+			t.Fatalf("pulse %d changed: %v vs %v", i, counted.Pulses()[i], pl)
+		}
+	}
+
+	// An operator that is non-monotone in y over a 3-pulse row (the
+	// row reads 1, 0, 1) forces the naive cross-product fallback.
+	Combine(a, b, func(x, y float64) float64 { return x + (y-4)*(y-4) })
+	if got := reg.Counter("pmf.combine_fallback").Value(); got != 1 {
+		t.Errorf("combine_fallback = %d, want 1", got)
+	}
+	if got := reg.Counter("pmf.combine_fast").Value(); got != 1 {
+		t.Errorf("combine_fast = %d after fallback, want 1", got)
+	}
+
+	// Compact below the current pulse count truncates; at or above it
+	// does not.
+	n := plain.Len()
+	if n < 3 {
+		t.Fatalf("need a wide PMF, got %d pulses", n)
+	}
+	plain.Compact(n) // no-op
+	if got := reg.Counter("pmf.compact_truncations").Value(); got != 0 {
+		t.Errorf("no-op Compact counted: %d", got)
+	}
+	plain.Compact(2)
+	if got := reg.Counter("pmf.compact_truncations").Value(); got != 1 {
+		t.Errorf("compact_truncations = %d, want 1", got)
+	}
+
+	// After SetMetrics(nil) counting stops.
+	SetMetrics(nil)
+	Add(a, b)
+	if got := reg.Counter("pmf.combine_fast").Value(); got != 1 {
+		t.Errorf("counter advanced after SetMetrics(nil): %d", got)
+	}
+}

@@ -279,8 +279,15 @@ func (p PMF) Shift(c float64) PMF {
 // is skipped. Operators that are not row-monotone fall back to the
 // naive cross product transparently; both paths produce the same PMF.
 func Combine(p, q PMF, f func(x, y float64) float64) PMF {
+	in := instrPtr.Load()
 	if out, ok := combineMerge(p, q, f); ok {
+		if in != nil {
+			in.fast.Inc()
+		}
 		return out
+	}
+	if in != nil {
+		in.fallback.Inc()
 	}
 	ps := make([]Pulse, 0, len(p.pulses)*len(q.pulses))
 	for _, a := range p.pulses {

@@ -167,16 +167,23 @@ func (h Exhaustive) Allocate(p *Problem) (sysmodel.Allocation, error) {
 		s  score
 	}
 	results := make([]partBest, len(opts))
+	// scanned tallies enumerated allocations; each partition counts in a
+	// local integer and flushes once, so the scan loop stays free of
+	// atomic traffic.
+	scanned := p.registry().Counter("ra.exhaustive_scanned")
 	runParallel(h.Workers, len(opts), func(k int) {
 		var best sysmodel.Allocation
 		var bestScore score
+		var n int64
 		sysmodel.EnumerateAllocationsFrom(p.Sys, p.Batch, sysmodel.Allocation{opts[k]}, func(al sysmodel.Allocation) bool {
+			n++
 			if s := p.scoreOf(al); s.better(bestScore) {
 				bestScore = s
 				best = al.Clone()
 			}
 			return true
 		})
+		scanned.Add(n)
 		results[k] = partBest{al: best, s: bestScore}
 	})
 	var best sysmodel.Allocation

@@ -53,7 +53,8 @@ type restartResult struct {
 // merges the results in restart order: the first restart with a
 // strictly higher phi_1 wins. It returns the first error only when
 // every restart failed.
-func runRestarts(workers int, streams []*rng.Source, run func(r *rng.Source) (sysmodel.Allocation, float64, error)) (sysmodel.Allocation, error) {
+func runRestarts(p *Problem, workers int, streams []*rng.Source, run func(r *rng.Source) (sysmodel.Allocation, float64, error)) (sysmodel.Allocation, error) {
+	p.registry().Counter("ra.restarts").Add(int64(len(streams)))
 	results := make([]restartResult, len(streams))
 	runParallel(workers, len(streams), func(k int) {
 		al, phi, err := run(streams[k])
@@ -179,7 +180,7 @@ func (h *Random) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Precompute(h.Workers); err != nil {
 		return nil, err
 	}
-	al, err := runRestarts(h.Workers, restartStreams(h.Seed, h.Tries),
+	al, err := runRestarts(p, h.Workers, restartStreams(h.Seed, h.Tries),
 		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
 			al, ok := randomAllocation(p, r)
 			if !ok {
@@ -272,7 +273,7 @@ func (h *SimulatedAnnealing) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if restarts <= 0 {
 		restarts = 1
 	}
-	return runRestarts(h.Workers, restartStreams(h.Seed+0x5a5a, restarts),
+	return runRestarts(p, h.Workers, restartStreams(h.Seed+0x5a5a, restarts),
 		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
 			return h.annealOnce(p, r)
 		})
@@ -356,7 +357,7 @@ func (h *GeneticAlgorithm) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if restarts <= 0 {
 		restarts = 1
 	}
-	return runRestarts(h.Workers, restartStreams(h.Seed+0x6e6e, restarts),
+	return runRestarts(p, h.Workers, restartStreams(h.Seed+0x6e6e, restarts),
 		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
 			return h.evolveOnce(p, r)
 		})
@@ -476,7 +477,7 @@ func (h *TabuSearch) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if restarts <= 0 {
 		restarts = 1
 	}
-	return runRestarts(h.Workers, restartStreams(h.Seed+0x7a7a, restarts),
+	return runRestarts(p, h.Workers, restartStreams(h.Seed+0x7a7a, restarts),
 		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
 			return h.searchOnce(p, r)
 		})

@@ -32,6 +32,7 @@ import (
 	"sort"
 	"strings"
 
+	"cdsf/internal/metrics"
 	"cdsf/internal/sysmodel"
 )
 
@@ -52,6 +53,14 @@ type Problem struct {
 	Batch    sysmodel.Batch
 	Deadline float64
 
+	// Metrics optionally receives search instrumentation (cell
+	// evaluations, table hits/misses, precompute wall time, exhaustive
+	// scans, metaheuristic restarts). Nil falls back to
+	// metrics.Default(). Set it before Precompute — the hot-path
+	// counters are cached when the table is built, following the same
+	// single-goroutine construction contract as the table itself.
+	Metrics *metrics.Registry
+
 	// table is the eagerly built (application x type x log2(count))
 	// evaluation table; see Precompute in table.go. The search
 	// heuristics evaluate the same cell many times (the exhaustive
@@ -60,6 +69,26 @@ type Problem struct {
 	// costs O(pulses) — the dense table removes >90% of the Stage-I
 	// search cost and makes the inner loops lock-free O(1) array reads.
 	table *evalTable
+
+	// instr caches the metric primitives used on the evaluation hot
+	// path; the fields are nil (no-op) when metrics are disabled. It is
+	// populated by Precompute alongside the table.
+	instr instr
+}
+
+// instr holds the cached per-Problem metric primitives.
+type instr struct {
+	evals  *metrics.Counter // ra.evaluations: every evalCell call
+	hits   *metrics.Counter // ra.table_hits: O(1) table reads
+	misses *metrics.Counter // ra.table_misses: direct computeCell falls
+}
+
+// registry resolves the effective metrics registry for this Problem.
+func (p *Problem) registry() *metrics.Registry {
+	if p.Metrics != nil {
+		return p.Metrics
+	}
+	return metrics.Default()
 }
 
 type memoVal struct {
@@ -85,9 +114,12 @@ func (p *Problem) evalCell(i int, as sysmodel.Assignment) memoVal {
 		}
 		t = p.table
 	}
+	p.instr.evals.Inc()
 	if k, ok := log2of(as.Procs); ok && k < t.logs && as.Type >= 0 && as.Type < t.types && i >= 0 && i < len(p.Batch) {
+		p.instr.hits.Inc()
 		return t.cells[(i*t.types+as.Type)*t.logs+k]
 	}
+	p.instr.misses.Inc()
 	return p.computeCell(i, as)
 }
 

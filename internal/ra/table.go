@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cdsf/internal/sysmodel"
 )
@@ -65,6 +66,16 @@ func (p *Problem) Precompute(workers int) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	reg := p.registry()
+	var t0 time.Time
+	if reg != nil {
+		t0 = time.Now()
+		p.instr = instr{
+			evals:  reg.Counter("ra.evaluations"),
+			hits:   reg.Counter("ra.table_hits"),
+			misses: reg.Counter("ra.table_misses"),
+		}
+	}
 	maxCount := 0
 	for _, t := range p.Sys.Types {
 		if t.Count > maxCount {
@@ -97,6 +108,10 @@ func (p *Problem) Precompute(workers int) error {
 		t.cells[(jb.i*t.types+jb.j)*t.logs+jb.k] = p.computeCell(jb.i, as)
 	})
 	p.table = t
+	if reg != nil {
+		reg.Counter("ra.precompute_cells").Add(int64(len(jobs)))
+		reg.Timer("ra.precompute_wall").Observe(time.Since(t0))
+	}
 	return nil
 }
 

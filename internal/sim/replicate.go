@@ -4,15 +4,19 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
+	"cdsf/internal/availability"
 	"cdsf/internal/rng"
 	"cdsf/internal/stats"
 )
 
 // Sample aggregates repeated simulation runs of the same configuration
-// under different seeds.
+// under different seeds. An empty Sample (no makespans) answers every
+// statistic with 0 rather than NaN or a panic, so callers can aggregate
+// unconditionally.
 type Sample struct {
 	// Makespans holds the per-run makespans in run order.
 	Makespans []float64
@@ -20,27 +24,66 @@ type Sample struct {
 	MeanChunks float64
 	// MeanImbalance is the average load-imbalance metric per run.
 	MeanImbalance float64
+
+	// sorted caches the makespans in ascending order for Quantile and
+	// PrLE; it is rebuilt whenever len(Makespans) changes. Callers that
+	// overwrite existing entries in place (without changing the length)
+	// must call Invalidate afterwards.
+	sorted []float64
 }
 
-// Mean returns the mean makespan.
-func (s *Sample) Mean() float64 { return stats.Mean(s.Makespans) }
+// Invalidate drops the cached sort order used by Quantile and PrLE.
+// Appending to Makespans invalidates automatically (the length
+// changes); only in-place edits of existing entries need this.
+func (s *Sample) Invalidate() { s.sorted = nil }
 
-// StdDev returns the makespan standard deviation.
-func (s *Sample) StdDev() float64 { return stats.StdDev(s.Makespans) }
+// sortedMakespans returns the makespans in ascending order, sorting at
+// most once per change in length.
+func (s *Sample) sortedMakespans() []float64 {
+	if len(s.sorted) != len(s.Makespans) {
+		s.sorted = append(s.sorted[:0], s.Makespans...)
+		sort.Float64s(s.sorted)
+	}
+	return s.sorted
+}
 
-// Quantile returns the p-quantile of the makespans.
-func (s *Sample) Quantile(p float64) float64 { return stats.Quantile(s.Makespans, p) }
+// Mean returns the mean makespan, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.Makespans) == 0 {
+		return 0
+	}
+	return stats.Mean(s.Makespans)
+}
+
+// StdDev returns the makespan standard deviation, or 0 for an empty
+// sample.
+func (s *Sample) StdDev() float64 {
+	if len(s.Makespans) == 0 {
+		return 0
+	}
+	return stats.StdDev(s.Makespans)
+}
+
+// Quantile returns the p-quantile of the makespans, or 0 for an empty
+// sample. The sort order is cached across calls, so querying many
+// quantiles of one sample costs one sort.
+func (s *Sample) Quantile(p float64) float64 {
+	if len(s.Makespans) == 0 {
+		return 0
+	}
+	return stats.QuantileSorted(s.sortedMakespans(), p)
+}
 
 // PrLE returns the fraction of runs whose makespan was <= x — the
-// empirical counterpart of Stage I's Pr(T <= Delta).
+// empirical counterpart of Stage I's Pr(T <= Delta) — or 0 for an
+// empty sample.
 func (s *Sample) PrLE(x float64) float64 {
-	n := 0
-	for _, m := range s.Makespans {
-		if m <= x {
-			n++
-		}
+	ms := s.sortedMakespans()
+	if len(ms) == 0 {
+		return 0
 	}
-	return float64(n) / float64(len(s.Makespans))
+	n := sort.Search(len(ms), func(i int) bool { return ms[i] > x })
+	return float64(n) / float64(len(ms))
 }
 
 // RunMany executes reps independent simulations of cfg, deriving the
@@ -48,12 +91,14 @@ func (s *Sample) PrLE(x float64) float64 {
 // results. Repetitions run in parallel across CPUs when the
 // availability model allows it (group-scoped models such as
 // availability.SharedLoad carry per-run shared state and force
-// sequential execution); the aggregate is identical either way because
-// every repetition's seed is fixed up front.
+// sequential execution, detected through any availability.Wrapper
+// chain); the aggregate is identical either way because every
+// repetition's seed is fixed up front.
 func RunMany(cfg Config, reps int) (*Sample, error) {
 	if reps <= 0 {
 		return nil, fmt.Errorf("sim: %d repetitions", reps)
 	}
+	cfg.registry().Counter("sim.replications").Add(int64(reps))
 	seeds := rng.New(cfg.Seed)
 	runSeeds := make([]uint64, reps)
 	for i := range runSeeds {
@@ -69,7 +114,7 @@ func RunMany(cfg Config, reps int) (*Sample, error) {
 		results[i], errs[i] = Run(c)
 	}
 
-	_, groupScoped := cfg.Avail.(interface{ ResetGroup() })
+	_, groupScoped := availability.AsGroupScoped(cfg.Avail)
 	workers := runtime.GOMAXPROCS(0)
 	if groupScoped || workers <= 1 || reps < 4 {
 		for i := 0; i < reps; i++ {
@@ -113,21 +158,30 @@ func RunMany(cfg Config, reps int) (*Sample, error) {
 	return out, nil
 }
 
+// ciLevelEps is the tolerance for matching a confidence level against
+// the tabulated z-values; levels computed as e.g. 1-0.05 hit the fast
+// path despite floating-point rounding.
+const ciLevelEps = 1e-9
+
 // ConfidenceInterval returns the normal-approximation confidence
-// interval for the mean makespan at the given level (0.90, 0.95, or
-// 0.99). With the repetition counts used throughout this repository
-// (>= 20) the normal approximation is adequate.
+// interval for the mean makespan at the given level in (0, 1). The
+// common levels 0.90, 0.95 and 0.99 (matched within 1e-9) use the
+// tabulated z-values; any other level derives its z-value from the
+// inverse normal CDF. With the repetition counts used throughout this
+// repository (>= 20) the normal approximation is adequate.
 func (s *Sample) ConfidenceInterval(level float64) (lo, hi float64, err error) {
 	var z float64
 	switch {
-	case level == 0.90:
+	case math.Abs(level-0.90) < ciLevelEps:
 		z = 1.6449
-	case level == 0.95:
+	case math.Abs(level-0.95) < ciLevelEps:
 		z = 1.9600
-	case level == 0.99:
+	case math.Abs(level-0.99) < ciLevelEps:
 		z = 2.5758
+	case level > 0 && level < 1:
+		z = stats.NewNormal(0, 1).Quantile((1 + level) / 2)
 	default:
-		return 0, 0, fmt.Errorf("sim: unsupported confidence level %v", level)
+		return 0, 0, fmt.Errorf("sim: confidence level %v outside (0, 1)", level)
 	}
 	n := float64(len(s.Makespans))
 	if n < 2 {

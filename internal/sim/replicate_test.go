@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"cdsf/internal/availability"
+	"cdsf/internal/metrics"
+	"cdsf/internal/pmf"
+	"cdsf/internal/rng"
+	"cdsf/internal/stats"
+)
+
+func replCfg(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		SerialIters:   5,
+		ParallelIters: 400,
+		Workers:       4,
+		IterTime:      stats.NewNormal(1, 0.3),
+		Avail:         availability.Static{PMF: pmf.Point(0.8)},
+		Technique:     tech(t, "FAC"),
+		Overhead:      0.05,
+		Seed:          42,
+	}
+}
+
+// TestConfidenceIntervalEpsilonAndArbitraryLevel pins the two halves of
+// the ConfidenceInterval fix: levels within epsilon of the tabulated
+// values hit the fast path, and any other level in (0, 1) is served via
+// the inverse normal CDF.
+func TestConfidenceIntervalEpsilonAndArbitraryLevel(t *testing.T) {
+	s := &Sample{Makespans: []float64{9, 10, 11, 10, 9.5, 10.5, 10, 10}}
+
+	// 1 - 0.05 != 0.95 exactly in float64 arithmetic for some
+	// computations; the epsilon match must absorb tiny representation
+	// noise around each tabulated level.
+	exactLo, exactHi, err := s.ConfidenceInterval(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisyLo, noisyHi, err := s.ConfidenceInterval(0.95 + 1e-12)
+	if err != nil {
+		t.Fatalf("epsilon-close level rejected: %v", err)
+	}
+	if exactLo != noisyLo || exactHi != noisyHi {
+		t.Errorf("epsilon-close level produced different CI: [%v,%v] vs [%v,%v]",
+			exactLo, exactHi, noisyLo, noisyHi)
+	}
+
+	// An arbitrary level uses z from the inverse normal CDF; check 0.80
+	// against the known z = 1.2816.
+	lo, hi, err := s.ConfidenceInterval(0.80)
+	if err != nil {
+		t.Fatalf("level 0.80 rejected: %v", err)
+	}
+	n := float64(len(s.Makespans))
+	se := s.StdDev() / math.Sqrt(n)
+	wantHalf := 1.2816 * se
+	if gotHalf := (hi - lo) / 2; math.Abs(gotHalf-wantHalf) > 1e-3*wantHalf {
+		t.Errorf("80%% CI half-width = %v, want ~%v", gotHalf, wantHalf)
+	}
+	if !(lo < s.Mean() && s.Mean() < hi) {
+		t.Errorf("mean %v outside CI [%v, %v]", s.Mean(), lo, hi)
+	}
+
+	// The CI width must be monotone in the level even across the
+	// fast-path/CDF boundary.
+	prev := 0.0
+	for _, level := range []float64{0.5, 0.8, 0.90, 0.95, 0.97, 0.99, 0.995} {
+		lo, hi, err := s.ConfidenceInterval(level)
+		if err != nil {
+			t.Fatalf("level %v: %v", level, err)
+		}
+		if w := hi - lo; w <= prev {
+			t.Errorf("CI width not increasing at level %v: %v <= %v", level, w, prev)
+		} else {
+			prev = w
+		}
+	}
+}
+
+// TestEmptySampleZeroValues pins the documented zero-value behaviour of
+// an empty Sample: no NaN, no panic.
+func TestEmptySampleZeroValues(t *testing.T) {
+	s := &Sample{}
+	if got := s.Mean(); got != 0 {
+		t.Errorf("empty Mean = %v", got)
+	}
+	if got := s.StdDev(); got != 0 {
+		t.Errorf("empty StdDev = %v", got)
+	}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v", got)
+	}
+	if got := s.PrLE(100); got != 0 {
+		t.Errorf("empty PrLE = %v", got)
+	}
+	if _, _, err := s.ConfidenceInterval(0.95); err == nil {
+		t.Error("empty sample CI accepted")
+	}
+}
+
+// TestQuantileCache checks that the cached sort order tracks appends
+// and in-place edits (via Invalidate), and that Quantile/PrLE agree
+// with the uncached stats implementations.
+func TestQuantileCache(t *testing.T) {
+	s := &Sample{Makespans: []float64{3, 1, 2}}
+	if got, want := s.Quantile(0.5), stats.Quantile(s.Makespans, 0.5); got != want {
+		t.Errorf("median = %v, want %v", got, want)
+	}
+	if got := s.PrLE(2); got != 2.0/3.0 {
+		t.Errorf("PrLE(2) = %v", got)
+	}
+	// Makespans must not be reordered by the cache.
+	if !reflect.DeepEqual(s.Makespans, []float64{3, 1, 2}) {
+		t.Errorf("Makespans mutated: %v", s.Makespans)
+	}
+
+	// Appending changes the length, which rebuilds the cache.
+	s.Makespans = append(s.Makespans, 0)
+	if got, want := s.Quantile(0), 0.0; got != want {
+		t.Errorf("min after append = %v, want %v", got, want)
+	}
+
+	// An in-place overwrite keeps the length; Invalidate refreshes.
+	s.Makespans[0] = 10
+	s.Invalidate()
+	if got, want := s.Quantile(1), 10.0; got != want {
+		t.Errorf("max after in-place edit = %v, want %v", got, want)
+	}
+	if got := s.PrLE(9.5); got != 0.75 {
+		t.Errorf("PrLE(9.5) = %v", got)
+	}
+}
+
+// wrappedModel hides an inner model behind a decorator that only
+// exposes it via Unwrap — the shape that defeated the old anonymous
+// interface assertion in RunMany.
+type wrappedModel struct{ inner availability.Model }
+
+func (w wrappedModel) NewProcess(r *rng.Source) availability.Process {
+	return w.inner.NewProcess(r)
+}
+func (w wrappedModel) Expected() float64          { return w.inner.Expected() }
+func (w wrappedModel) Name() string               { return "wrapped(" + w.inner.Name() + ")" }
+func (w wrappedModel) Unwrap() availability.Model { return w.inner }
+
+// TestRunManyWrappedSharedLoadSequential is the regression test for the
+// group-scoped detection fix: a SharedLoad hidden behind a wrapper must
+// still force sequential execution. Under -race the old behaviour
+// (parallel repetitions mutating the shared chain) is reported as a
+// data race; without -race the test still verifies the wrapped run
+// matches the direct run exactly.
+func TestRunManyWrappedSharedLoadSequential(t *testing.T) {
+	load, err := pmf.FromPairs([]float64{0.4, 0.6, 0.8, 1.0}, []float64{0.25, 0.25, 0.25, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkShared := func() *availability.SharedLoad {
+		return &availability.SharedLoad{
+			Shared: load, Idio: load, Mix: 1, Interval: 5, Persistence: 0.5,
+		}
+	}
+	cfg := replCfg(t)
+	const reps = 16
+
+	cfg.Avail = mkShared()
+	direct, err := RunMany(cfg, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Avail = wrappedModel{inner: mkShared()}
+	wrapped, err := RunMany(cfg, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct.Makespans, wrapped.Makespans) {
+		t.Errorf("wrapped SharedLoad diverged from direct run:\n%v\nvs\n%v",
+			direct.Makespans, wrapped.Makespans)
+	}
+}
+
+// TestMetricsDoNotPerturbResults is the determinism gate: the same
+// seeded configuration must produce bit-identical makespans with
+// metrics enabled and disabled.
+func TestMetricsDoNotPerturbResults(t *testing.T) {
+	cfg := replCfg(t)
+	const reps = 20
+
+	off, err := RunMany(cfg, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	on, err := RunMany(cfg, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(off.Makespans, on.Makespans) {
+		t.Errorf("metrics changed seeded results:\n%v\nvs\n%v", off.Makespans, on.Makespans)
+	}
+
+	// And the registry actually observed the runs.
+	if got := reg.Counter("sim.runs").Value(); got != reps {
+		t.Errorf("sim.runs = %d, want %d", got, reps)
+	}
+	if got := reg.Counter("sim.replications").Value(); got != reps {
+		t.Errorf("sim.replications = %d, want %d", got, reps)
+	}
+	if reg.Counter("sim.events").Value() == 0 || reg.Counter("sim.chunks").Value() == 0 {
+		t.Error("event/chunk counters not populated")
+	}
+	if reg.Counter("sim.heap_ops").Value() < reg.Counter("sim.events").Value() {
+		t.Error("heap ops should dominate events")
+	}
+	if reg.Timer("sim.run_wall").Count() != reps {
+		t.Errorf("run_wall count = %d, want %d", reg.Timer("sim.run_wall").Count(), reps)
+	}
+	if reg.Histogram("sim.worker_utilization", nil).Count() != reps*int64(cfg.Workers) {
+		t.Error("worker utilization histogram incomplete")
+	}
+}

@@ -25,9 +25,11 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 
 	"cdsf/internal/availability"
 	"cdsf/internal/dls"
+	"cdsf/internal/metrics"
 	"cdsf/internal/rng"
 	"cdsf/internal/stats"
 )
@@ -79,6 +81,22 @@ type Config struct {
 	// CollectChunks enables the per-chunk log in the result (costs
 	// memory on large runs).
 	CollectChunks bool
+	// Metrics optionally receives run-level observability counters
+	// (events processed, chunks dispatched, busy/idle/overhead time,
+	// heap operations, wall time). Nil falls back to metrics.Default(),
+	// which is itself nil unless a CLI installed one — the no-op path.
+	// Instrumentation never touches the simulation's rng streams or
+	// event order, so seeded results are identical with metrics on or
+	// off.
+	Metrics *metrics.Registry
+}
+
+// registry resolves the effective metrics registry for a run.
+func (c *Config) registry() *metrics.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return metrics.Default()
 }
 
 func (c *Config) validate() error {
@@ -199,13 +217,20 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	reg := cfg.registry()
+	var t0 time.Time
+	if reg != nil {
+		t0 = time.Now()
+	}
 	root := rng.New(cfg.Seed)
 	availRng := root.Split()
 	workRng := root.Split()
 
 	// Group-scoped availability models (e.g. availability.SharedLoad)
 	// reset their shared state per run so repetitions stay independent.
-	if gr, ok := cfg.Avail.(interface{ ResetGroup() }); ok {
+	// Detection follows the Wrapper chain, so decorated models keep the
+	// contract.
+	if gr, ok := availability.AsGroupScoped(cfg.Avail); ok {
 		gr.ResetGroup()
 	}
 	procs := make([]availability.Process, cfg.Workers)
@@ -245,6 +270,7 @@ func Run(cfg Config) (*Result, error) {
 	if steps < 1 {
 		steps = 1
 	}
+	var st runStats
 	clock := 0.0
 	for step := 0; step < steps; step++ {
 		if step > 0 {
@@ -275,24 +301,76 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res.SerialTime += start - clock
 
-		clock = runSweep(&cfg, sched, procs, workRng, start, res)
+		clock = runSweep(&cfg, sched, procs, workRng, start, res, &st)
 	}
 
 	res.Makespan = clock
 	res.ParallelTime = clock - res.SerialTime
+	if reg != nil {
+		flushRunMetrics(reg, &cfg, res, &st, time.Since(t0))
+	}
 	return res, nil
+}
+
+// runStats accumulates one run's instrumentation counts in plain
+// integers; Run flushes them to the registry once at the end, keeping
+// atomic traffic out of the event loop.
+type runStats struct {
+	events  int64
+	heapOps int64
+}
+
+// utilizationBounds buckets per-worker busy-time fractions of the
+// parallel phase.
+var utilizationBounds = []float64{0.25, 0.5, 0.75, 0.9, 1.0}
+
+// flushRunMetrics publishes one run's counts and times to reg. All
+// values derive from the finished Result, never from the simulation's
+// rng streams, so enabling metrics cannot perturb seeded outputs.
+func flushRunMetrics(reg *metrics.Registry, cfg *Config, res *Result, st *runStats, wall time.Duration) {
+	reg.Counter("sim.runs").Inc()
+	reg.Counter("sim.events").Add(st.events)
+	reg.Counter("sim.heap_ops").Add(st.heapOps)
+	reg.Counter("sim.chunks").Add(int64(res.NumChunks))
+	iters := 0
+	for _, k := range res.WorkerIters {
+		iters += k
+	}
+	reg.Counter("sim.iterations").Add(int64(iters))
+
+	busy := 0.0
+	for _, b := range res.WorkerBusy {
+		busy += b
+	}
+	overhead := float64(res.NumChunks) * cfg.Overhead
+	reg.Gauge("sim.busy_time").Add(busy)
+	reg.Gauge("sim.overhead_time").Add(overhead)
+	reg.Gauge("sim.serial_time").Add(res.SerialTime)
+	// Idle time is what remains of the workers' parallel-phase wall
+	// clock after execution and dispatch overhead.
+	if idle := float64(cfg.Workers)*res.ParallelTime - busy - overhead; idle > 0 {
+		reg.Gauge("sim.idle_time").Add(idle)
+	}
+	if res.ParallelTime > 0 {
+		h := reg.Histogram("sim.worker_utilization", utilizationBounds)
+		for _, b := range res.WorkerBusy {
+			h.Observe(b / res.ParallelTime)
+		}
+	}
+	reg.Timer("sim.run_wall").Observe(wall)
 }
 
 // runSweep executes one full pass of the parallel loop starting all
 // workers at `start`, returning the sweep's makespan. It updates the
 // aggregate counters and the Imbalance metric (of the latest sweep) in
 // res.
-func runSweep(cfg *Config, sched dls.Scheduler, procs []availability.Process, workRng *rng.Source, start float64, res *Result) float64 {
+func runSweep(cfg *Config, sched dls.Scheduler, procs []availability.Process, workRng *rng.Source, start float64, res *Result, st *runStats) float64 {
 	q := make(eventQueue, 0, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		q = append(q, event{t: start, worker: w})
 	}
 	heap.Init(&q)
+	st.heapOps += int64(cfg.Workers)
 
 	finish := make([]float64, cfg.Workers)
 	for i := range finish {
@@ -311,6 +389,8 @@ func runSweep(cfg *Config, sched dls.Scheduler, procs []availability.Process, wo
 	nextIter := 0 // iterations are dispatched in index order
 	for q.Len() > 0 {
 		e := heap.Pop(&q).(event)
+		st.events++
+		st.heapOps++
 		if p := pending[e.worker]; p != nil {
 			sched.Report(e.worker, p.size, p.elapsed)
 			pending[e.worker] = nil
@@ -340,6 +420,7 @@ func runSweep(cfg *Config, sched dls.Scheduler, procs []availability.Process, wo
 			makespan = end
 		}
 		heap.Push(&q, event{t: end, worker: e.worker})
+		st.heapOps++
 	}
 
 	maxF, minF := finish[0], finish[0]

@@ -407,8 +407,13 @@ func TestConfidenceInterval(t *testing.T) {
 	if hi99-lo99 <= hi95-lo95 {
 		t.Error("99% CI not wider than 95% CI")
 	}
-	if _, _, err := s.ConfidenceInterval(0.5); err == nil {
-		t.Error("unsupported level accepted")
+	if _, _, err := s.ConfidenceInterval(0.5); err != nil {
+		t.Errorf("arbitrary level in (0,1) rejected: %v", err)
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := s.ConfidenceInterval(bad); err == nil {
+			t.Errorf("level %v outside (0,1) accepted", bad)
+		}
 	}
 	tiny := &Sample{Makespans: []float64{1}}
 	if _, _, err := tiny.ConfidenceInterval(0.95); err == nil {

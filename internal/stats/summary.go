@@ -70,11 +70,22 @@ func Quantile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Quantile of empty slice")
 	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return QuantileSorted(s, p)
+}
+
+// QuantileSorted is Quantile for input already sorted ascending; it
+// avoids the copy-and-sort, so callers that query many quantiles of
+// the same data can sort once. It panics on an empty slice or p outside
+// [0,1].
+func QuantileSorted(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
 	if p < 0 || p > 1 {
 		panic(fmt.Sprintf("stats: quantile probability %v out of [0,1]", p))
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
 	if len(s) == 1 {
 		return s[0]
 	}

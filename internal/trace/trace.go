@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 
+	"cdsf/internal/metrics"
 	"cdsf/internal/sim"
 )
 
@@ -97,6 +98,28 @@ func Analyze(chunks []sim.ChunkRecord, workers int, overhead float64) (*Analysis
 		a.BusyEfficiency = busy / span
 	}
 	return a, nil
+}
+
+// Record publishes the analysis to a metrics registry under the given
+// name prefix (e.g. "trace"): per-worker busy/idle/overhead gauges
+// plus aggregate chunk and iteration counters, so the chunk-log
+// summary lands in the same -metrics output as the runtime counters.
+// A nil registry is a no-op.
+func (a *Analysis) Record(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(prefix + ".chunks").Add(int64(a.TotalChunks))
+	reg.Counter(prefix + ".iterations").Add(int64(a.TotalIterations))
+	reg.Gauge(prefix + ".mean_chunk_size").Set(a.MeanChunkSize)
+	reg.Gauge(prefix + ".busy_efficiency").Set(a.BusyEfficiency)
+	for _, w := range a.Workers {
+		p := fmt.Sprintf("%s.worker%02d", prefix, w.Worker)
+		reg.Gauge(p + ".busy").Set(w.Busy)
+		reg.Gauge(p + ".idle").Set(w.Idle)
+		reg.Gauge(p + ".overhead").Set(w.Overhead)
+		reg.Counter(p + ".chunks").Add(int64(w.Chunks))
+	}
 }
 
 // WriteCSV emits the raw chunk log as CSV (worker, start, size,

@@ -7,6 +7,7 @@ import (
 
 	"cdsf/internal/availability"
 	"cdsf/internal/dls"
+	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
 	"cdsf/internal/sim"
 	"cdsf/internal/stats"
@@ -115,5 +116,40 @@ func TestWriteCSV(t *testing.T) {
 	// Sorted by start time.
 	if !strings.HasPrefix(lines[1], "0,0,20,") || !strings.HasPrefix(lines[2], "1,5,10,") {
 		t.Errorf("rows not sorted: %v", lines[1:])
+	}
+}
+
+func TestRecord(t *testing.T) {
+	chunks := []sim.ChunkRecord{
+		{Worker: 0, Start: 0, Size: 20, Elapsed: 4},
+		{Worker: 1, Start: 5, Size: 10, Elapsed: 2.5},
+		{Worker: 0, Start: 6, Size: 5, Elapsed: 1},
+	}
+	a, err := Analyze(chunks, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nil registry must be a no-op, not a panic.
+	a.Record(nil, "trace")
+
+	reg := metrics.NewRegistry()
+	a.Record(reg, "trace")
+	if got := reg.Counter("trace.chunks").Value(); got != 3 {
+		t.Errorf("trace.chunks = %d", got)
+	}
+	if got := reg.Counter("trace.iterations").Value(); got != 35 {
+		t.Errorf("trace.iterations = %d", got)
+	}
+	if got := reg.Counter("trace.worker00.chunks").Value(); got != 2 {
+		t.Errorf("worker00.chunks = %d", got)
+	}
+	if got := reg.Gauge("trace.worker00.busy").Value(); got != 5 {
+		t.Errorf("worker00.busy = %v", got)
+	}
+	if got := reg.Gauge("trace.worker01.overhead").Value(); got != 0.5 {
+		t.Errorf("worker01.overhead = %v", got)
+	}
+	if reg.Gauge("trace.busy_efficiency").Value() <= 0 {
+		t.Error("busy_efficiency not recorded")
 	}
 }
