@@ -1,19 +1,24 @@
 # Standard development targets for the CDSF reproduction.
 #
-#   make check   default: build + vet + test + race in one gate
+#   make check   default: build + vet + test + race + cover in one gate
 #   make build   compile every package and command
 #   make vet     run go vet across the module
 #   make test    run the full test suite
 #   make race    run the concurrency-sensitive packages under the race
 #                detector (the parallel Stage-I engine's gate)
+#   make cover   enforce the coverage floor on the observability
+#                packages (internal/tracing, internal/trace)
 #   make bench   run the benchmark suite with allocation stats
 #   make fuzz    run each pmf fuzz target briefly
 
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz
+# Minimum statement coverage (percent) for the observability packages.
+COVER_FLOOR ?= 85
 
-check: build vet test race
+.PHONY: check build vet test race cover bench fuzz
+
+check: build vet test race cover
 
 build:
 	$(GO) build ./...
@@ -25,7 +30,16 @@ test: build
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ra ./internal/pmf ./internal/experiments ./internal/sim ./internal/metrics ./internal/availability
+	$(GO) test -race ./internal/ra ./internal/pmf ./internal/experiments ./internal/sim ./internal/metrics ./internal/availability ./internal/tracing
+
+cover:
+	@for pkg in ./internal/tracing ./internal/trace; do \
+		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$pkg"; exit 1; fi; \
+		ok=$$(echo "$$pct $(COVER_FLOOR)" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \
+		if [ "$$ok" != 1 ]; then echo "cover: $$pkg at $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; fi; \
+		echo "cover: $$pkg $$pct% (floor $(COVER_FLOOR)%)"; \
+	done
 
 bench:
 	$(GO) test -bench=. -benchmem .

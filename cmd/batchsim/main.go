@@ -26,6 +26,7 @@ import (
 	"cdsf/internal/ra"
 	"cdsf/internal/report"
 	"cdsf/internal/stats"
+	"cdsf/internal/tracing"
 )
 
 func main() {
@@ -40,19 +41,21 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the Stage-I heuristic (results are identical for any value)")
 	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
+	traceDest := flag.String("trace", "", `record span timelines and write Chrome Trace Event JSON (chrome://tracing, Perfetto) to this destination: "-" for stdout or a file path`)
+	debugAddr := flag.String("debug-addr", "", `serve live debug endpoints (/debug/pprof/*, /metrics, /progress, /trace) on this address, e.g. ":6060"`)
 	flag.Parse()
 
-	if err := run(*jobs, *rate, *heuristic, *deadline, *maxBatch, *executor, *tech, *reps, *seed, *workers, *metricsDest); err != nil {
+	if err := run(*jobs, *rate, *heuristic, *deadline, *maxBatch, *executor, *tech, *reps, *seed, *workers, *metricsDest, *traceDest, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "batchsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(jobs int, rate float64, heuristic string, deadline float64, maxBatch int,
-	executor, tech string, reps int, seed uint64, workers int, metricsDest string) error {
+	executor, tech string, reps int, seed uint64, workers int, metricsDest, traceDest, debugAddr string) error {
 
 	var reg *metrics.Registry
-	if metricsDest != "" {
+	if metricsDest != "" || debugAddr != "" {
 		reg = metrics.NewRegistry()
 		metrics.SetDefault(reg)
 		pmf.SetMetrics(reg)
@@ -60,6 +63,23 @@ func run(jobs int, rate float64, heuristic string, deadline float64, maxBatch in
 			pmf.SetMetrics(nil)
 			metrics.SetDefault(nil)
 		}()
+	}
+	var tr *tracing.Tracer
+	if traceDest != "" || debugAddr != "" {
+		tr = tracing.NewSized(0, reg)
+		tracing.SetDefault(tr)
+		defer tracing.SetDefault(nil)
+	}
+	if debugAddr != "" {
+		prog := tracing.NewProgress()
+		tracing.SetProgress(prog)
+		defer tracing.SetProgress(nil)
+		srv, err := tracing.StartDebug(debugAddr, reg, prog, tr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "batchsim: debug endpoints on http://%s/\n", srv.Addr())
 	}
 
 	h, ok := ra.Get(heuristic)
@@ -94,6 +114,7 @@ func run(jobs int, rate float64, heuristic string, deadline float64, maxBatch in
 		simCfg := core.DefaultStageII(deadline, seed)
 		simCfg.Reps = reps
 		simCfg.Metrics = reg
+		simCfg.Tracer = tr
 		cfg.Executor = core.SimExecutor{Technique: dt, Config: simCfg}
 	default:
 		return fmt.Errorf("unknown executor %q (want expected or sim)", executor)
@@ -122,5 +143,8 @@ func run(jobs int, rate float64, heuristic string, deadline float64, maxBatch in
 	fmt.Printf("\njobs %d  batches %d  mean batch size %.2f  mean wait %.0f  deadline rate %.0f%%  total %.0f\n",
 		len(res.Jobs), len(res.Batches), res.MeanBatchSize, res.MeanWait,
 		res.DeadlineRate*100, res.MakespanTotal)
-	return metrics.WriteTo(reg, metricsDest)
+	if err := metrics.WriteTo(reg, metricsDest); err != nil {
+		return err
+	}
+	return tracing.WriteTo(tr, traceDest)
 }

@@ -27,6 +27,7 @@ import (
 	"cdsf/internal/pmf"
 	"cdsf/internal/ra"
 	"cdsf/internal/report"
+	"cdsf/internal/tracing"
 )
 
 func main() {
@@ -37,9 +38,11 @@ func main() {
 	seed := flag.Uint64("seed", 42, "stage-II seed")
 	instance := flag.String("instance", "", "JSON instance file (default: the embedded paper example)")
 	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
+	traceDest := flag.String("trace", "", `record span timelines and write Chrome Trace Event JSON (chrome://tracing, Perfetto) to this destination: "-" for stdout or a file path`)
+	debugAddr := flag.String("debug-addr", "", `serve live debug endpoints (/debug/pprof/*, /metrics, /progress, /trace) on this address, e.g. ":6060"`)
 	flag.Parse()
 
-	if err := run(*scenario, *im, *ras, *reps, *seed, *instance, *metricsDest); err != nil {
+	if err := run(*scenario, *im, *ras, *reps, *seed, *instance, *metricsDest, *traceDest, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "cdsf:", err)
 		os.Exit(1)
 	}
@@ -77,9 +80,9 @@ func buildScenario(scenario int, im, ras string) (core.Scenario, error) {
 	return sc, nil
 }
 
-func run(scenario int, im, ras string, reps int, seed uint64, instance, metricsDest string) error {
+func run(scenario int, im, ras string, reps int, seed uint64, instance, metricsDest, traceDest, debugAddr string) error {
 	var reg *metrics.Registry
-	if metricsDest != "" {
+	if metricsDest != "" || debugAddr != "" {
 		reg = metrics.NewRegistry()
 		metrics.SetDefault(reg)
 		pmf.SetMetrics(reg)
@@ -87,6 +90,23 @@ func run(scenario int, im, ras string, reps int, seed uint64, instance, metricsD
 			pmf.SetMetrics(nil)
 			metrics.SetDefault(nil)
 		}()
+	}
+	var tr *tracing.Tracer
+	if traceDest != "" || debugAddr != "" {
+		tr = tracing.NewSized(0, reg)
+		tracing.SetDefault(tr)
+		defer tracing.SetDefault(nil)
+	}
+	if debugAddr != "" {
+		prog := tracing.NewProgress()
+		tracing.SetProgress(prog)
+		defer tracing.SetProgress(nil)
+		srv, err := tracing.StartDebug(debugAddr, reg, prog, tr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cdsf: debug endpoints on http://%s/\n", srv.Addr())
 	}
 	var f *core.Framework
 	var cases []core.Case
@@ -125,6 +145,7 @@ func run(scenario int, im, ras string, reps int, seed uint64, instance, metricsD
 	}
 	cfg := core.DefaultStageII(f.Deadline, seed)
 	cfg.Metrics = reg
+	cfg.Tracer = tr
 	if reps > 0 {
 		cfg.Reps = reps
 	}
@@ -184,5 +205,8 @@ func run(scenario int, im, ras string, reps int, seed uint64, instance, metricsD
 
 	tuple := core.SystemRobustness(res)
 	fmt.Printf("System robustness (rho1, rho2) = %s\n", tuple)
-	return metrics.WriteTo(reg, metricsDest)
+	if err := metrics.WriteTo(reg, metricsDest); err != nil {
+		return err
+	}
+	return tracing.WriteTo(tr, traceDest)
 }

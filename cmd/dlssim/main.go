@@ -27,6 +27,7 @@ import (
 	"cdsf/internal/sim"
 	"cdsf/internal/stats"
 	"cdsf/internal/trace"
+	"cdsf/internal/tracing"
 )
 
 func main() {
@@ -51,10 +52,12 @@ func main() {
 	hist := flag.Bool("hist", false, "render an ASCII histogram of each technique's makespan sample")
 	schedule := flag.Bool("schedule", false, "print each technique's idealized dispatch schedule statistics")
 	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
+	traceDest := flag.String("trace", "", `record span timelines and write Chrome Trace Event JSON (chrome://tracing, Perfetto) to this destination: "-" for stdout or a file path`)
+	debugAddr := flag.String("debug-addr", "", `serve live debug endpoints (/debug/pprof/*, /metrics, /progress, /trace) on this address, e.g. ":6060"`)
 	flag.Parse()
 
 	if err := run(*iters, *serial, *workers, *mean, *cv, *dist, *profile, *availSpec, *model,
-		*interval, *persistence, *techs, *overhead, *reps, *seed, *deadline, *gantt, *chunksOut, *hist, *schedule, *metricsDest); err != nil {
+		*interval, *persistence, *techs, *overhead, *reps, *seed, *deadline, *gantt, *chunksOut, *hist, *schedule, *metricsDest, *traceDest, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "dlssim:", err)
 		os.Exit(1)
 	}
@@ -82,10 +85,10 @@ func parseAvail(spec string) (pmf.PMF, error) {
 
 func run(iters, serial, workers int, mean, cv float64, distName, profileName, availSpec, model string,
 	interval, persistence float64, techs string, overhead float64, reps int,
-	seed uint64, deadline float64, gantt bool, chunksOut string, hist, schedule bool, metricsDest string) error {
+	seed uint64, deadline float64, gantt bool, chunksOut string, hist, schedule bool, metricsDest, traceDest, debugAddr string) error {
 
 	var reg *metrics.Registry
-	if metricsDest != "" {
+	if metricsDest != "" || debugAddr != "" {
 		reg = metrics.NewRegistry()
 		metrics.SetDefault(reg)
 		pmf.SetMetrics(reg)
@@ -93,6 +96,23 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 			pmf.SetMetrics(nil)
 			metrics.SetDefault(nil)
 		}()
+	}
+	var tr *tracing.Tracer
+	if traceDest != "" || debugAddr != "" {
+		tr = tracing.NewSized(0, reg)
+		tracing.SetDefault(tr)
+		defer tracing.SetDefault(nil)
+	}
+	if debugAddr != "" {
+		prog := tracing.NewProgress()
+		tracing.SetProgress(prog)
+		defer tracing.SetProgress(nil)
+		srv, err := tracing.StartDebug(debugAddr, reg, prog, tr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dlssim: debug endpoints on http://%s/\n", srv.Addr())
 	}
 
 	iterDist, err := buildDist(distName, mean, cv)
@@ -177,8 +197,12 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 			Overhead:         overhead,
 			Seed:             seed,
 			Metrics:          reg,
+			Tracer:           tr,
+			TraceScope:       strings.ToLower(tech.Name) + "/mc",
 		}
+		mcRegion := tr.Begin("dlssim", tech.Name+" x "+fmt.Sprint(reps), "montecarlo")
 		s, err := sim.RunMany(cfg, reps)
+		mcRegion.End()
 		if err != nil {
 			return err
 		}
@@ -209,10 +233,12 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 			return err
 		}
 	}
-	// The chunk-level pass also runs when metrics are requested, so the
-	// per-worker trace summaries land in the -metrics output.
-	if !gantt && chunksOut == "" && reg == nil {
-		return nil
+	// The chunk-level pass also runs when metrics or a trace are
+	// requested, so the per-worker summaries land in the -metrics
+	// output and the per-worker simulated-time lanes in the -trace
+	// output.
+	if !gantt && chunksOut == "" && reg == nil && tr == nil {
+		return writeObservability(reg, tr, metricsDest, traceDest)
 	}
 	for _, tech := range techniques {
 		cfg := sim.Config{
@@ -229,6 +255,8 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 			Seed:             seed,
 			CollectChunks:    true,
 			Metrics:          reg,
+			Tracer:           tr,
+			TraceScope:       strings.ToLower(tech.Name),
 		}
 		r, err := sim.Run(cfg)
 		if err != nil {
@@ -260,16 +288,23 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 		if !gantt {
 			continue
 		}
-		g := report.NewGantt(fmt.Sprintf("\n%s: one run, makespan %.1f, %d chunks, mean chunk %.1f, busy efficiency %.0f%%",
-			tech.Name, r.Makespan, r.NumChunks, a.MeanChunkSize, a.BusyEfficiency*100), workers)
-		for _, c := range r.Chunks {
-			g.Add(c.Worker, c.Start, c.Start+overhead+c.Elapsed, '#')
-		}
+		g := trace.BuildGantt(fmt.Sprintf("\n%s: one run, makespan %.1f, %d chunks, mean chunk %.1f, busy efficiency %.0f%%",
+			tech.Name, r.Makespan, r.NumChunks, a.MeanChunkSize, a.BusyEfficiency*100), r.Chunks, workers, overhead)
 		if err := g.Render(os.Stdout); err != nil {
 			return err
 		}
 	}
-	return metrics.WriteTo(reg, metricsDest)
+	return writeObservability(reg, tr, metricsDest, traceDest)
+}
+
+// writeObservability flushes the optional metrics and trace outputs at
+// the end of a run; both writers treat an empty destination (or nil
+// collector) as a no-op.
+func writeObservability(reg *metrics.Registry, tr *tracing.Tracer, metricsDest, traceDest string) error {
+	if err := metrics.WriteTo(reg, metricsDest); err != nil {
+		return err
+	}
+	return tracing.WriteTo(tr, traceDest)
 }
 
 // buildDist constructs the iteration-time distribution from its family

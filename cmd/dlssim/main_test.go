@@ -61,20 +61,20 @@ func TestBuildDist(t *testing.T) {
 func TestRunSmoke(t *testing.T) {
 	// End-to-end through the CLI logic with tiny parameters.
 	err := run(64, 8, 2, 1, 0.3, "normal", "flat", "0.5:0.5,1:0.5", "markov",
-		50, 0.5, "FAC,AF", 0.5, 3, 1, 100, false, "", true, true, "")
+		50, 0.5, "FAC,AF", 0.5, 3, 1, 100, false, "", true, true, "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := run(64, 0, 2, 1, 0.3, "gamma", "peaked", "1:1", "static",
-		0, 0, "SS", 0, 2, 1, 0, true, "", false, false, ""); err != nil {
+		0, 0, "SS", 0, 2, 1, 0, true, "", false, false, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := run(64, 0, 2, 1, 0.3, "normal", "flat", "1:1", "bogus",
-		0, 0, "", 0, 2, 1, 0, false, "", false, false, ""); err == nil {
+		0, 0, "", 0, 2, 1, 0, false, "", false, false, "", "", ""); err == nil {
 		t.Error("unknown model accepted")
 	}
 	if err := run(64, 0, 2, 1, 0.3, "normal", "flat", "1:1", "static",
-		0, 0, "NOPE", 0, 2, 1, 0, false, "", false, false, ""); err == nil {
+		0, 0, "NOPE", 0, 2, 1, 0, false, "", false, false, "", "", ""); err == nil {
 		t.Error("unknown technique accepted")
 	}
 }
@@ -84,7 +84,7 @@ func TestRunMetricsOutput(t *testing.T) {
 	// trace sections.
 	path := t.TempDir() + "/metrics.json"
 	if err := run(64, 4, 2, 1, 0.3, "normal", "flat", "0.5:0.5,1:0.5", "markov",
-		50, 0.5, "FAC", 0.5, 3, 1, 0, false, "", false, false, path); err != nil {
+		50, 0.5, "FAC", 0.5, 3, 1, 0, false, "", false, false, path, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

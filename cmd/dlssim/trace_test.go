@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"regexp"
+	"testing"
+
+	"cdsf/internal/trace"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	collected := make(chan []byte)
+	go func() {
+		var out []byte
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			out = append(out, tmp[:n]...)
+			if err != nil {
+				collected <- out
+				return
+			}
+		}
+	}()
+	runErr := fn()
+	w.Close()
+	out := <-collected
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return string(out)
+}
+
+// Acceptance: a seeded dlssim run with -trace writes valid Chrome Trace
+// Event JSON whose per-worker simulated-time lanes account for exactly
+// the busy/overhead/idle time trace.Analyze reports for the same run,
+// and the run's stdout is bit-identical with tracing off or on.
+func TestRunTraceAcceptance(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := dir + "/out.json"
+	chunksPrefix := dir + "/chunks"
+	const (
+		workers  = 3
+		overhead = 0.5
+	)
+	doRun := func(traceDest string) error {
+		return run(256, 8, workers, 1, 0.3, "normal", "flat", "0.5:0.5,1:0.5", "markov",
+			50, 0.5, "FAC", overhead, 3, 9, 0, false, chunksPrefix, false, false, "", traceDest, "")
+	}
+	plain := captureStdout(t, func() error { return doRun("") })
+	traced := captureStdout(t, func() error { return doRun(tracePath) })
+	if plain != traced {
+		t.Errorf("stdout differs with -trace on:\n--- off ---\n%s--- on ---\n%s", plain, traced)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("-trace output is not valid Chrome trace JSON: %v", err)
+	}
+
+	// Resolve simulated-time (pid 2) thread ids to lane names, then sum
+	// the duration events per worker lane and category.
+	lanes := map[int]string{}
+	for _, e := range file.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" && e.PID == 2 {
+			if name, ok := e.Args["name"].(string); ok {
+				lanes[e.TID] = name
+			}
+		}
+	}
+	workerLane := regexp.MustCompile(`^fac/w(\d\d)$`)
+	type sums struct{ busy, overhead, idle float64 }
+	perWorker := map[int]*sums{}
+	for _, e := range file.TraceEvents {
+		if e.Ph != "X" || e.PID != 2 {
+			continue
+		}
+		m := workerLane.FindStringSubmatch(lanes[e.TID])
+		if m == nil {
+			continue
+		}
+		w := int(m[1][0]-'0')*10 + int(m[1][1]-'0')
+		if perWorker[w] == nil {
+			perWorker[w] = &sums{}
+		}
+		switch e.Cat {
+		case "busy":
+			perWorker[w].busy += e.Dur
+		case "overhead":
+			perWorker[w].overhead += e.Dur
+		case "idle":
+			perWorker[w].idle += e.Dur
+		default:
+			t.Errorf("unexpected category %q on %s", e.Cat, lanes[e.TID])
+		}
+	}
+	if len(perWorker) != workers {
+		t.Fatalf("trace has %d worker lanes, want %d", len(perWorker), workers)
+	}
+
+	// The run's chunk log (written by -chunks in the same pass the trace
+	// lanes come from) is the reference accounting.
+	f, err := os.Open(chunksPrefix + "-fac.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := trace.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := trace.Analyze(chunks, workers, overhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ws := range a.Workers {
+		got := perWorker[ws.Worker]
+		if got == nil {
+			t.Fatalf("worker %d missing from trace", ws.Worker)
+		}
+		if math.Abs(got.busy-ws.Busy) > 1e-9 ||
+			math.Abs(got.overhead-ws.Overhead) > 1e-9 ||
+			math.Abs(got.idle-ws.Idle) > 1e-9 {
+			t.Errorf("worker %d lanes sum to busy %v overhead %v idle %v, Analyze says %v %v %v",
+				ws.Worker, got.busy, got.overhead, got.idle, ws.Busy, ws.Overhead, ws.Idle)
+		}
+	}
+}
+
+// A -debug-addr run must keep stdout identical too, and its endpoints
+// must be live while the process is up (exercised in internal/tracing;
+// here we only check the flag path end to end).
+func TestRunDebugAddrStdoutIdentical(t *testing.T) {
+	doRun := func(debugAddr string) error {
+		return run(64, 4, 2, 1, 0.3, "normal", "flat", "1:1", "static",
+			0, 0, "SS", 0.5, 2, 3, 0, false, "", false, false, "", "", debugAddr)
+	}
+	plain := captureStdout(t, func() error { return doRun("") })
+	withDebug := captureStdout(t, func() error { return doRun("127.0.0.1:0") })
+	if plain != withDebug {
+		t.Errorf("stdout differs with -debug-addr on:\n--- off ---\n%s--- on ---\n%s", plain, withDebug)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
 	"cdsf/internal/report"
+	"cdsf/internal/tracing"
 )
 
 func main() {
@@ -31,14 +32,17 @@ func main() {
 	reps := flag.Int("reps", 20, "stage-II repetitions for the sensitivity studies")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the scale study (results are identical for any value)")
 	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
+	traceDest := flag.String("trace", "", `record span timelines and write Chrome Trace Event JSON (chrome://tracing, Perfetto) to this destination: "-" for stdout or a file path`)
+	debugAddr := flag.String("debug-addr", "", `serve live debug endpoints (/debug/pprof/*, /metrics, /progress, /trace) on this address, e.g. ":6060"`)
 	flag.Parse()
 
 	// expgen drives everything through internal/experiments, which
-	// builds its own configs; the process-wide default registry routes
-	// their instrumentation here without threading a parameter through
-	// every generator.
+	// builds its own configs; the process-wide default registry (and
+	// likewise the default tracer and progress board) routes their
+	// instrumentation here without threading a parameter through every
+	// generator.
 	var reg *metrics.Registry
-	if *metricsDest != "" {
+	if *metricsDest != "" || *debugAddr != "" {
 		reg = metrics.NewRegistry()
 		metrics.SetDefault(reg)
 		pmf.SetMetrics(reg)
@@ -46,6 +50,24 @@ func main() {
 			pmf.SetMetrics(nil)
 			metrics.SetDefault(nil)
 		}()
+	}
+	var tr *tracing.Tracer
+	if *traceDest != "" || *debugAddr != "" {
+		tr = tracing.NewSized(0, reg)
+		tracing.SetDefault(tr)
+		defer tracing.SetDefault(nil)
+	}
+	if *debugAddr != "" {
+		prog := tracing.NewProgress()
+		tracing.SetProgress(prog)
+		defer tracing.SetProgress(nil)
+		srv, err := tracing.StartDebug(*debugAddr, reg, prog, tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "expgen:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "expgen: debug endpoints on http://%s/\n", srv.Addr())
 	}
 
 	var err error
@@ -59,6 +81,9 @@ func main() {
 	}
 	if err == nil {
 		err = metrics.WriteTo(reg, *metricsDest)
+	}
+	if err == nil {
+		err = tracing.WriteTo(tr, *traceDest)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "expgen:", err)

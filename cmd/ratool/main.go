@@ -31,6 +31,7 @@ import (
 	"cdsf/internal/robustness"
 	"cdsf/internal/stats"
 	"cdsf/internal/sysmodel"
+	"cdsf/internal/tracing"
 )
 
 func main() {
@@ -44,9 +45,11 @@ func main() {
 	instance := flag.String("instance", "", "JSON instance file (overrides -apps and the paper instance)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the parallel Stage-I engine (results are identical for any value)")
 	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
+	traceDest := flag.String("trace", "", `record span timelines and write Chrome Trace Event JSON (chrome://tracing, Perfetto) to this destination: "-" for stdout or a file path`)
+	debugAddr := flag.String("debug-addr", "", `serve live debug endpoints (/debug/pprof/*, /metrics, /progress, /trace) on this address, e.g. ":6060"`)
 	flag.Parse()
 
-	if err := run(*heuristic, *apps, *type1, *type2, *deadline, *seed, *exhaustiveRef, *instance, *workers, *metricsDest); err != nil {
+	if err := run(*heuristic, *apps, *type1, *type2, *deadline, *seed, *exhaustiveRef, *instance, *workers, *metricsDest, *traceDest, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "ratool:", err)
 		os.Exit(1)
 	}
@@ -85,9 +88,9 @@ func syntheticProblem(apps, type1, type2 int, deadline float64, seed uint64) *ra
 	return &ra.Problem{Sys: sys, Batch: b, Deadline: deadline}
 }
 
-func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64, optimum bool, instance string, workers int, metricsDest string) error {
+func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64, optimum bool, instance string, workers int, metricsDest, traceDest, debugAddr string) error {
 	var reg *metrics.Registry
-	if metricsDest != "" {
+	if metricsDest != "" || debugAddr != "" {
 		reg = metrics.NewRegistry()
 		metrics.SetDefault(reg)
 		pmf.SetMetrics(reg)
@@ -95,6 +98,23 @@ func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64
 			pmf.SetMetrics(nil)
 			metrics.SetDefault(nil)
 		}()
+	}
+	var tr *tracing.Tracer
+	if traceDest != "" || debugAddr != "" {
+		tr = tracing.NewSized(0, reg)
+		tracing.SetDefault(tr)
+		defer tracing.SetDefault(nil)
+	}
+	if debugAddr != "" {
+		prog := tracing.NewProgress()
+		tracing.SetProgress(prog)
+		defer tracing.SetProgress(nil)
+		srv, err := tracing.StartDebug(debugAddr, reg, prog, tr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ratool: debug endpoints on http://%s/\n", srv.Addr())
 	}
 	var prob *ra.Problem
 	switch {
@@ -112,6 +132,7 @@ func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64
 	}
 
 	prob.Metrics = reg
+	prob.Tracer = tr
 
 	names := ra.Names()
 	if heuristic != "" {
@@ -183,5 +204,8 @@ func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64
 	if err := tbl.Render(os.Stdout); err != nil {
 		return err
 	}
-	return metrics.WriteTo(reg, metricsDest)
+	if err := metrics.WriteTo(reg, metricsDest); err != nil {
+		return err
+	}
+	return tracing.WriteTo(tr, traceDest)
 }

@@ -29,6 +29,7 @@ import (
 	"cdsf/internal/sim"
 	"cdsf/internal/stats"
 	"cdsf/internal/sysmodel"
+	"cdsf/internal/tracing"
 )
 
 // Framework is one CDSF problem instance. The System's availability
@@ -91,6 +92,14 @@ type StageIIConfig struct {
 	// sim.Config, and RunScenario adds per-scenario wall time and
 	// repetition counts. Nil falls back to metrics.Default().
 	Metrics *metrics.Registry
+	// Tracer optionally receives the scenario's timeline: wall-clock
+	// spans for Stage I and the scenario -> case -> application
+	// nesting, plus one representative simulated-time chunk timeline
+	// per (case, application, technique) cell on hierarchically named
+	// lanes. Nil falls back to tracing.Default(). Spans derive only
+	// from wall time and finished results, so seeded outputs are
+	// bit-identical with tracing on or off.
+	Tracer *tracing.Tracer
 }
 
 // registry resolves the effective metrics registry for this config.
@@ -99,6 +108,14 @@ func (c *StageIIConfig) registry() *metrics.Registry {
 		return c.Metrics
 	}
 	return metrics.Default()
+}
+
+// tracer resolves the effective tracer for this config.
+func (c *StageIIConfig) tracer() *tracing.Tracer {
+	if c.Tracer != nil {
+		return c.Tracer
+	}
+	return tracing.Default()
 }
 
 // DefaultStageII returns the configuration used by the paper
@@ -228,7 +245,14 @@ func (f *Framework) RunScenario(sc Scenario, cases []Case, cfg StageIIConfig) (*
 	if reg != nil {
 		t0 = time.Now()
 	}
-	alloc, err := sc.IM.Allocate(&ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Metrics: cfg.Metrics})
+	tr := cfg.tracer()
+	prog := tracing.DefaultProgress()
+	prog.PlanScenarios(1)
+	prog.PlanCases(len(cases))
+	scenarioRegion := tr.Begin("stage2", sc.Name, "scenario")
+	stage1Region := tr.Begin("stage2", "stage1: "+sc.IM.Name(), "stage1")
+	alloc, err := sc.IM.Allocate(&ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Metrics: cfg.Metrics, Tracer: cfg.Tracer})
+	stage1Region.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: stage I (%s): %w", sc.IM.Name(), err)
 	}
@@ -238,12 +262,17 @@ func (f *Framework) RunScenario(sc Scenario, cases []Case, cfg StageIIConfig) (*
 	}
 	res := &ScenarioResult{Scenario: sc.Name, StageI: stage1}
 	for ci, c := range cases {
-		cr, err := f.runCase(alloc, sc.RAS, c, cfg, uint64(ci))
+		caseRegion := tr.Begin("stage2", "case: "+c.Name, "case")
+		cr, err := f.runCase(alloc, sc.RAS, c, cfg, uint64(ci), sc.Name+"/"+c.Name)
+		caseRegion.End()
 		if err != nil {
 			return nil, err
 		}
 		res.Cases = append(res.Cases, *cr)
+		prog.CaseDone()
 	}
+	scenarioRegion.End()
+	prog.ScenarioDone()
 	if reg != nil {
 		name := metricName(sc.Name)
 		reg.Counter("core.scenarios").Inc()
@@ -276,7 +305,7 @@ func metricName(s string) string {
 	return strings.TrimSuffix(b.String(), "_")
 }
 
-func (f *Framework) runCase(alloc sysmodel.Allocation, ras []dls.Technique, c Case, cfg StageIIConfig, caseSalt uint64) (*CaseResult, error) {
+func (f *Framework) runCase(alloc sysmodel.Allocation, ras []dls.Technique, c Case, cfg StageIIConfig, caseSalt uint64, traceScope string) (*CaseResult, error) {
 	if len(c.Avail) != len(f.Sys.Types) {
 		return nil, fmt.Errorf("core: case %q has %d availability PMFs for %d types",
 			c.Name, len(c.Avail), len(f.Sys.Types))
@@ -305,8 +334,11 @@ func (f *Framework) runCase(alloc sysmodel.Allocation, ras []dls.Technique, c Ca
 		outcomes := make([]TechOutcome, 0, len(ras))
 		bestName, bestTime := "", 0.0
 		for ti, tech := range ras {
+			appRegion := cfg.tracer().Begin("stage2", app.Name+" / "+tech.Name, "app")
 			s, err := f.simulateApp(app, as, tech, iterDist, model, cfg,
-				cfg.Seed^(caseSalt<<40)^(uint64(i)<<20)^uint64(ti)<<4)
+				cfg.Seed^(caseSalt<<40)^(uint64(i)<<20)^uint64(ti)<<4,
+				traceScope+"/"+app.Name+"/"+tech.Name)
+			appRegion.End()
 			if err != nil {
 				return nil, err
 			}
@@ -331,7 +363,7 @@ func (f *Framework) runCase(alloc sysmodel.Allocation, ras []dls.Technique, c Ca
 	return out, nil
 }
 
-func (f *Framework) simulateApp(app *sysmodel.Application, as sysmodel.Assignment, tech dls.Technique, iterDist stats.Dist, model availability.Model, cfg StageIIConfig, seed uint64) (*sim.Sample, error) {
+func (f *Framework) simulateApp(app *sysmodel.Application, as sysmodel.Assignment, tech dls.Technique, iterDist stats.Dist, model availability.Model, cfg StageIIConfig, seed uint64, traceScope string) (*sim.Sample, error) {
 	c := sim.Config{
 		SerialIters:   app.SerialIters,
 		ParallelIters: app.ParallelIters,
@@ -344,6 +376,8 @@ func (f *Framework) simulateApp(app *sysmodel.Application, as sysmodel.Assignmen
 		BestMaster:    cfg.BestMaster,
 		TimeSteps:     cfg.TimeSteps,
 		Metrics:       cfg.Metrics,
+		Tracer:        cfg.Tracer,
+		TraceScope:    traceScope,
 	}
 	if cfg.WeightsFromAvail {
 		c.WeightsFromAvail = true

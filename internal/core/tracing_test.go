@@ -1,0 +1,93 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cdsf/internal/ra"
+	"cdsf/internal/tracing"
+)
+
+// A traced RunScenario must emit the scenario -> case -> app hierarchy
+// on the wall clock plus simulated-time worker lanes scoped
+// scenario/case/app/technique, and must not change the results.
+func TestRunScenarioTracing(t *testing.T) {
+	f := testFramework()
+	sc := Scenario{Name: "test", IM: ra.Exhaustive{}, RAS: RobustRAS()}
+	plain, err := f.RunScenario(sc, testCases(f), quickCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := quickCfg(1)
+	cfg.Tracer = tracing.New()
+	traced, err := f.RunScenario(sc, testCases(f), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, traced) {
+		t.Error("tracing changed scenario results")
+	}
+
+	var sawScenario, sawCase, sawApp, sawStage1 bool
+	var simLanes []string
+	for _, s := range cfg.Tracer.Spans() {
+		switch {
+		case s.Clock == tracing.Wall && s.Lane == "stage2":
+			switch s.Cat {
+			case "scenario":
+				sawScenario = true
+			case "case":
+				sawCase = true
+			case "app":
+				sawApp = true
+			case "stage1":
+				sawStage1 = true
+			}
+		case s.Clock == tracing.Sim:
+			simLanes = append(simLanes, s.Lane)
+		}
+	}
+	if !sawScenario || !sawCase || !sawApp || !sawStage1 {
+		t.Errorf("wall hierarchy incomplete: scenario %v case %v app %v stage1 %v",
+			sawScenario, sawCase, sawApp, sawStage1)
+	}
+	if len(simLanes) == 0 {
+		t.Fatal("no simulated-time lanes")
+	}
+	// Lanes follow scenario/case/app/technique/w<NN>: 5 segments with
+	// the scenario and case names leading.
+	for _, lane := range simLanes {
+		if !strings.HasPrefix(lane, "test/") {
+			t.Fatalf("sim lane %q does not start with the scenario name", lane)
+		}
+		if parts := strings.Split(lane, "/"); len(parts) != 5 {
+			t.Fatalf("sim lane %q does not follow scenario/case/app/technique/worker", lane)
+		}
+	}
+}
+
+// RunScenario reports scenario and case progress to the default board.
+func TestRunScenarioProgress(t *testing.T) {
+	prog := tracing.NewProgress()
+	tracing.SetProgress(prog)
+	defer tracing.SetProgress(nil)
+
+	f := testFramework()
+	sc := Scenario{Name: "test", IM: ra.Exhaustive{}, RAS: NaiveRAS()}
+	cases := testCases(f)
+	if _, err := f.RunScenario(sc, cases, quickCfg(1)); err != nil {
+		t.Fatal(err)
+	}
+	s := prog.Snapshot()
+	if s.Scenarios != (tracing.Counts{Done: 1, Planned: 1}) {
+		t.Errorf("scenarios = %+v", s.Scenarios)
+	}
+	if s.Cases != (tracing.Counts{Done: int64(len(cases)), Planned: int64(len(cases))}) {
+		t.Errorf("cases = %+v", s.Cases)
+	}
+	if s.Replications.Done == 0 || s.Replications.Done != s.Replications.Planned {
+		t.Errorf("replications = %+v", s.Replications)
+	}
+}

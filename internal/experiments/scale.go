@@ -15,6 +15,7 @@ import (
 	"cdsf/internal/rng"
 	"cdsf/internal/stats"
 	"cdsf/internal/sysmodel"
+	"cdsf/internal/tracing"
 )
 
 // This file implements the paper's closing future-work item: "a larger
@@ -168,7 +169,13 @@ func RunScaleStudy(cfg ScaleConfig) (*report.Table, error) {
 		}
 	}
 	results := make([]cellResult, len(jobs))
+	// Each (size, quadrant, instance) cell counts as one "case" on the
+	// live progress board, so the -debug-addr /progress endpoint shows
+	// how far a long scale study has advanced.
+	prog := tracing.DefaultProgress()
+	prog.PlanCases(len(jobs))
 	forEachParallel(cfg.Workers, len(jobs), func(i int) {
+		defer prog.CaseDone()
 		j := jobs[i]
 		apps, t1, t2 := j.size[0], j.size[1], j.size[2]
 		seed := cfg.Seed ^ uint64(j.inst)<<16 ^ uint64(apps)<<40

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// This file emits a snapshot in the Prometheus text exposition format
+// (version 0.0.4), so the /metrics?format=prom debug endpoint and the
+// CLIs' -metrics flag can feed standard scrapers. Output is fully
+// deterministic: families are written counters, gauges, timers,
+// histograms, each in sorted name order.
+//
+// Mapping: counters and gauges keep their value; timers become
+// summaries named <name>_seconds with _count and _sum samples;
+// histograms become Prometheus histograms with cumulative _bucket
+// samples (our buckets store per-bucket counts) plus _count.
+
+// promName sanitizes a metric name into the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*; dots and any other invalid runes collapse
+// to underscores.
+func promName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a sample value; Prometheus accepts Go's shortest
+// 'g' representation plus +Inf/-Inf/NaN spellings.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format, deterministically sorted within each metric family kind.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Timers) {
+		t := s.Timers[name]
+		n := promName(name) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n%s_count %d\n%s_sum %s\n",
+			n, n, t.Count, n, promFloat(t.TotalSeconds)); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(b.LE), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"sim.runs":            "sim_runs",
+		"trace.worker00.busy": "trace_worker00_busy",
+		"9lives":              "_lives",
+		"a:b_c9":              "a:b_c9",
+		"häx":                 "h_x",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// The golden file pins the full exposition: family ordering (counters,
+// gauges, timers, histograms), name sorting within each, sanitized
+// names, and cumulative histogram buckets.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.runs").Add(42)
+	r.Counter("tracing.dropped").Add(3)
+	r.Gauge("trace.fac.busy_efficiency").Set(0.875)
+	r.Gauge("pmf.cache.ratio").Set(0.5)
+	r.Timer("stage1.allocate").Observe(1500 * time.Millisecond)
+	r.Timer("stage1.allocate").Observe(500 * time.Millisecond)
+	h := r.Histogram("sim.makespan", []float64{100, 1000})
+	h.Observe(50)
+	h.Observe(150)
+	h.Observe(5000)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("z").Set(1)
+	var a, b bytes.Buffer
+	snap := r.Snapshot()
+	if err := snap.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two expositions of one snapshot differ")
+	}
+}

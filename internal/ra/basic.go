@@ -171,7 +171,10 @@ func (h Exhaustive) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	// local integer and flushes once, so the scan loop stays free of
 	// atomic traffic.
 	scanned := p.registry().Counter("ra.exhaustive_scanned")
+	tr := p.tracer()
 	runParallel(h.Workers, len(opts), func(k int) {
+		defer tr.Begin(fmt.Sprintf("stage1/exhaustive/p%02d", k),
+			fmt.Sprintf("partition app0=%dx type%d", opts[k].Procs, opts[k].Type+1), "stage1").End()
 		var best sysmodel.Allocation
 		var bestScore score
 		var n int64

@@ -52,11 +52,15 @@ type restartResult struct {
 // runRestarts executes run once per stream across a worker pool and
 // merges the results in restart order: the first restart with a
 // strictly higher phi_1 wins. It returns the first error only when
-// every restart failed.
-func runRestarts(p *Problem, workers int, streams []*rng.Source, run func(r *rng.Source) (sysmodel.Allocation, float64, error)) (sysmodel.Allocation, error) {
+// every restart failed. label names the heuristic in the restarts'
+// trace spans (lanes "stage1/<label>/r<k>").
+func runRestarts(p *Problem, label string, workers int, streams []*rng.Source, run func(r *rng.Source) (sysmodel.Allocation, float64, error)) (sysmodel.Allocation, error) {
 	p.registry().Counter("ra.restarts").Add(int64(len(streams)))
+	tr := p.tracer()
 	results := make([]restartResult, len(streams))
 	runParallel(workers, len(streams), func(k int) {
+		defer tr.Begin(fmt.Sprintf("stage1/%s/r%02d", label, k),
+			fmt.Sprintf("%s restart %d", label, k), "stage1").End()
 		al, phi, err := run(streams[k])
 		results[k] = restartResult{al: al, phi: phi, err: err}
 	})
@@ -180,7 +184,7 @@ func (h *Random) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Precompute(h.Workers); err != nil {
 		return nil, err
 	}
-	al, err := runRestarts(p, h.Workers, restartStreams(h.Seed, h.Tries),
+	al, err := runRestarts(p, "random", h.Workers, restartStreams(h.Seed, h.Tries),
 		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
 			al, ok := randomAllocation(p, r)
 			if !ok {
@@ -273,7 +277,7 @@ func (h *SimulatedAnnealing) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if restarts <= 0 {
 		restarts = 1
 	}
-	return runRestarts(p, h.Workers, restartStreams(h.Seed+0x5a5a, restarts),
+	return runRestarts(p, "anneal", h.Workers, restartStreams(h.Seed+0x5a5a, restarts),
 		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
 			return h.annealOnce(p, r)
 		})
@@ -357,7 +361,7 @@ func (h *GeneticAlgorithm) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if restarts <= 0 {
 		restarts = 1
 	}
-	return runRestarts(p, h.Workers, restartStreams(h.Seed+0x6e6e, restarts),
+	return runRestarts(p, "genetic", h.Workers, restartStreams(h.Seed+0x6e6e, restarts),
 		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
 			return h.evolveOnce(p, r)
 		})
@@ -477,7 +481,7 @@ func (h *TabuSearch) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	if restarts <= 0 {
 		restarts = 1
 	}
-	return runRestarts(p, h.Workers, restartStreams(h.Seed+0x7a7a, restarts),
+	return runRestarts(p, "tabu", h.Workers, restartStreams(h.Seed+0x7a7a, restarts),
 		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
 			return h.searchOnce(p, r)
 		})

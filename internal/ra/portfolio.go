@@ -61,7 +61,9 @@ func (p Portfolio) Allocate(prob *Problem) (sysmodel.Allocation, error) {
 		err error
 	}
 	results := make([]memberResult, len(members))
+	tr := prob.tracer()
 	runParallel(p.Workers, len(members), func(i int) {
+		defer tr.Begin("stage1/portfolio/"+members[i].Name(), members[i].Name(), "stage1").End()
 		al, err := members[i].Allocate(prob)
 		if err != nil {
 			results[i] = memberResult{err: fmt.Errorf("ra: portfolio member %s: %w", members[i].Name(), err)}

@@ -34,6 +34,7 @@ import (
 
 	"cdsf/internal/metrics"
 	"cdsf/internal/sysmodel"
+	"cdsf/internal/tracing"
 )
 
 // Problem is one Stage-I instance.
@@ -60,6 +61,14 @@ type Problem struct {
 	// counters are cached when the table is built, following the same
 	// single-goroutine construction contract as the table itself.
 	Metrics *metrics.Registry
+
+	// Tracer optionally receives wall-clock spans of the Stage-I
+	// search: the precompute build, each exhaustive partition, each
+	// portfolio member, and each metaheuristic restart, on lanes under
+	// "stage1/". Nil falls back to tracing.Default(). Spans never touch
+	// the search's rng streams, so allocations are identical with
+	// tracing on or off.
+	Tracer *tracing.Tracer
 
 	// table is the eagerly built (application x type x log2(count))
 	// evaluation table; see Precompute in table.go. The search
@@ -89,6 +98,14 @@ func (p *Problem) registry() *metrics.Registry {
 		return p.Metrics
 	}
 	return metrics.Default()
+}
+
+// tracer resolves the effective tracer for this Problem.
+func (p *Problem) tracer() *tracing.Tracer {
+	if p.Tracer != nil {
+		return p.Tracer
+	}
+	return tracing.Default()
 }
 
 type memoVal struct {

@@ -66,6 +66,7 @@ func (p *Problem) Precompute(workers int) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	defer p.tracer().Begin("stage1", "precompute", "stage1").End()
 	reg := p.registry()
 	var t0 time.Time
 	if reg != nil {

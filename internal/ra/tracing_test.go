@@ -1,0 +1,69 @@
+package ra
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cdsf/internal/tracing"
+)
+
+// Stage-I search engines emit wall-clock spans under "stage1" lanes —
+// the precompute, each exhaustive partition, each metaheuristic
+// restart, each portfolio member — without perturbing the allocation.
+func TestStageISpans(t *testing.T) {
+	for _, name := range []string{"exhaustive", "random", "anneal", "genetic", "tabu", "portfolio"} {
+		t.Run(name, func(t *testing.T) {
+			h, ok := Get(name)
+			if !ok {
+				t.Fatalf("heuristic %q missing", name)
+			}
+			plainAl, err := h.Allocate(smallProblem())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			p := smallProblem()
+			p.Tracer = tracing.New()
+			al, err := h.Allocate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(al, plainAl) {
+				t.Errorf("tracing changed the allocation: %v vs %v", al, plainAl)
+			}
+
+			spans := p.Tracer.Spans()
+			if len(spans) == 0 {
+				t.Fatal("no spans recorded")
+			}
+			var sawEngine bool
+			for _, s := range spans {
+				if s.Clock != tracing.Wall {
+					t.Fatalf("stage-I span on sim clock: %+v", s)
+				}
+				if s.Cat != "stage1" || !strings.HasPrefix(s.Lane, "stage1") {
+					t.Fatalf("span outside stage1: %+v", s)
+				}
+				if strings.HasPrefix(s.Lane, "stage1/") {
+					sawEngine = true
+				}
+			}
+			if !sawEngine {
+				t.Errorf("%s emitted no engine lanes (only %d top-level spans)", name, len(spans))
+			}
+		})
+	}
+}
+
+func TestPrecomputeSpan(t *testing.T) {
+	p := smallProblem()
+	p.Tracer = tracing.New()
+	if err := p.Precompute(2); err != nil {
+		t.Fatal(err)
+	}
+	spans := p.Tracer.Spans()
+	if len(spans) != 1 || spans[0].Lane != "stage1" || spans[0].Name != "precompute" {
+		t.Errorf("precompute spans = %+v", spans)
+	}
+}

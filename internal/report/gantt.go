@@ -27,7 +27,10 @@ type Gantt struct {
 	Lanes int
 	// Width is the time-axis width in characters (default 80).
 	Width int
-	spans []Span
+	// LaneLabels optionally names the rows; lanes beyond the list (or
+	// with an empty entry) fall back to the default "w<lane>" label.
+	LaneLabels []string
+	spans      []Span
 }
 
 // NewGantt returns an empty chart with the given number of lanes.
@@ -89,11 +92,21 @@ func (g *Gantt) Render(w io.Writer) error {
 			rows[s.Lane][j] = s.Glyph
 		}
 	}
-	laneW := len(fmt.Sprintf("%d", g.Lanes-1))
-	for i, row := range rows {
-		fmt.Fprintf(&b, "w%-*d |%s|\n", laneW, i, row)
+	labels := make([]string, g.Lanes)
+	labelW := 0
+	for i := range labels {
+		labels[i] = fmt.Sprintf("w%d", i)
+		if i < len(g.LaneLabels) && g.LaneLabels[i] != "" {
+			labels[i] = g.LaneLabels[i]
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
 	}
-	fmt.Fprintf(&b, "%*s 0%*s%.6g\n", laneW+2, "", width-1, "", maxT)
+	for i, row := range rows {
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, labels[i], row)
+	}
+	fmt.Fprintf(&b, "%*s 0%*s%.6g\n", labelW+1, "", width-1, "", maxT)
 	_, err := io.WriteString(w, b.String())
 	return err
 }

@@ -55,6 +55,38 @@ func TestGanttEmpty(t *testing.T) {
 	}
 }
 
+func TestGanttLaneLabels(t *testing.T) {
+	g := NewGantt("", 3)
+	g.Width = 10
+	g.LaneLabels = []string{"fac/w00", "", "fac/serial"}
+	for lane := 0; lane < 3; lane++ {
+		g.Add(lane, 0, 10, '#')
+	}
+	lines := strings.Split(strings.TrimRight(g.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), g.String())
+	}
+	// Named lanes use their label; the empty entry falls back to "w<i>";
+	// all rows pad to the widest label.
+	for i, prefix := range []string{"fac/w00    ", "w1         ", "fac/serial "} {
+		if !strings.HasPrefix(lines[i], prefix+"|") {
+			t.Errorf("lane %d = %q, want prefix %q", i, lines[i], prefix+"|")
+		}
+	}
+}
+
+func TestGanttDefaultLabelsUnchanged(t *testing.T) {
+	// Without LaneLabels the layout must stay the seed's "w<i> |...|"
+	// form so existing golden CLI output is unaffected.
+	g := NewGantt("", 2)
+	g.Width = 10
+	g.Add(0, 0, 10, '#')
+	lines := strings.Split(strings.TrimRight(g.String(), "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "w0 |") || !strings.HasPrefix(lines[1], "w1 |") {
+		t.Errorf("default labels changed:\n%s", g.String())
+	}
+}
+
 func TestGanttTinySpanStillVisible(t *testing.T) {
 	g := NewGantt("", 1)
 	g.Width = 20

@@ -11,6 +11,7 @@ import (
 	"cdsf/internal/availability"
 	"cdsf/internal/rng"
 	"cdsf/internal/stats"
+	"cdsf/internal/tracing"
 )
 
 // Sample aggregates repeated simulation runs of the same configuration
@@ -99,6 +100,8 @@ func RunMany(cfg Config, reps int) (*Sample, error) {
 		return nil, fmt.Errorf("sim: %d repetitions", reps)
 	}
 	cfg.registry().Counter("sim.replications").Add(int64(reps))
+	prog := tracing.DefaultProgress()
+	prog.PlanReps(reps)
 	seeds := rng.New(cfg.Seed)
 	runSeeds := make([]uint64, reps)
 	for i := range runSeeds {
@@ -111,7 +114,11 @@ func RunMany(cfg Config, reps int) (*Sample, error) {
 		c := cfg
 		c.Seed = runSeeds[i]
 		c.CollectChunks = false
+		// Trace only the first repetition: one representative timeline
+		// per batch instead of reps copies flooding the span buffer.
+		c.noTrace = i != 0
 		results[i], errs[i] = Run(c)
+		prog.RepDone()
 	}
 
 	_, groupScoped := availability.AsGroupScoped(cfg.Avail)

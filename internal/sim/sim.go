@@ -32,6 +32,7 @@ import (
 	"cdsf/internal/metrics"
 	"cdsf/internal/rng"
 	"cdsf/internal/stats"
+	"cdsf/internal/tracing"
 )
 
 // Config describes one simulated application execution.
@@ -89,6 +90,32 @@ type Config struct {
 	// event order, so seeded results are identical with metrics on or
 	// off.
 	Metrics *metrics.Registry
+	// Tracer optionally receives the run's simulated-time timeline:
+	// per-worker lanes of busy/overhead/idle spans built from the chunk
+	// log under TraceScope. Nil falls back to tracing.Default(). Spans
+	// derive only from the finished result, so seeded runs are
+	// bit-identical with tracing on or off.
+	Tracer *tracing.Tracer
+	// TraceScope prefixes the emitted lane names (lanes are
+	// TraceScope + "/w<worker>"); empty means "run". Hierarchical
+	// scopes like "scenario/case/app" thread the Stage-II nesting into
+	// the trace.
+	TraceScope string
+	// noTrace suppresses the tracing.Default() fallback; RunMany sets
+	// it on all repetitions but the first so a Monte-Carlo batch traces
+	// one representative timeline instead of flooding the span buffer.
+	noTrace bool
+}
+
+// tracer resolves the effective tracer for a run.
+func (c *Config) tracer() *tracing.Tracer {
+	if c.noTrace {
+		return nil
+	}
+	if c.Tracer != nil {
+		return c.Tracer
+	}
+	return tracing.Default()
 }
 
 // registry resolves the effective metrics registry for a run.
@@ -217,6 +244,14 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	// An active tracer needs the chunk log to build the worker lanes;
+	// collect it internally and restore the caller's view afterwards so
+	// the returned Result is identical with tracing on or off.
+	tr := cfg.tracer()
+	collectRequested := cfg.CollectChunks
+	if tr != nil {
+		cfg.CollectChunks = true
+	}
 	reg := cfg.registry()
 	var t0 time.Time
 	if reg != nil {
@@ -309,7 +344,34 @@ func Run(cfg Config) (*Result, error) {
 	if reg != nil {
 		flushRunMetrics(reg, &cfg, res, &st, time.Since(t0))
 	}
+	if tr != nil {
+		emitRunSpans(tr, &cfg, res)
+		if !collectRequested {
+			res.Chunks = nil
+		}
+	}
 	return res, nil
+}
+
+// emitRunSpans publishes one run's simulated-time timeline: the serial
+// phase on a master lane plus the per-worker busy/overhead/idle lanes
+// of the chunk log. All spans derive from the finished Result, never
+// from the simulation's rng streams, so enabling tracing cannot
+// perturb seeded outputs.
+func emitRunSpans(tr *tracing.Tracer, cfg *Config, res *Result) {
+	scope := cfg.TraceScope
+	if scope == "" {
+		scope = "run"
+	}
+	if res.SerialTime > 0 {
+		tr.Add(tracing.Span{Clock: tracing.Sim, Lane: scope + "/serial",
+			Name: "serial phase", Cat: "serial", Start: 0, Dur: res.SerialTime})
+	}
+	chunks := make([]tracing.Chunk, len(res.Chunks))
+	for i, c := range res.Chunks {
+		chunks[i] = tracing.Chunk{Worker: c.Worker, Start: c.Start, Size: c.Size, Elapsed: c.Elapsed}
+	}
+	tr.AddWorkerLanes(scope, chunks, cfg.Overhead)
 }
 
 // runStats accumulates one run's instrumentation counts in plain

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cdsf/internal/sim"
+	"cdsf/internal/tracing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// Satellite: WriteCSV's float formatting must preserve every bit of
+// Start and Elapsed — %.6g used to truncate, so a re-imported log
+// disagreed with the original. A real chunk log (irrational-looking
+// simulated times) plus adversarial values must round-trip exactly.
+func TestCSVRoundTripBitExact(t *testing.T) {
+	r := runWithChunks(t, 0.5)
+	chunks := append([]sim.ChunkRecord(nil), r.Chunks...)
+	chunks = append(chunks,
+		sim.ChunkRecord{Worker: 0, Start: 1.0 / 3.0, Size: 1, Elapsed: math.Pi},
+		sim.ChunkRecord{Worker: 1, Start: 123456.789012345, Size: 2, Elapsed: 1e-17},
+		sim.ChunkRecord{Worker: 2, Start: math.Nextafter(2, 3), Size: 3, Elapsed: 0.1},
+	)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, chunks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(chunks) {
+		t.Fatalf("round-trip length %d != %d", len(got), len(chunks))
+	}
+	// WriteCSV sorts by (start, worker); apply the same order to the
+	// input before comparing bit-for-bit.
+	want := append([]sim.ChunkRecord(nil), chunks...)
+	for i := 1; i < len(want); i++ {
+		for j := i; j > 0 && (want[j].Start < want[j-1].Start ||
+			(want[j].Start == want[j-1].Start && want[j].Worker < want[j-1].Worker)); j-- {
+			want[j], want[j-1] = want[j-1], want[j]
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("row %d: %+v != %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":       "",
+		"bad header":  "w,s,sz,e\n",
+		"bad fields":  "worker,start,size,elapsed\n1,2,3\n",
+		"bad worker":  "worker,start,size,elapsed\nx,0,1,1\n",
+		"bad start":   "worker,start,size,elapsed\n0,x,1,1\n",
+		"bad size":    "worker,start,size,elapsed\n0,0,x,1\n",
+		"bad elapsed": "worker,start,size,elapsed\n0,0,1,x\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Blank lines are tolerated.
+	got, err := ReadCSV(strings.NewReader("worker,start,size,elapsed\n\n0,1,2,3\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != (sim.ChunkRecord{Worker: 0, Start: 1, Size: 2, Elapsed: 3}) {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestExportSpansMatchesAnalyze(t *testing.T) {
+	const h = 0.5
+	r := runWithChunks(t, h)
+	a, err := Analyze(r.Chunks, 4, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tracing.New()
+	ExportSpans(tr, "fac", r.Chunks, h)
+	ExportSpans(nil, "fac", r.Chunks, h) // nil tracer: no-op, no panic
+
+	sums := map[string]map[string]float64{}
+	for _, s := range tr.Spans() {
+		if sums[s.Lane] == nil {
+			sums[s.Lane] = map[string]float64{}
+		}
+		sums[s.Lane][s.Cat] += s.Dur
+	}
+	for _, w := range a.Workers {
+		lane := tracingLane("fac", w.Worker)
+		got := sums[lane]
+		if math.Abs(got["busy"]-w.Busy) > 1e-9 ||
+			math.Abs(got["overhead"]-w.Overhead) > 1e-9 ||
+			math.Abs(got["idle"]-w.Idle) > 1e-9 {
+			t.Errorf("%s = %v, want busy %v overhead %v idle %v",
+				lane, got, w.Busy, w.Overhead, w.Idle)
+		}
+	}
+}
+
+// tracingLane mirrors the lane naming convention of
+// tracing.AddWorkerLanes for assertions.
+func tracingLane(scope string, worker int) string {
+	return scope + "/w" + string(rune('0'+worker/10)) + string(rune('0'+worker%10))
+}
+
+// Satellite: the ASCII Gantt built from a real seeded sim.Run chunk log
+// is pinned against a golden file, so rendering changes surface in
+// review instead of silently shifting the CLI output.
+func TestBuildGanttGolden(t *testing.T) {
+	const h = 0.5
+	r := runWithChunks(t, h) // fixed seed 6 inside the helper
+	g := BuildGantt("FAC: one run (seed 6)", r.Chunks, 4, h)
+	out := g.String()
+
+	golden := filepath.Join("testdata", "gantt.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("Gantt differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, out, want)
+	}
+}

@@ -6,12 +6,17 @@
 package trace
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 
 	"cdsf/internal/metrics"
+	"cdsf/internal/report"
 	"cdsf/internal/sim"
+	"cdsf/internal/tracing"
 )
 
 // WorkerSummary aggregates one worker's activity in a run.
@@ -123,7 +128,10 @@ func (a *Analysis) Record(reg *metrics.Registry, prefix string) {
 }
 
 // WriteCSV emits the raw chunk log as CSV (worker, start, size,
-// elapsed), sorted by start time, for external tooling.
+// elapsed), sorted by start time, for external tooling. Start and
+// Elapsed use the shortest decimal representation that parses back to
+// the same float64, so a log written here and re-imported with ReadCSV
+// round-trips bit-exactly.
 func WriteCSV(w io.Writer, chunks []sim.ChunkRecord) error {
 	sorted := append([]sim.ChunkRecord(nil), chunks...)
 	sort.Slice(sorted, func(i, j int) bool {
@@ -136,9 +144,90 @@ func WriteCSV(w io.Writer, chunks []sim.ChunkRecord) error {
 		return err
 	}
 	for _, c := range sorted {
-		if _, err := fmt.Fprintf(w, "%d,%.6g,%d,%.6g\n", c.Worker, c.Start, c.Size, c.Elapsed); err != nil {
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%s\n", c.Worker,
+			strconv.FormatFloat(c.Start, 'g', -1, 64), c.Size,
+			strconv.FormatFloat(c.Elapsed, 'g', -1, 64)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// ReadCSV parses a chunk log written by WriteCSV (a header line
+// followed by worker,start,size,elapsed rows).
+func ReadCSV(r io.Reader) ([]sim.ChunkRecord, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty chunk CSV")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "worker,start,size,elapsed" {
+		return nil, fmt.Errorf("trace: unexpected chunk CSV header %q", got)
+	}
+	var chunks []sim.ChunkRecord
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("trace: line %d: %d fields (want 4)", line, len(parts))
+		}
+		worker, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: worker: %v", line, err)
+		}
+		start, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: start: %v", line, err)
+		}
+		size, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: size: %v", line, err)
+		}
+		elapsed, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: elapsed: %v", line, err)
+		}
+		chunks = append(chunks, sim.ChunkRecord{Worker: worker, Start: start, Size: size, Elapsed: elapsed})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return chunks, nil
+}
+
+// ExportSpans emits a chunk log's simulated-time worker lanes
+// (busy/overhead/idle spans under scope, as tracing.AddWorkerLanes
+// builds them) to a tracer — the post-hoc path for logs loaded with
+// ReadCSV; live runs emit the same lanes directly via
+// sim.Config.Tracer. A nil tracer is a no-op.
+func ExportSpans(tr *tracing.Tracer, scope string, chunks []sim.ChunkRecord, overhead float64) {
+	if tr == nil {
+		return
+	}
+	cs := make([]tracing.Chunk, len(chunks))
+	for i, c := range chunks {
+		cs[i] = tracing.Chunk{Worker: c.Worker, Start: c.Start, Size: c.Size, Elapsed: c.Elapsed}
+	}
+	tr.AddWorkerLanes(scope, cs, overhead)
+}
+
+// BuildGantt renders a chunk log as an ASCII Gantt chart: one lane per
+// worker, '#' for execution and 'o' for the dispatch overhead ahead of
+// each chunk — the terminal twin of the Chrome-trace worker lanes.
+func BuildGantt(title string, chunks []sim.ChunkRecord, workers int, overhead float64) *report.Gantt {
+	g := report.NewGantt(title, workers)
+	for _, c := range chunks {
+		if overhead > 0 {
+			g.Add(c.Worker, c.Start, c.Start+overhead, 'o')
+		}
+		g.Add(c.Worker, c.Start+overhead, c.Start+overhead+c.Elapsed, '#')
+	}
+	return g
 }

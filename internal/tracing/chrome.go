@@ -1,0 +1,165 @@
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// This file exports recorded spans in the Chrome Trace Event Format
+// (the JSON object form with a "traceEvents" array), loadable in
+// chrome://tracing and Perfetto. The two clocks become two process
+// tracks: pid 1 is the wall clock, pid 2 is simulated time. Wall spans
+// convert seconds to the format's microseconds; simulated spans map
+// one simulated time unit to one microsecond, so a makespan of 3250
+// units reads as 3.25 ms on the viewer's axis (the DESIGN.md two-clock
+// convention).
+
+// chromePID returns the process id of a clock's track.
+func chromePID(c Clock) int {
+	if c == Sim {
+		return 2
+	}
+	return 1
+}
+
+// chromeTS converts a span time value to trace microseconds.
+func chromeTS(c Clock, v float64) float64 {
+	if c == Sim {
+		return v // one simulated time unit = 1 us
+	}
+	return v * 1e6 // wall seconds = 1e6 us
+}
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the exported JSON object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChrome writes the recorded spans as Chrome Trace Event Format
+// JSON. Lanes become threads whose ids are assigned in sorted lane
+// order per clock, and events are emitted sorted by (clock, lane,
+// start, name), so a deterministic span set (e.g. a pure simulated-time
+// trace of a seeded run) serializes identically on every export. A nil
+// tracer writes an empty but valid trace.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+
+	// Assign thread ids in sorted lane order within each clock.
+	laneSet := map[Clock]map[string]int{}
+	for _, s := range spans {
+		if laneSet[s.Clock] == nil {
+			laneSet[s.Clock] = map[string]int{}
+		}
+		laneSet[s.Clock][s.Lane] = 0
+	}
+	clocks := make([]Clock, 0, len(laneSet))
+	for c := range laneSet {
+		clocks = append(clocks, c)
+	}
+	sort.Slice(clocks, func(i, j int) bool { return clocks[i] < clocks[j] })
+
+	file := chromeFile{
+		TraceEvents:     []chromeEvent{},
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"clocks": "pid 1: wall clock (us = real us); pid 2: simulated time (1 unit = 1 us)",
+		},
+	}
+	for _, c := range clocks {
+		pid := chromePID(c)
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": c.String()},
+		})
+		lanes := make([]string, 0, len(laneSet[c]))
+		for lane := range laneSet[c] {
+			lanes = append(lanes, lane)
+		}
+		sort.Strings(lanes)
+		for i, lane := range lanes {
+			laneSet[c][lane] = i + 1
+			file.TraceEvents = append(file.TraceEvents,
+				chromeEvent{
+					Name: "thread_name", Ph: "M", PID: pid, TID: i + 1,
+					Args: map[string]any{"name": lane},
+				},
+				chromeEvent{
+					Name: "thread_sort_index", Ph: "M", PID: pid, TID: i + 1,
+					Args: map[string]any{"sort_index": i + 1},
+				})
+		}
+	}
+
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Clock != b.Clock {
+			return a.Clock < b.Clock
+		}
+		if a.Lane != b.Lane {
+			return a.Lane < b.Lane
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		// Containment order: at equal start the longer (outer) span
+		// comes first so viewers nest the shorter one inside it.
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur
+		}
+		return a.Name < b.Name
+	})
+	for _, s := range spans {
+		dur := chromeTS(s.Clock, s.Dur)
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			PID: chromePID(s.Clock), TID: laneSet[s.Clock][s.Lane],
+			TS: chromeTS(s.Clock, s.Start), Dur: &dur,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}
+
+// WriteTo emits the tracer to a destination as the CLIs' -trace flag
+// understands it:
+//
+//	""        no-op
+//	"-"       Chrome trace JSON to stdout
+//	"<path>"  Chrome trace JSON file
+//
+// A nil tracer with a non-empty destination emits an empty trace.
+func WriteTo(t *Tracer, dest string) error {
+	switch dest {
+	case "":
+		return nil
+	case "-":
+		return t.WriteChrome(os.Stdout)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	err = t.WriteChrome(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

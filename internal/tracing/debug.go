@@ -1,0 +1,77 @@
+package tracing
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"cdsf/internal/metrics"
+)
+
+// DebugServer is the live inspection endpoint behind the CLIs'
+// -debug-addr flag: a plain net/http server exposing
+//
+//	/debug/pprof/*        the standard Go profiler endpoints
+//	/metrics              JSON snapshot of the metrics registry
+//	/metrics?format=prom  Prometheus text exposition format
+//	/progress             scenarios/cases/replications done vs. planned
+//	/trace                Chrome trace JSON of the tracer so far
+//
+// so a long Monte-Carlo batch can be profiled and watched while it is
+// still executing.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebug listens on addr (e.g. ":6060"; ":0" picks a free port)
+// and serves the debug endpoints in a background goroutine. reg, prog,
+// and tr may each be nil: the endpoints then serve empty snapshots.
+// Close shuts the server down.
+func StartDebug(addr string, reg *metrics.Registry, prog *Progress, tr *Tracer) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = snap.WritePrometheus(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = snap.WriteJSON(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = prog.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteChrome(w)
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the server's listen address (with the resolved port).
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down. It is a no-op on a nil receiver, so
+// CLIs can defer it unconditionally.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,120 @@
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cdsf/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("sim.runs").Add(7)
+	prog := NewProgress()
+	prog.PlanCases(3)
+	prog.CaseDone()
+	tr := New()
+	tr.Add(Span{Clock: Sim, Lane: "fac/w00", Name: "chunk[4]", Cat: "busy", Start: 0, Dur: 2})
+
+	srv, err := StartDebug("127.0.0.1:0", reg, prog, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["sim.runs"] != 7 {
+		t.Errorf("sim.runs = %d", snap.Counters["sim.runs"])
+	}
+
+	code, body = get(t, base+"/metrics?format=prom")
+	if code != http.StatusOK || !strings.Contains(body, "# TYPE sim_runs counter\nsim_runs 7") {
+		t.Errorf("/metrics?format=prom: %d\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress: %d", code)
+	}
+	var ps ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &ps); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if ps.Cases != (Counts{Done: 1, Planned: 3}) {
+		t.Errorf("progress cases = %+v", ps.Cases)
+	}
+
+	code, body = get(t, base+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace: %d", code)
+	}
+	var file struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &file); err != nil {
+		t.Fatalf("/trace not JSON: %v\n%s", err, body)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Error("/trace has no events")
+	}
+
+	code, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: %d", code)
+	}
+}
+
+func TestDebugServerNilCollaborators(t *testing.T) {
+	srv, err := StartDebug("127.0.0.1:0", nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	for _, path := range []string{"/metrics", "/metrics?format=prom", "/progress", "/trace"} {
+		if code, body := get(t, base+path); code != http.StatusOK {
+			t.Errorf("%s with nil collaborators: %d\n%s", path, code, body)
+		}
+	}
+	var nilSrv *DebugServer
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func TestDebugServerBadAddr(t *testing.T) {
+	if _, err := StartDebug("999.0.0.1:http", nil, nil, nil); err == nil {
+		t.Error("bad address accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package tracing
+
+import (
+	"sort"
+	"strings"
+
+	"cdsf/internal/report"
+)
+
+// ganttGlyphs maps span categories to Gantt glyphs; unknown categories
+// render as '#'.
+var ganttGlyphs = map[string]byte{
+	"busy":     '#',
+	"overhead": 'o',
+	"idle":     '.',
+}
+
+// Gantt renders the tracer's spans on one clock as an ASCII chart —
+// the terminal-side view of the same timeline WriteChrome exports.
+// Lanes are selected by prefix ("" selects all), sorted by name, and
+// re-based so the earliest selected span starts at 0. Idle spans are
+// skipped (the chart's background already reads as idle); overhead
+// spans draw as 'o', busy spans as '#'. A nil tracer yields an empty
+// chart.
+func (t *Tracer) Gantt(title string, clock Clock, lanePrefix string) *report.Gantt {
+	var sel []Span
+	lanes := map[string]int{}
+	minStart := 0.0
+	for _, s := range t.Spans() {
+		if s.Clock != clock || !strings.HasPrefix(s.Lane, lanePrefix) {
+			continue
+		}
+		if s.Cat == "idle" {
+			continue
+		}
+		if len(sel) == 0 || s.Start < minStart {
+			minStart = s.Start
+		}
+		lanes[s.Lane] = 0
+		sel = append(sel, s)
+	}
+	names := make([]string, 0, len(lanes))
+	for l := range lanes {
+		names = append(names, l)
+	}
+	sort.Strings(names)
+	for i, l := range names {
+		lanes[l] = i
+	}
+	g := report.NewGantt(title, len(names))
+	g.LaneLabels = names
+	for _, s := range sel {
+		glyph, ok := ganttGlyphs[s.Cat]
+		if !ok {
+			glyph = '#'
+		}
+		g.Add(lanes[s.Lane], s.Start-minStart, s.Start-minStart+s.Dur, glyph)
+	}
+	return g
+}
