@@ -4,8 +4,7 @@
 #   make build   compile every package and command
 #   make vet     run go vet across the module
 #   make test    run the full test suite
-#   make race    run the concurrency-sensitive packages under the race
-#                detector (the parallel Stage-I engine's gate)
+#   make race    run the full test suite under the race detector
 #   make cover   enforce the coverage floor on the observability
 #                packages (internal/tracing, internal/trace)
 #   make bench   run the benchmark suite with allocation stats
@@ -30,7 +29,7 @@ test: build
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ra ./internal/pmf ./internal/experiments ./internal/sim ./internal/metrics ./internal/availability ./internal/tracing
+	$(GO) test -race ./...
 
 cover:
 	@for pkg in ./internal/tracing ./internal/trace; do \

@@ -8,143 +8,110 @@
 //
 //	batchsim -jobs 100 -rate 0.003 -heuristic greedy -deadline 3250
 //	batchsim -executor sim -tech AF -reps 10
+//	batchsim -timeout 1m
+//
+// SIGINT/SIGTERM (and -timeout) cancel the batch stream between jobs;
+// the partial run still flushes -metrics and -trace before exiting
+// nonzero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
-	"runtime"
+	"io"
 	"strings"
 
 	"cdsf/internal/batch"
 	"cdsf/internal/core"
 	"cdsf/internal/dls"
 	"cdsf/internal/experiments"
-	"cdsf/internal/metrics"
-	"cdsf/internal/pmf"
 	"cdsf/internal/ra"
 	"cdsf/internal/report"
+	"cdsf/internal/runner"
 	"cdsf/internal/stats"
-	"cdsf/internal/tracing"
 )
 
-func main() {
-	jobs := flag.Int("jobs", 60, "number of application arrivals to simulate")
-	rate := flag.Float64("rate", 1.0/1000, "arrival rate (jobs per time unit; Poisson)")
-	heuristic := flag.String("heuristic", "greedy", "stage-I heuristic for each batch")
-	deadline := flag.Float64("deadline", experiments.Deadline, "per-batch deadline")
-	maxBatch := flag.Int("maxbatch", 3, "maximum applications per batch (0: unbounded)")
-	executor := flag.String("executor", "expected", "batch executor: expected | sim")
-	tech := flag.String("tech", "AF", "DLS technique for the sim executor")
-	reps := flag.Int("reps", 10, "sim-executor repetitions per application")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the Stage-I heuristic (results are identical for any value)")
-	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
-	traceDest := flag.String("trace", "", `record span timelines and write Chrome Trace Event JSON (chrome://tracing, Perfetto) to this destination: "-" for stdout or a file path`)
-	debugAddr := flag.String("debug-addr", "", `serve live debug endpoints (/debug/pprof/*, /metrics, /progress, /trace) on this address, e.g. ":6060"`)
-	flag.Parse()
+func main() { runner.Main("batchsim", run) }
 
-	if err := run(*jobs, *rate, *heuristic, *deadline, *maxBatch, *executor, *tech, *reps, *seed, *workers, *metricsDest, *traceDest, *debugAddr); err != nil {
-		fmt.Fprintln(os.Stderr, "batchsim:", err)
-		os.Exit(1)
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("batchsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jobs := fs.Int("jobs", 60, "number of application arrivals to simulate")
+	rate := fs.Float64("rate", 1.0/1000, "arrival rate (jobs per time unit; Poisson)")
+	heuristic := fs.String("heuristic", "greedy", "stage-I heuristic for each batch")
+	deadline := fs.Float64("deadline", experiments.Deadline, "per-batch deadline")
+	maxBatch := fs.Int("maxbatch", 3, "maximum applications per batch (0: unbounded)")
+	executor := fs.String("executor", "expected", "batch executor: expected | sim")
+	tech := fs.String("tech", "AF", "DLS technique for the sim executor")
+	reps := fs.Int("reps", 10, "sim-executor repetitions per application")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	rf := runner.RegisterWorkerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-}
+	return rf.Run(ctx, "batchsim", stderr, func(ctx context.Context, s *runner.Session) error {
+		h, ok := ra.Get(*heuristic)
+		if !ok {
+			return fmt.Errorf("unknown heuristic %q (have %s)", *heuristic, strings.Join(ra.Names(), ", "))
+		}
+		ra.SetWorkers(h, rf.Workers)
+		if *rate <= 0 {
+			return fmt.Errorf("non-positive arrival rate %v", *rate)
+		}
 
-func run(jobs int, rate float64, heuristic string, deadline float64, maxBatch int,
-	executor, tech string, reps int, seed uint64, workers int, metricsDest, traceDest, debugAddr string) error {
+		cfg := batch.Config{
+			Sys: experiments.ReferenceSystem(),
+			Arrivals: batch.ArrivalProcess{
+				Interarrival: stats.NewExponential(*rate),
+				Templates:    experiments.PaperBatch(experiments.DefaultPulses),
+			},
+			Heuristic: h,
+			Deadline:  *deadline,
+			MaxBatch:  *maxBatch,
+			Jobs:      *jobs,
+			Seed:      *seed,
+		}
+		switch *executor {
+		case "expected":
+			// Default analytic executor.
+		case "sim":
+			dt, ok := dls.Get(*tech)
+			if !ok {
+				return fmt.Errorf("unknown technique %q (have %s)", *tech, strings.Join(dls.Names(), ", "))
+			}
+			simCfg := core.DefaultStageII(*deadline, *seed)
+			simCfg.Reps = *reps
+			simCfg.Metrics = s.Metrics
+			simCfg.Tracer = s.Tracer
+			cfg.Executor = core.SimExecutor{Technique: dt, Config: simCfg}
+		default:
+			return fmt.Errorf("unknown executor %q (want expected or sim)", *executor)
+		}
 
-	var reg *metrics.Registry
-	if metricsDest != "" || debugAddr != "" {
-		reg = metrics.NewRegistry()
-		metrics.SetDefault(reg)
-		pmf.SetMetrics(reg)
-		defer func() {
-			pmf.SetMetrics(nil)
-			metrics.SetDefault(nil)
-		}()
-	}
-	var tr *tracing.Tracer
-	if traceDest != "" || debugAddr != "" {
-		tr = tracing.NewSized(0, reg)
-		tracing.SetDefault(tr)
-		defer tracing.SetDefault(nil)
-	}
-	if debugAddr != "" {
-		prog := tracing.NewProgress()
-		tracing.SetProgress(prog)
-		defer tracing.SetProgress(nil)
-		srv, err := tracing.StartDebug(debugAddr, reg, prog, tr)
+		res, err := batch.RunContext(ctx, cfg)
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "batchsim: debug endpoints on http://%s/\n", srv.Addr())
-	}
 
-	h, ok := ra.Get(heuristic)
-	if !ok {
-		return fmt.Errorf("unknown heuristic %q (have %s)", heuristic, strings.Join(ra.Names(), ", "))
-	}
-	ra.SetWorkers(h, workers)
-	if rate <= 0 {
-		return fmt.Errorf("non-positive arrival rate %v", rate)
-	}
-
-	cfg := batch.Config{
-		Sys: experiments.ReferenceSystem(),
-		Arrivals: batch.ArrivalProcess{
-			Interarrival: stats.NewExponential(rate),
-			Templates:    experiments.PaperBatch(experiments.DefaultPulses),
-		},
-		Heuristic: h,
-		Deadline:  deadline,
-		MaxBatch:  maxBatch,
-		Jobs:      jobs,
-		Seed:      seed,
-	}
-	switch executor {
-	case "expected":
-		// Default analytic executor.
-	case "sim":
-		dt, ok := dls.Get(tech)
-		if !ok {
-			return fmt.Errorf("unknown technique %q (have %s)", tech, strings.Join(dls.Names(), ", "))
+		t := report.NewTable(
+			fmt.Sprintf("batchsim: %d jobs, rate %g, heuristic %s, executor %s", *jobs, *rate, *heuristic, *executor),
+			"Batch", "Jobs", "Start", "Makespan", "phi1 (%)", "Met deadline")
+		for _, b := range res.Batches {
+			t.AddRow(
+				fmt.Sprintf("%d", b.Index),
+				fmt.Sprintf("%d", b.Jobs),
+				fmt.Sprintf("%.0f", b.Start),
+				fmt.Sprintf("%.0f", b.Makespan),
+				fmt.Sprintf("%.1f", b.Phi1*100),
+				fmt.Sprintf("%v", b.MetDeadline))
 		}
-		simCfg := core.DefaultStageII(deadline, seed)
-		simCfg.Reps = reps
-		simCfg.Metrics = reg
-		simCfg.Tracer = tr
-		cfg.Executor = core.SimExecutor{Technique: dt, Config: simCfg}
-	default:
-		return fmt.Errorf("unknown executor %q (want expected or sim)", executor)
-	}
-
-	res, err := batch.Run(cfg)
-	if err != nil {
-		return err
-	}
-
-	t := report.NewTable(
-		fmt.Sprintf("batchsim: %d jobs, rate %g, heuristic %s, executor %s", jobs, rate, heuristic, executor),
-		"Batch", "Jobs", "Start", "Makespan", "phi1 (%)", "Met deadline")
-	for _, b := range res.Batches {
-		t.AddRow(
-			fmt.Sprintf("%d", b.Index),
-			fmt.Sprintf("%d", b.Jobs),
-			fmt.Sprintf("%.0f", b.Start),
-			fmt.Sprintf("%.0f", b.Makespan),
-			fmt.Sprintf("%.1f", b.Phi1*100),
-			fmt.Sprintf("%v", b.MetDeadline))
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Printf("\njobs %d  batches %d  mean batch size %.2f  mean wait %.0f  deadline rate %.0f%%  total %.0f\n",
-		len(res.Jobs), len(res.Batches), res.MeanBatchSize, res.MeanWait,
-		res.DeadlineRate*100, res.MakespanTotal)
-	if err := metrics.WriteTo(reg, metricsDest); err != nil {
-		return err
-	}
-	return tracing.WriteTo(tr, traceDest)
+		if err := t.Render(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\njobs %d  batches %d  mean batch size %.2f  mean wait %.0f  deadline rate %.0f%%  total %.0f\n",
+			len(res.Jobs), len(res.Batches), res.MeanBatchSize, res.MeanWait,
+			res.DeadlineRate*100, res.MakespanTotal)
+		return nil
+	})
 }

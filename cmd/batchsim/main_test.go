@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func runArgs(ctx context.Context, args ...string) (string, error) {
+	var stdout, stderr bytes.Buffer
+	err := run(ctx, args, &stdout, &stderr)
+	return stdout.String(), err
+}
+
+func TestRunSmoke(t *testing.T) {
+	out, err := runArgs(context.Background(), "-jobs", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "batchsim: 8 jobs") || !strings.Contains(out, "deadline rate") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	if _, err := runArgs(context.Background(), "-heuristic", "nope"); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+	if _, err := runArgs(context.Background(), "-executor", "nope"); err == nil {
+		t.Error("unknown executor accepted")
+	}
+	if _, err := runArgs(context.Background(), "-executor", "sim", "-tech", "NOPE"); err == nil {
+		t.Error("unknown technique accepted")
+	}
+	if _, err := runArgs(context.Background(), "-rate", "0"); err == nil {
+		t.Error("zero arrival rate accepted")
+	}
+	if _, err := runArgs(context.Background(), "-no-such-flag"); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+// Cancellation stops the batch stream with a partial-progress error and
+// no report.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := runArgs(ctx, "-jobs", "8")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if strings.Contains(out, "deadline rate") {
+		t.Errorf("cancelled run still printed the report:\n%s", out)
+	}
+}

@@ -11,41 +11,145 @@
 //	cdsf -scenario 1                # any of the paper's 4 scenarios
 //	cdsf -im genetic -ras FAC,AF    # custom stage policies
 //	cdsf -reps 100 -seed 7          # tighter stage-II estimates
+//	cdsf -timeout 1m                # bound the whole run
+//
+// SIGINT/SIGTERM (and -timeout) cancel both stages; the partial run
+// still flushes -metrics and -trace before exiting nonzero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
+	"io"
 	"strings"
 
 	"cdsf/internal/config"
 	"cdsf/internal/core"
 	"cdsf/internal/dls"
 	"cdsf/internal/experiments"
-	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
 	"cdsf/internal/ra"
 	"cdsf/internal/report"
-	"cdsf/internal/tracing"
+	"cdsf/internal/runner"
 )
 
-func main() {
-	scenario := flag.Int("scenario", 4, "paper scenario 1-4 (ignored when -im or -ras given)")
-	im := flag.String("im", "", "stage-I heuristic (overrides -scenario)")
-	ras := flag.String("ras", "", "comma-separated stage-II techniques (overrides -scenario)")
-	reps := flag.Int("reps", 0, "stage-II repetitions (0: default)")
-	seed := flag.Uint64("seed", 42, "stage-II seed")
-	instance := flag.String("instance", "", "JSON instance file (default: the embedded paper example)")
-	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
-	traceDest := flag.String("trace", "", `record span timelines and write Chrome Trace Event JSON (chrome://tracing, Perfetto) to this destination: "-" for stdout or a file path`)
-	debugAddr := flag.String("debug-addr", "", `serve live debug endpoints (/debug/pprof/*, /metrics, /progress, /trace) on this address, e.g. ":6060"`)
-	flag.Parse()
+func main() { runner.Main("cdsf", run) }
 
-	if err := run(*scenario, *im, *ras, *reps, *seed, *instance, *metricsDest, *traceDest, *debugAddr); err != nil {
-		fmt.Fprintln(os.Stderr, "cdsf:", err)
-		os.Exit(1)
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cdsf", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenario := fs.Int("scenario", 4, "paper scenario 1-4 (ignored when -im or -ras given)")
+	im := fs.String("im", "", "stage-I heuristic (overrides -scenario)")
+	ras := fs.String("ras", "", "comma-separated stage-II techniques (overrides -scenario)")
+	reps := fs.Int("reps", 0, "stage-II repetitions (0: default)")
+	seed := fs.Uint64("seed", 42, "stage-II seed")
+	instance := fs.String("instance", "", "JSON instance file (default: the embedded paper example)")
+	rf := runner.RegisterWorkerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+	return rf.Run(ctx, "cdsf", stderr, func(ctx context.Context, s *runner.Session) error {
+		var f *core.Framework
+		var cases []core.Case
+		if *instance == "" {
+			f = experiments.Framework()
+			cases = experiments.Cases()
+		} else {
+			sys, batch, deadline, declared, err := config.LoadFull(*instance)
+			if err != nil {
+				return err
+			}
+			f = &core.Framework{Sys: sys, Batch: batch, Deadline: deadline}
+			if len(declared) > 0 {
+				for _, c := range declared {
+					cases = append(cases, core.Case{Name: c.Name, Avail: c.Avail})
+				}
+			} else {
+				// Without declared cases, evaluate the reference
+				// availability plus two uniformly degraded cases.
+				ref := make([]pmf.PMF, len(sys.Types))
+				for j, t := range sys.Types {
+					ref[j] = t.Avail
+				}
+				cases = []core.Case{{Name: "reference", Avail: ref}}
+				for _, scale := range []float64{0.8, 0.6} {
+					scaled := make([]pmf.PMF, len(sys.Types))
+					for j, t := range sys.Types {
+						scaled[j] = t.Avail.Scale(scale)
+					}
+					cases = append(cases, core.Case{
+						Name:  fmt.Sprintf("scaled %.0f%%", scale*100),
+						Avail: scaled,
+					})
+				}
+			}
+		}
+		cfg := core.DefaultStageII(f.Deadline, *seed)
+		cfg.Metrics = s.Metrics
+		cfg.Tracer = s.Tracer
+		if *reps > 0 {
+			cfg.Reps = *reps
+		}
+		sc, err := buildScenario(*scenario, *im, *ras)
+		if err != nil {
+			return err
+		}
+		ra.SetWorkers(sc.IM, rf.Workers)
+		res, err := f.RunScenarioContext(ctx, sc, cases, cfg)
+		if err != nil {
+			return err
+		}
+
+		fmt.Fprintf(stdout, "Scenario: %s\n\n", res.Scenario)
+		s1 := report.NewTable("Stage I (initial mapping)",
+			"App", "Proc type", "# Procs", "Pr(T<=deadline) (%)", "E[T]")
+		for i, as := range res.StageI.Alloc {
+			s1.AddRow(f.Batch[i].Name,
+				fmt.Sprintf("%d", as.Type+1),
+				fmt.Sprintf("%d", as.Procs),
+				fmt.Sprintf("%.2f", res.StageI.PerApp[i]*100),
+				fmt.Sprintf("%.2f", res.StageI.ExpectedTimes[i]))
+		}
+		if err := s1.Render(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "phi1 = %.2f%%\n\n", res.StageI.Phi1*100)
+
+		for _, c := range res.Cases {
+			headers := []string{"App"}
+			for _, o := range c.PerApp[0] {
+				headers = append(headers, o.Technique)
+			}
+			headers = append(headers, "Best")
+			t := report.NewTable(fmt.Sprintf("Stage II — %s (availability decrease %.2f%%)",
+				c.Case.Name, c.Decrease*100), headers...)
+			for i, outs := range c.PerApp {
+				row := []string{f.Batch[i].Name}
+				for _, o := range outs {
+					cell := fmt.Sprintf("%.0f", o.MeanTime)
+					if !o.Meets {
+						cell += " (!)"
+					}
+					row = append(row, cell)
+				}
+				best := c.Best[i]
+				if best == "" {
+					best = "-"
+				}
+				row = append(row, best)
+				t.AddRow(row...)
+			}
+			if err := t.Render(stdout); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout)
+		}
+
+		tuple := core.SystemRobustness(res)
+		fmt.Fprintf(stdout, "System robustness (rho1, rho2) = %s\n", tuple)
+		return nil
+	})
 }
 
 func buildScenario(scenario int, im, ras string) (core.Scenario, error) {
@@ -78,135 +182,4 @@ func buildScenario(scenario int, im, ras string) (core.Scenario, error) {
 	}
 	sc.Name = fmt.Sprintf("custom: %s IM + {%s}", sc.IM.Name(), ras)
 	return sc, nil
-}
-
-func run(scenario int, im, ras string, reps int, seed uint64, instance, metricsDest, traceDest, debugAddr string) error {
-	var reg *metrics.Registry
-	if metricsDest != "" || debugAddr != "" {
-		reg = metrics.NewRegistry()
-		metrics.SetDefault(reg)
-		pmf.SetMetrics(reg)
-		defer func() {
-			pmf.SetMetrics(nil)
-			metrics.SetDefault(nil)
-		}()
-	}
-	var tr *tracing.Tracer
-	if traceDest != "" || debugAddr != "" {
-		tr = tracing.NewSized(0, reg)
-		tracing.SetDefault(tr)
-		defer tracing.SetDefault(nil)
-	}
-	if debugAddr != "" {
-		prog := tracing.NewProgress()
-		tracing.SetProgress(prog)
-		defer tracing.SetProgress(nil)
-		srv, err := tracing.StartDebug(debugAddr, reg, prog, tr)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "cdsf: debug endpoints on http://%s/\n", srv.Addr())
-	}
-	var f *core.Framework
-	var cases []core.Case
-	if instance == "" {
-		f = experiments.Framework()
-		cases = experiments.Cases()
-	} else {
-		sys, batch, deadline, declared, err := config.LoadFull(instance)
-		if err != nil {
-			return err
-		}
-		f = &core.Framework{Sys: sys, Batch: batch, Deadline: deadline}
-		if len(declared) > 0 {
-			for _, c := range declared {
-				cases = append(cases, core.Case{Name: c.Name, Avail: c.Avail})
-			}
-		} else {
-			// Without declared cases, evaluate the reference
-			// availability plus two uniformly degraded cases.
-			ref := make([]pmf.PMF, len(sys.Types))
-			for j, t := range sys.Types {
-				ref[j] = t.Avail
-			}
-			cases = []core.Case{{Name: "reference", Avail: ref}}
-			for _, scale := range []float64{0.8, 0.6} {
-				scaled := make([]pmf.PMF, len(sys.Types))
-				for j, t := range sys.Types {
-					scaled[j] = t.Avail.Scale(scale)
-				}
-				cases = append(cases, core.Case{
-					Name:  fmt.Sprintf("scaled %.0f%%", scale*100),
-					Avail: scaled,
-				})
-			}
-		}
-	}
-	cfg := core.DefaultStageII(f.Deadline, seed)
-	cfg.Metrics = reg
-	cfg.Tracer = tr
-	if reps > 0 {
-		cfg.Reps = reps
-	}
-	sc, err := buildScenario(scenario, im, ras)
-	if err != nil {
-		return err
-	}
-	res, err := f.RunScenario(sc, cases, cfg)
-	if err != nil {
-		return err
-	}
-
-	fmt.Printf("Scenario: %s\n\n", res.Scenario)
-	s1 := report.NewTable("Stage I (initial mapping)",
-		"App", "Proc type", "# Procs", "Pr(T<=deadline) (%)", "E[T]")
-	for i, as := range res.StageI.Alloc {
-		s1.AddRow(f.Batch[i].Name,
-			fmt.Sprintf("%d", as.Type+1),
-			fmt.Sprintf("%d", as.Procs),
-			fmt.Sprintf("%.2f", res.StageI.PerApp[i]*100),
-			fmt.Sprintf("%.2f", res.StageI.ExpectedTimes[i]))
-	}
-	if err := s1.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Printf("phi1 = %.2f%%\n\n", res.StageI.Phi1*100)
-
-	for _, c := range res.Cases {
-		headers := []string{"App"}
-		for _, o := range c.PerApp[0] {
-			headers = append(headers, o.Technique)
-		}
-		headers = append(headers, "Best")
-		t := report.NewTable(fmt.Sprintf("Stage II — %s (availability decrease %.2f%%)",
-			c.Case.Name, c.Decrease*100), headers...)
-		for i, outs := range c.PerApp {
-			row := []string{f.Batch[i].Name}
-			for _, o := range outs {
-				cell := fmt.Sprintf("%.0f", o.MeanTime)
-				if !o.Meets {
-					cell += " (!)"
-				}
-				row = append(row, cell)
-			}
-			best := c.Best[i]
-			if best == "" {
-				best = "-"
-			}
-			row = append(row, best)
-			t.AddRow(row...)
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
-	}
-
-	tuple := core.SystemRobustness(res)
-	fmt.Printf("System robustness (rho1, rho2) = %s\n", tuple)
-	if err := metrics.WriteTo(reg, metricsDest); err != nil {
-		return err
-	}
-	return tracing.WriteTo(tr, traceDest)
 }

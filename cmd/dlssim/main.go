@@ -9,58 +9,66 @@
 //	       -tech FAC,WF,AWF-B,AF -reps 50 -deadline 3250
 //
 // The -avail flag takes a comma-separated availability PMF of
-// value:probability pulses (fractions).
+// value:probability pulses (fractions). Note -workers is the simulated
+// group size, not a host worker-pool bound. SIGINT/SIGTERM (and
+// -timeout) cancel the simulations; the partial run still flushes
+// -metrics and -trace before exiting nonzero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"cdsf/internal/availability"
 	"cdsf/internal/dls"
-	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
 	"cdsf/internal/report"
+	"cdsf/internal/runner"
 	"cdsf/internal/sim"
 	"cdsf/internal/stats"
 	"cdsf/internal/trace"
-	"cdsf/internal/tracing"
 )
 
-func main() {
-	iters := flag.Int("iters", 4096, "parallel loop iterations")
-	serial := flag.Int("serial", 0, "serial iterations executed on the master first")
-	workers := flag.Int("workers", 8, "number of processors in the group")
-	mean := flag.Float64("mean", 1.0, "mean per-iteration execution time (dedicated)")
-	cv := flag.Float64("cv", 0.3, "coefficient of variation of iteration times")
-	dist := flag.String("dist", "normal", "iteration-time distribution: normal, lognormal, gamma, exponential")
-	profile := flag.String("profile", "flat", "iteration-cost profile: flat, increasing, decreasing, peaked, alternating")
-	availSpec := flag.String("avail", "1:1", "availability PMF as value:prob,value:prob,...")
-	model := flag.String("model", "markov", "availability model: static, redraw, markov")
-	interval := flag.Float64("interval", 800, "availability model interval (redraw, markov)")
-	persistence := flag.Float64("persistence", 0.5, "markov persistence in [0,1)")
-	techs := flag.String("tech", "", "comma-separated techniques (default: all registered)")
-	overhead := flag.Float64("overhead", 1, "per-chunk scheduling overhead")
-	reps := flag.Int("reps", 30, "simulation repetitions per technique")
-	seed := flag.Uint64("seed", 1, "base seed")
-	deadline := flag.Float64("deadline", 0, "optional deadline for Pr(T<=deadline) reporting")
-	gantt := flag.Bool("gantt", false, "render an ASCII Gantt chart of one run per technique")
-	chunksOut := flag.String("chunks", "", "write one run's chunk log per technique to this CSV file prefix")
-	hist := flag.Bool("hist", false, "render an ASCII histogram of each technique's makespan sample")
-	schedule := flag.Bool("schedule", false, "print each technique's idealized dispatch schedule statistics")
-	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
-	traceDest := flag.String("trace", "", `record span timelines and write Chrome Trace Event JSON (chrome://tracing, Perfetto) to this destination: "-" for stdout or a file path`)
-	debugAddr := flag.String("debug-addr", "", `serve live debug endpoints (/debug/pprof/*, /metrics, /progress, /trace) on this address, e.g. ":6060"`)
-	flag.Parse()
+func main() { runner.Main("dlssim", run) }
 
-	if err := run(*iters, *serial, *workers, *mean, *cv, *dist, *profile, *availSpec, *model,
-		*interval, *persistence, *techs, *overhead, *reps, *seed, *deadline, *gantt, *chunksOut, *hist, *schedule, *metricsDest, *traceDest, *debugAddr); err != nil {
-		fmt.Fprintln(os.Stderr, "dlssim:", err)
-		os.Exit(1)
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dlssim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	iters := fs.Int("iters", 4096, "parallel loop iterations")
+	serial := fs.Int("serial", 0, "serial iterations executed on the master first")
+	workers := fs.Int("workers", 8, "number of processors in the group")
+	mean := fs.Float64("mean", 1.0, "mean per-iteration execution time (dedicated)")
+	cv := fs.Float64("cv", 0.3, "coefficient of variation of iteration times")
+	dist := fs.String("dist", "normal", "iteration-time distribution: normal, lognormal, gamma, exponential")
+	profile := fs.String("profile", "flat", "iteration-cost profile: flat, increasing, decreasing, peaked, alternating")
+	availSpec := fs.String("avail", "1:1", "availability PMF as value:prob,value:prob,...")
+	model := fs.String("model", "markov", "availability model: static, redraw, markov")
+	interval := fs.Float64("interval", 800, "availability model interval (redraw, markov)")
+	persistence := fs.Float64("persistence", 0.5, "markov persistence in [0,1)")
+	techs := fs.String("tech", "", "comma-separated techniques (default: all registered)")
+	overhead := fs.Float64("overhead", 1, "per-chunk scheduling overhead")
+	reps := fs.Int("reps", 30, "simulation repetitions per technique")
+	seed := fs.Uint64("seed", 1, "base seed")
+	deadline := fs.Float64("deadline", 0, "optional deadline for Pr(T<=deadline) reporting")
+	gantt := fs.Bool("gantt", false, "render an ASCII Gantt chart of one run per technique")
+	chunksOut := fs.String("chunks", "", "write one run's chunk log per technique to this CSV file prefix")
+	hist := fs.Bool("hist", false, "render an ASCII histogram of each technique's makespan sample")
+	schedule := fs.Bool("schedule", false, "print each technique's idealized dispatch schedule statistics")
+	rf := runner.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+	return rf.Run(ctx, "dlssim", stderr, func(ctx context.Context, s *runner.Session) error {
+		return simulate(ctx, s, stdout,
+			*iters, *serial, *workers, *mean, *cv, *dist, *profile, *availSpec, *model,
+			*interval, *persistence, *techs, *overhead, *reps, *seed, *deadline,
+			*gantt, *chunksOut, *hist, *schedule)
+	})
 }
 
 func parseAvail(spec string) (pmf.PMF, error) {
@@ -83,37 +91,12 @@ func parseAvail(spec string) (pmf.PMF, error) {
 	return pmf.New(pulses)
 }
 
-func run(iters, serial, workers int, mean, cv float64, distName, profileName, availSpec, model string,
+func simulate(ctx context.Context, s *runner.Session, stdout io.Writer,
+	iters, serial, workers int, mean, cv float64, distName, profileName, availSpec, model string,
 	interval, persistence float64, techs string, overhead float64, reps int,
-	seed uint64, deadline float64, gantt bool, chunksOut string, hist, schedule bool, metricsDest, traceDest, debugAddr string) error {
+	seed uint64, deadline float64, gantt bool, chunksOut string, hist, schedule bool) error {
 
-	var reg *metrics.Registry
-	if metricsDest != "" || debugAddr != "" {
-		reg = metrics.NewRegistry()
-		metrics.SetDefault(reg)
-		pmf.SetMetrics(reg)
-		defer func() {
-			pmf.SetMetrics(nil)
-			metrics.SetDefault(nil)
-		}()
-	}
-	var tr *tracing.Tracer
-	if traceDest != "" || debugAddr != "" {
-		tr = tracing.NewSized(0, reg)
-		tracing.SetDefault(tr)
-		defer tracing.SetDefault(nil)
-	}
-	if debugAddr != "" {
-		prog := tracing.NewProgress()
-		tracing.SetProgress(prog)
-		defer tracing.SetProgress(nil)
-		srv, err := tracing.StartDebug(debugAddr, reg, prog, tr)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "dlssim: debug endpoints on http://%s/\n", srv.Addr())
-	}
+	reg, tr := s.Metrics, s.Tracer
 
 	iterDist, err := buildDist(distName, mean, cv)
 	if err != nil {
@@ -169,10 +152,10 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 				fmt.Sprintf("%.1f", a.MeanChunk),
 				fmt.Sprintf("%.4f", a.OverheadRatio))
 		}
-		if err := st.Render(os.Stdout); err != nil {
+		if err := st.Render(stdout); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	var histCharts []*report.HistogramChart
@@ -201,35 +184,35 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 			TraceScope:       strings.ToLower(tech.Name) + "/mc",
 		}
 		mcRegion := tr.Begin("dlssim", tech.Name+" x "+fmt.Sprint(reps), "montecarlo")
-		s, err := sim.RunMany(cfg, reps)
+		sample, err := sim.RunManyContext(ctx, cfg, reps)
 		mcRegion.End()
 		if err != nil {
 			return err
 		}
 		row := []string{
 			tech.Name,
-			fmt.Sprintf("%.1f", s.Mean()),
-			fmt.Sprintf("%.1f", s.StdDev()),
-			fmt.Sprintf("%.1f", s.Quantile(0.9)),
-			fmt.Sprintf("%.1f", s.MeanChunks),
-			fmt.Sprintf("%.3f", s.MeanImbalance),
+			fmt.Sprintf("%.1f", sample.Mean()),
+			fmt.Sprintf("%.1f", sample.StdDev()),
+			fmt.Sprintf("%.1f", sample.Quantile(0.9)),
+			fmt.Sprintf("%.1f", sample.MeanChunks),
+			fmt.Sprintf("%.3f", sample.MeanImbalance),
 		}
 		if deadline > 0 {
-			row = append(row, fmt.Sprintf("%.2f", s.PrLE(deadline)))
+			row = append(row, fmt.Sprintf("%.2f", sample.PrLE(deadline)))
 		}
 		tbl.AddRow(row...)
 		if hist {
-			h := report.NewHistogramChart(fmt.Sprintf("\n%s makespan distribution (%d runs)", tech.Name, reps), s.Makespans)
+			h := report.NewHistogramChart(fmt.Sprintf("\n%s makespan distribution (%d runs)", tech.Name, reps), sample.Makespans)
 			h.MarkLabel = "deadline"
 			h.MarkValue = deadline
 			histCharts = append(histCharts, h)
 		}
 	}
-	if err := tbl.Render(os.Stdout); err != nil {
+	if err := tbl.Render(stdout); err != nil {
 		return err
 	}
 	for _, h := range histCharts {
-		if err := h.Render(os.Stdout); err != nil {
+		if err := h.Render(stdout); err != nil {
 			return err
 		}
 	}
@@ -238,7 +221,7 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 	// output and the per-worker simulated-time lanes in the -trace
 	// output.
 	if !gantt && chunksOut == "" && reg == nil && tr == nil {
-		return writeObservability(reg, tr, metricsDest, traceDest)
+		return nil
 	}
 	for _, tech := range techniques {
 		cfg := sim.Config{
@@ -258,7 +241,7 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 			Tracer:           tr,
 			TraceScope:       strings.ToLower(tech.Name),
 		}
-		r, err := sim.Run(cfg)
+		r, err := sim.RunContext(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -275,7 +258,7 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 			if err := f.Close(); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", path)
+			fmt.Fprintf(stdout, "wrote %s\n", path)
 		}
 		if !gantt && reg == nil {
 			continue
@@ -290,21 +273,11 @@ func run(iters, serial, workers int, mean, cv float64, distName, profileName, av
 		}
 		g := trace.BuildGantt(fmt.Sprintf("\n%s: one run, makespan %.1f, %d chunks, mean chunk %.1f, busy efficiency %.0f%%",
 			tech.Name, r.Makespan, r.NumChunks, a.MeanChunkSize, a.BusyEfficiency*100), r.Chunks, workers, overhead)
-		if err := g.Render(os.Stdout); err != nil {
+		if err := g.Render(stdout); err != nil {
 			return err
 		}
 	}
-	return writeObservability(reg, tr, metricsDest, traceDest)
-}
-
-// writeObservability flushes the optional metrics and trace outputs at
-// the end of a run; both writers treat an empty destination (or nil
-// collector) as a no-op.
-func writeObservability(reg *metrics.Registry, tr *tracing.Tracer, metricsDest, traceDest string) error {
-	if err := metrics.WriteTo(reg, metricsDest); err != nil {
-		return err
-	}
-	return tracing.WriteTo(tr, traceDest)
+	return nil
 }
 
 // buildDist constructs the iteration-time distribution from its family

@@ -1,11 +1,21 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"os"
 	"testing"
 )
+
+// runArgs invokes the CLI entry point with the given argument list and
+// returns its stdout.
+func runArgs(args ...string) (string, error) {
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), args, &stdout, &stderr)
+	return stdout.String(), err
+}
 
 func TestParseAvail(t *testing.T) {
 	p, err := parseAvail("0.25:0.25,0.5:0.25,1:0.5")
@@ -60,22 +70,28 @@ func TestBuildDist(t *testing.T) {
 
 func TestRunSmoke(t *testing.T) {
 	// End-to-end through the CLI logic with tiny parameters.
-	err := run(64, 8, 2, 1, 0.3, "normal", "flat", "0.5:0.5,1:0.5", "markov",
-		50, 0.5, "FAC,AF", 0.5, 3, 1, 100, false, "", true, true, "", "", "")
+	_, err := runArgs("-iters", "64", "-serial", "8", "-workers", "2",
+		"-avail", "0.5:0.5,1:0.5", "-model", "markov", "-interval", "50",
+		"-tech", "FAC,AF", "-overhead", "0.5", "-reps", "3",
+		"-deadline", "100", "-hist", "-schedule")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run(64, 0, 2, 1, 0.3, "gamma", "peaked", "1:1", "static",
-		0, 0, "SS", 0, 2, 1, 0, true, "", false, false, "", "", ""); err != nil {
+	if _, err := runArgs("-iters", "64", "-workers", "2", "-dist", "gamma",
+		"-profile", "peaked", "-model", "static", "-tech", "SS",
+		"-overhead", "0", "-reps", "2", "-gantt"); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(64, 0, 2, 1, 0.3, "normal", "flat", "1:1", "bogus",
-		0, 0, "", 0, 2, 1, 0, false, "", false, false, "", "", ""); err == nil {
+	if _, err := runArgs("-iters", "64", "-workers", "2", "-model", "bogus",
+		"-reps", "2"); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run(64, 0, 2, 1, 0.3, "normal", "flat", "1:1", "static",
-		0, 0, "NOPE", 0, 2, 1, 0, false, "", false, false, "", "", ""); err == nil {
+	if _, err := runArgs("-iters", "64", "-workers", "2", "-model", "static",
+		"-tech", "NOPE", "-reps", "2"); err == nil {
 		t.Error("unknown technique accepted")
+	}
+	if _, err := runArgs("-no-such-flag"); err == nil {
+		t.Error("unknown flag accepted")
 	}
 }
 
@@ -83,8 +99,10 @@ func TestRunMetricsOutput(t *testing.T) {
 	// A -metrics run writes a JSON metrics file with populated sim and
 	// trace sections.
 	path := t.TempDir() + "/metrics.json"
-	if err := run(64, 4, 2, 1, 0.3, "normal", "flat", "0.5:0.5,1:0.5", "markov",
-		50, 0.5, "FAC", 0.5, 3, 1, 0, false, "", false, false, path, "", ""); err != nil {
+	if _, err := runArgs("-iters", "64", "-serial", "4", "-workers", "2",
+		"-avail", "0.5:0.5,1:0.5", "-model", "markov", "-interval", "50",
+		"-tech", "FAC", "-overhead", "0.5", "-reps", "3",
+		"-metrics", path); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -10,40 +10,6 @@ import (
 	"cdsf/internal/trace"
 )
 
-// captureStdout runs fn with os.Stdout redirected to a pipe and
-// returns everything it printed.
-func captureStdout(t *testing.T, fn func() error) string {
-	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = w
-	defer func() { os.Stdout = old }()
-	collected := make(chan []byte)
-	go func() {
-		var out []byte
-		tmp := make([]byte, 4096)
-		for {
-			n, err := r.Read(tmp)
-			out = append(out, tmp[:n]...)
-			if err != nil {
-				collected <- out
-				return
-			}
-		}
-	}()
-	runErr := fn()
-	w.Close()
-	out := <-collected
-	os.Stdout = old
-	if runErr != nil {
-		t.Fatal(runErr)
-	}
-	return string(out)
-}
-
 // Acceptance: a seeded dlssim run with -trace writes valid Chrome Trace
 // Event JSON whose per-worker simulated-time lanes account for exactly
 // the busy/overhead/idle time trace.Analyze reports for the same run,
@@ -56,12 +22,24 @@ func TestRunTraceAcceptance(t *testing.T) {
 		workers  = 3
 		overhead = 0.5
 	)
-	doRun := func(traceDest string) error {
-		return run(256, 8, workers, 1, 0.3, "normal", "flat", "0.5:0.5,1:0.5", "markov",
-			50, 0.5, "FAC", overhead, 3, 9, 0, false, chunksPrefix, false, false, "", traceDest, "")
+	doRun := func(traceDest string) (string, error) {
+		args := []string{"-iters", "256", "-serial", "8", "-workers", "3",
+			"-avail", "0.5:0.5,1:0.5", "-model", "markov", "-interval", "50",
+			"-tech", "FAC", "-overhead", "0.5", "-reps", "3", "-seed", "9",
+			"-chunks", chunksPrefix}
+		if traceDest != "" {
+			args = append(args, "-trace", traceDest)
+		}
+		return runArgs(args...)
 	}
-	plain := captureStdout(t, func() error { return doRun("") })
-	traced := captureStdout(t, func() error { return doRun(tracePath) })
+	plain, err := doRun("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := doRun(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if plain != traced {
 		t.Errorf("stdout differs with -trace on:\n--- off ---\n%s--- on ---\n%s", plain, traced)
 	}
@@ -159,12 +137,23 @@ func TestRunTraceAcceptance(t *testing.T) {
 // must be live while the process is up (exercised in internal/tracing;
 // here we only check the flag path end to end).
 func TestRunDebugAddrStdoutIdentical(t *testing.T) {
-	doRun := func(debugAddr string) error {
-		return run(64, 4, 2, 1, 0.3, "normal", "flat", "1:1", "static",
-			0, 0, "SS", 0.5, 2, 3, 0, false, "", false, false, "", "", debugAddr)
+	doRun := func(debugAddr string) (string, error) {
+		args := []string{"-iters", "64", "-serial", "4", "-workers", "2",
+			"-model", "static", "-tech", "SS", "-overhead", "0.5",
+			"-reps", "2", "-seed", "3"}
+		if debugAddr != "" {
+			args = append(args, "-debug-addr", debugAddr)
+		}
+		return runArgs(args...)
 	}
-	plain := captureStdout(t, func() error { return doRun("") })
-	withDebug := captureStdout(t, func() error { return doRun("127.0.0.1:0") })
+	plain, err := doRun("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDebug, err := doRun("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if plain != withDebug {
 		t.Errorf("stdout differs with -debug-addr on:\n--- off ---\n%s--- on ---\n%s", plain, withDebug)
 	}

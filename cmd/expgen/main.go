@@ -7,113 +7,87 @@
 //	expgen -table 4        # a single table (1-6)
 //	expgen -figure 5       # a single figure (3-6)
 //	expgen -seed 7 -csv    # change the Stage-II seed; CSV output
+//	expgen -timeout 2m     # bound the whole generation run
+//
+// SIGINT/SIGTERM (and -timeout) cancel the generation; the partial run
+// still flushes -metrics and -trace before exiting nonzero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
-	"runtime"
+	"io"
 
 	"cdsf/internal/experiments"
-	"cdsf/internal/metrics"
-	"cdsf/internal/pmf"
 	"cdsf/internal/report"
-	"cdsf/internal/tracing"
+	"cdsf/internal/runner"
 )
 
-func main() {
-	table := flag.Int("table", 0, "regenerate only this table (1-6)")
-	figure := flag.Int("figure", 0, "regenerate only this figure (3-6)")
-	seed := flag.Uint64("seed", 42, "seed for the Stage-II simulations")
-	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
-	sensitivity := flag.Bool("sensitivity", false, "emit the sensitivity/ablation studies instead of the paper tables")
-	scale := flag.Bool("scale", false, "run the future-work probabilistic scale study instead of the paper tables")
-	reps := flag.Int("reps", 20, "stage-II repetitions for the sensitivity studies")
-	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the scale study (results are identical for any value)")
-	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
-	traceDest := flag.String("trace", "", `record span timelines and write Chrome Trace Event JSON (chrome://tracing, Perfetto) to this destination: "-" for stdout or a file path`)
-	debugAddr := flag.String("debug-addr", "", `serve live debug endpoints (/debug/pprof/*, /metrics, /progress, /trace) on this address, e.g. ":6060"`)
-	flag.Parse()
+func main() { runner.Main("expgen", run) }
 
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("expgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.Int("table", 0, "regenerate only this table (1-6)")
+	figure := fs.Int("figure", 0, "regenerate only this figure (3-6)")
+	seed := fs.Uint64("seed", 42, "seed for the Stage-II simulations")
+	csv := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	sensitivity := fs.Bool("sensitivity", false, "emit the sensitivity/ablation studies instead of the paper tables")
+	scale := fs.Bool("scale", false, "run the future-work probabilistic scale study instead of the paper tables")
+	reps := fs.Int("reps", 20, "stage-II repetitions for the sensitivity studies")
+	rf := runner.RegisterWorkerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	// expgen drives everything through internal/experiments, which
 	// builds its own configs; the process-wide default registry (and
 	// likewise the default tracer and progress board) routes their
 	// instrumentation here without threading a parameter through every
-	// generator.
-	var reg *metrics.Registry
-	if *metricsDest != "" || *debugAddr != "" {
-		reg = metrics.NewRegistry()
-		metrics.SetDefault(reg)
-		pmf.SetMetrics(reg)
-		defer func() {
-			pmf.SetMetrics(nil)
-			metrics.SetDefault(nil)
-		}()
-	}
-	var tr *tracing.Tracer
-	if *traceDest != "" || *debugAddr != "" {
-		tr = tracing.NewSized(0, reg)
-		tracing.SetDefault(tr)
-		defer tracing.SetDefault(nil)
-	}
-	if *debugAddr != "" {
-		prog := tracing.NewProgress()
-		tracing.SetProgress(prog)
-		defer tracing.SetProgress(nil)
-		srv, err := tracing.StartDebug(*debugAddr, reg, prog, tr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "expgen:", err)
-			os.Exit(1)
+	// generator — rf.Run installs those defaults.
+	return rf.Run(ctx, "expgen", stderr, func(ctx context.Context, s *runner.Session) error {
+		switch {
+		case *sensitivity:
+			return runSensitivity(ctx, stdout, *seed, *reps, *csv)
+		case *scale:
+			return runScale(ctx, stdout, *seed, rf.Workers, *csv)
+		default:
+			return runTables(ctx, stdout, *table, *figure, *seed, *csv)
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "expgen: debug endpoints on http://%s/\n", srv.Addr())
-	}
-
-	var err error
-	switch {
-	case *sensitivity:
-		err = runSensitivity(*seed, *reps, *csv)
-	case *scale:
-		err = runScale(*seed, *workers, *csv)
-	default:
-		err = run(*table, *figure, *seed, *csv)
-	}
-	if err == nil {
-		err = metrics.WriteTo(reg, *metricsDest)
-	}
-	if err == nil {
-		err = tracing.WriteTo(tr, *traceDest)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "expgen:", err)
-		os.Exit(1)
-	}
+	})
 }
 
-func runScale(seed uint64, workers int, csv bool) error {
+func runScale(ctx context.Context, stdout io.Writer, seed uint64, workers int, csv bool) error {
 	cfg := experiments.DefaultScaleConfig(seed)
 	cfg.Workers = workers
-	t, err := experiments.RunScaleStudy(cfg)
+	t, err := experiments.RunScaleStudyContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	if csv {
-		return t.CSV(os.Stdout)
+		return t.CSV(stdout)
 	}
-	return t.Render(os.Stdout)
+	return t.Render(stdout)
 }
 
-func runSensitivity(seed uint64, reps int, csv bool) error {
+func runSensitivity(ctx context.Context, stdout io.Writer, seed uint64, reps int, csv bool) error {
+	// The individual studies predate the context plumbing; cancellation
+	// is honored at study boundaries.
 	emit := func(t *report.Table, err error) error {
 		if err != nil {
 			return err
 		}
-		defer fmt.Println()
-		if csv {
-			return t.CSV(os.Stdout)
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		return t.Render(os.Stdout)
+		defer fmt.Fprintln(stdout)
+		if csv {
+			return t.CSV(stdout)
+		}
+		return t.Render(stdout)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if err := emit(experiments.GenerateGranularitySensitivity()); err != nil {
 		return err
@@ -148,13 +122,13 @@ func runSensitivity(seed uint64, reps int, csv bool) error {
 	return emit(experiments.RunExtendedTechniqueStudy(seed, reps))
 }
 
-func run(table, figure int, seed uint64, csv bool) error {
+func runTables(ctx context.Context, stdout io.Writer, table, figure int, seed uint64, csv bool) error {
 	emit := func(t *report.Table) error {
-		defer fmt.Println()
+		defer fmt.Fprintln(stdout)
 		if csv {
-			return t.CSV(os.Stdout)
+			return t.CSV(stdout)
 		}
-		return t.Render(os.Stdout)
+		return t.Render(stdout)
 	}
 
 	wantTable := func(n int) bool { return (table == 0 && figure == 0) || table == n }
@@ -176,7 +150,7 @@ func run(table, figure int, seed uint64, csv bool) error {
 		}
 	}
 	if wantTable(4) {
-		t, err := experiments.GenerateTableIV()
+		t, err := experiments.GenerateTableIVContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -185,7 +159,7 @@ func run(table, figure int, seed uint64, csv bool) error {
 		}
 	}
 	if wantTable(5) {
-		t, err := experiments.GenerateTableV()
+		t, err := experiments.GenerateTableVContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -197,24 +171,24 @@ func run(table, figure int, seed uint64, csv bool) error {
 		if !wantFigure(n) {
 			continue
 		}
-		c, err := experiments.GenerateFigure(n, seed)
+		c, err := experiments.GenerateFigureContext(ctx, n, seed)
 		if err != nil {
 			return err
 		}
-		if err := c.Render(os.Stdout); err != nil {
+		if err := c.Render(stdout); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if wantTable(6) {
-		t, tuple, err := experiments.GenerateTableVI(seed)
+		t, tuple, err := experiments.GenerateTableVIContext(ctx, seed)
 		if err != nil {
 			return err
 		}
 		if err := emit(t); err != nil {
 			return err
 		}
-		fmt.Printf("System robustness (rho1, rho2) = %s  [paper: (74.5%%, 30.77%%)]\n", tuple)
+		fmt.Fprintf(stdout, "System robustness (rho1, rho2) = %s  [paper: (74.5%%, 30.77%%)]\n", tuple)
 	}
 	return nil
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func runArgs(ctx context.Context, args ...string) (string, error) {
+	var stdout, stderr bytes.Buffer
+	err := run(ctx, args, &stdout, &stderr)
+	return stdout.String(), err
+}
+
+func TestRunCheapTables(t *testing.T) {
+	for _, table := range []string{"1", "2", "3"} {
+		out, err := runArgs(context.Background(), "-table", table)
+		if err != nil {
+			t.Fatalf("-table %s: %v", table, err)
+		}
+		if !strings.Contains(out, "Table") {
+			t.Errorf("-table %s output lacks a table:\n%s", table, out)
+		}
+	}
+	// CSV mode changes only the rendering.
+	out, err := runArgs(context.Background(), "-table", "2", "-csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ",") {
+		t.Errorf("-csv output has no commas:\n%s", out)
+	}
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	if _, err := runArgs(context.Background(), "-no-such-flag"); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+// A cancelled context stops the expensive generators before they emit.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, args := range [][]string{
+		{"-table", "4"},
+		{"-table", "6"},
+		{"-figure", "3"},
+		{"-scale"},
+		{"-sensitivity"},
+	} {
+		out, err := runArgs(ctx, args...)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", args, err)
+		}
+		if strings.Contains(out, "Table IV") || strings.Contains(out, "Figure") {
+			t.Errorf("%v: cancelled run still emitted output:\n%s", args, out)
+		}
+	}
+}
+
+// -timeout reaches the Stage-II fan-out through the runner.
+func TestRunTimeoutCancelsGeneration(t *testing.T) {
+	_, err := runArgs(context.Background(), "-table", "6", "-timeout", "1ms")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}

@@ -8,51 +8,148 @@
 //	ratool                       # all heuristics on the paper instance
 //	ratool -heuristic genetic    # one heuristic
 //	ratool -apps 6 -type1 8 -type2 16 -deadline 3000 -seed 3
+//	ratool -timeout 30s          # bound the whole run
 //
 // With -apps > 0 a synthetic instance is generated: applications get
 // random mean execution times per type and random serial fractions.
+// SIGINT/SIGTERM (and -timeout) cancel the search; the partial run
+// still flushes -metrics and -trace before exiting nonzero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
-	"runtime"
+	"io"
 	"strings"
 	"time"
 
 	"cdsf/internal/config"
 	"cdsf/internal/experiments"
-	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
 	"cdsf/internal/ra"
 	"cdsf/internal/report"
 	"cdsf/internal/rng"
 	"cdsf/internal/robustness"
+	"cdsf/internal/runner"
 	"cdsf/internal/stats"
 	"cdsf/internal/sysmodel"
-	"cdsf/internal/tracing"
 )
 
-func main() {
-	heuristic := flag.String("heuristic", "", "run only this heuristic (default: all)")
-	apps := flag.Int("apps", 0, "generate a synthetic instance with this many applications (0: paper instance)")
-	type1 := flag.Int("type1", 4, "processors of type 1 (synthetic instance)")
-	type2 := flag.Int("type2", 8, "processors of type 2 (synthetic instance)")
-	deadline := flag.Float64("deadline", experiments.Deadline, "common deadline")
-	seed := flag.Uint64("seed", 1, "synthetic instance seed")
-	exhaustiveRef := flag.Bool("optimum", true, "also compute the exhaustive optimum for reference")
-	instance := flag.String("instance", "", "JSON instance file (overrides -apps and the paper instance)")
-	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the parallel Stage-I engine (results are identical for any value)")
-	metricsDest := flag.String("metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
-	traceDest := flag.String("trace", "", `record span timelines and write Chrome Trace Event JSON (chrome://tracing, Perfetto) to this destination: "-" for stdout or a file path`)
-	debugAddr := flag.String("debug-addr", "", `serve live debug endpoints (/debug/pprof/*, /metrics, /progress, /trace) on this address, e.g. ":6060"`)
-	flag.Parse()
+func main() { runner.Main("ratool", run) }
 
-	if err := run(*heuristic, *apps, *type1, *type2, *deadline, *seed, *exhaustiveRef, *instance, *workers, *metricsDest, *traceDest, *debugAddr); err != nil {
-		fmt.Fprintln(os.Stderr, "ratool:", err)
-		os.Exit(1)
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ratool", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	heuristic := fs.String("heuristic", "", "run only this heuristic (default: all)")
+	apps := fs.Int("apps", 0, "generate a synthetic instance with this many applications (0: paper instance)")
+	type1 := fs.Int("type1", 4, "processors of type 1 (synthetic instance)")
+	type2 := fs.Int("type2", 8, "processors of type 2 (synthetic instance)")
+	deadline := fs.Float64("deadline", experiments.Deadline, "common deadline")
+	seed := fs.Uint64("seed", 1, "synthetic instance seed")
+	exhaustiveRef := fs.Bool("optimum", true, "also compute the exhaustive optimum for reference")
+	instance := fs.String("instance", "", "JSON instance file (overrides -apps and the paper instance)")
+	rf := runner.RegisterWorkerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+	return rf.Run(ctx, "ratool", stderr, func(ctx context.Context, s *runner.Session) error {
+		var prob *ra.Problem
+		switch {
+		case *instance != "":
+			sys, batch, d, err := config.Load(*instance)
+			if err != nil {
+				return err
+			}
+			prob = &ra.Problem{Sys: sys, Batch: batch, Deadline: d}
+		case *apps > 0:
+			prob = syntheticProblem(*apps, *type1, *type2, *deadline, *seed)
+		default:
+			f := experiments.Framework()
+			prob = &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: *deadline}
+		}
+
+		prob.Metrics = s.Metrics
+		prob.Tracer = s.Tracer
+
+		names := ra.Names()
+		if *heuristic != "" {
+			names = []string{*heuristic}
+		}
+
+		// Build the evaluation table once up front; every heuristic below
+		// shares it.
+		if err := prob.PrecomputeContext(ctx, rf.Workers); err != nil {
+			return err
+		}
+
+		var optPhi float64
+		haveOpt := false
+		if *exhaustiveRef {
+			if n := sysmodel.CountAllocations(prob.Sys, prob.Batch); n <= 2_000_000 {
+				al, err := (&ra.Exhaustive{Workers: rf.Workers}).AllocateContext(ctx, prob)
+				if err != nil {
+					if ctxErr := ctx.Err(); ctxErr != nil {
+						return err
+					}
+				} else {
+					optPhi, _ = prob.Objective(al)
+					haveOpt = true
+				}
+			} else {
+				fmt.Fprintf(stderr, "ratool: skipping exhaustive reference (%d allocations)\n", n)
+			}
+		}
+
+		headers := []string{"Heuristic", "phi1 (%)", "E[makespan]", "Allocation", "Time"}
+		if haveOpt {
+			headers = append(headers, "Gap to optimum (pp)")
+		}
+		tbl := report.NewTable(fmt.Sprintf("Stage-I heuristics (deadline %.0f, %d apps, %d procs)",
+			prob.Deadline, len(prob.Batch), prob.Sys.TotalProcessors()), headers...)
+
+		for _, name := range names {
+			h, ok := ra.Get(name)
+			if !ok {
+				return fmt.Errorf("unknown heuristic %q (have %s)", name, strings.Join(ra.Names(), ", "))
+			}
+			ra.SetWorkers(h, rf.Workers)
+			t0 := time.Now()
+			al, err := ra.SolveContext(ctx, h, prob)
+			dt := time.Since(t0)
+			if err != nil {
+				// A cancelled search aborts the whole table; a heuristic
+				// that merely failed on this instance gets an error row.
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return err
+				}
+				tbl.AddRow(name, "error: "+err.Error())
+				continue
+			}
+			res, err := robustness.EvaluateStageI(prob.Sys, prob.Batch, al, prob.Deadline)
+			if err != nil {
+				return err
+			}
+			maxExp := 0.0
+			for _, e := range res.ExpectedTimes {
+				if e > maxExp {
+					maxExp = e
+				}
+			}
+			row := []string{
+				name,
+				fmt.Sprintf("%.2f", res.Phi1*100),
+				fmt.Sprintf("%.0f", maxExp),
+				al.String(),
+				dt.Round(time.Millisecond).String(),
+			}
+			if haveOpt {
+				row = append(row, fmt.Sprintf("%.2f", (optPhi-res.Phi1)*100))
+			}
+			tbl.AddRow(row...)
+		}
+		return tbl.Render(stdout)
+	})
 }
 
 // syntheticProblem builds a random instance: mean execution times per
@@ -86,126 +183,4 @@ func syntheticProblem(apps, type1, type2 int, deadline float64, seed uint64) *ra
 		}
 	}
 	return &ra.Problem{Sys: sys, Batch: b, Deadline: deadline}
-}
-
-func run(heuristic string, apps, type1, type2 int, deadline float64, seed uint64, optimum bool, instance string, workers int, metricsDest, traceDest, debugAddr string) error {
-	var reg *metrics.Registry
-	if metricsDest != "" || debugAddr != "" {
-		reg = metrics.NewRegistry()
-		metrics.SetDefault(reg)
-		pmf.SetMetrics(reg)
-		defer func() {
-			pmf.SetMetrics(nil)
-			metrics.SetDefault(nil)
-		}()
-	}
-	var tr *tracing.Tracer
-	if traceDest != "" || debugAddr != "" {
-		tr = tracing.NewSized(0, reg)
-		tracing.SetDefault(tr)
-		defer tracing.SetDefault(nil)
-	}
-	if debugAddr != "" {
-		prog := tracing.NewProgress()
-		tracing.SetProgress(prog)
-		defer tracing.SetProgress(nil)
-		srv, err := tracing.StartDebug(debugAddr, reg, prog, tr)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "ratool: debug endpoints on http://%s/\n", srv.Addr())
-	}
-	var prob *ra.Problem
-	switch {
-	case instance != "":
-		sys, batch, d, err := config.Load(instance)
-		if err != nil {
-			return err
-		}
-		prob = &ra.Problem{Sys: sys, Batch: batch, Deadline: d}
-	case apps > 0:
-		prob = syntheticProblem(apps, type1, type2, deadline, seed)
-	default:
-		f := experiments.Framework()
-		prob = &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: deadline}
-	}
-
-	prob.Metrics = reg
-	prob.Tracer = tr
-
-	names := ra.Names()
-	if heuristic != "" {
-		names = []string{heuristic}
-	}
-
-	// Build the evaluation table once up front; every heuristic below
-	// shares it.
-	if err := prob.Precompute(workers); err != nil {
-		return err
-	}
-
-	var optPhi float64
-	haveOpt := false
-	if optimum {
-		if n := sysmodel.CountAllocations(prob.Sys, prob.Batch); n <= 2_000_000 {
-			al, err := (&ra.Exhaustive{Workers: workers}).Allocate(prob)
-			if err == nil {
-				optPhi, _ = prob.Objective(al)
-				haveOpt = true
-			}
-		} else {
-			fmt.Fprintf(os.Stderr, "ratool: skipping exhaustive reference (%d allocations)\n", n)
-		}
-	}
-
-	headers := []string{"Heuristic", "phi1 (%)", "E[makespan]", "Allocation", "Time"}
-	if haveOpt {
-		headers = append(headers, "Gap to optimum (pp)")
-	}
-	tbl := report.NewTable(fmt.Sprintf("Stage-I heuristics (deadline %.0f, %d apps, %d procs)",
-		prob.Deadline, len(prob.Batch), prob.Sys.TotalProcessors()), headers...)
-
-	for _, name := range names {
-		h, ok := ra.Get(name)
-		if !ok {
-			return fmt.Errorf("unknown heuristic %q (have %s)", name, strings.Join(ra.Names(), ", "))
-		}
-		ra.SetWorkers(h, workers)
-		t0 := time.Now()
-		al, err := h.Allocate(prob)
-		dt := time.Since(t0)
-		if err != nil {
-			tbl.AddRow(name, "error: "+err.Error())
-			continue
-		}
-		res, err := robustness.EvaluateStageI(prob.Sys, prob.Batch, al, prob.Deadline)
-		if err != nil {
-			return err
-		}
-		maxExp := 0.0
-		for _, e := range res.ExpectedTimes {
-			if e > maxExp {
-				maxExp = e
-			}
-		}
-		row := []string{
-			name,
-			fmt.Sprintf("%.2f", res.Phi1*100),
-			fmt.Sprintf("%.0f", maxExp),
-			al.String(),
-			dt.Round(time.Millisecond).String(),
-		}
-		if haveOpt {
-			row = append(row, fmt.Sprintf("%.2f", (optPhi-res.Phi1)*100))
-		}
-		tbl.AddRow(row...)
-	}
-	if err := tbl.Render(os.Stdout); err != nil {
-		return err
-	}
-	if err := metrics.WriteTo(reg, metricsDest); err != nil {
-		return err
-	}
-	return tracing.WriteTo(tr, traceDest)
 }

@@ -16,6 +16,7 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -60,8 +61,10 @@ type ArrivalProcess struct {
 // ExpectedExecutor (Stage-I analytics) and the Stage-II simulator
 // adapter in package core.
 type Executor interface {
-	// Execute returns the batch makespan for the allocation.
-	Execute(sys *sysmodel.System, b sysmodel.Batch, alloc sysmodel.Allocation, seed uint64) (float64, error)
+	// Execute returns the batch makespan for the allocation. Executors
+	// doing substantial work should observe ctx and return its error
+	// when cancelled; cheap analytic executors may ignore it.
+	Execute(ctx context.Context, sys *sysmodel.System, b sysmodel.Batch, alloc sysmodel.Allocation, seed uint64) (float64, error)
 }
 
 // ExpectedExecutor estimates the batch makespan analytically as the
@@ -69,8 +72,9 @@ type Executor interface {
 // system's availability PMFs.
 type ExpectedExecutor struct{}
 
-// Execute implements Executor.
-func (ExpectedExecutor) Execute(sys *sysmodel.System, b sysmodel.Batch, alloc sysmodel.Allocation, _ uint64) (float64, error) {
+// Execute implements Executor; the analytic estimate is cheap enough
+// that ctx is not consulted.
+func (ExpectedExecutor) Execute(_ context.Context, sys *sysmodel.System, b sysmodel.Batch, alloc sysmodel.Allocation, _ uint64) (float64, error) {
 	if err := alloc.Validate(sys, b); err != nil {
 		return 0, err
 	}
@@ -142,6 +146,18 @@ type Result struct {
 
 // Run simulates the arrival queue and batch-synchronous execution.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: cancellation is checked before
+// each batch is scheduled, the Stage-I heuristic runs through
+// ra.SolveContext, and ctx reaches the Executor, so a cancelled
+// simulation stops at a batch boundary (or inside a cancellation-aware
+// executor) and returns an error wrapping ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Sys == nil {
 		return nil, fmt.Errorf("batch: nil system")
 	}
@@ -181,6 +197,10 @@ func Run(cfg Config) (*Result, error) {
 	clock := 0.0
 	next := 0 // first unscheduled job
 	for next < len(jobs) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("batch: canceled after %d/%d jobs in %d batches: %w",
+				next, len(jobs), len(res.Batches), err)
+		}
 		// The resource manager waits until at least one job is queued.
 		if jobs[next].Arrival > clock {
 			clock = jobs[next].Arrival
@@ -226,7 +246,7 @@ func Run(cfg Config) (*Result, error) {
 			b = append(b, jobs[i].App)
 		}
 		prob := &ra.Problem{Sys: cfg.Sys, Batch: b, Deadline: cfg.Deadline}
-		alloc, err := cfg.Heuristic.Allocate(prob)
+		alloc, err := ra.SolveContext(ctx, cfg.Heuristic, prob)
 		if err != nil {
 			return nil, fmt.Errorf("batch %d: %w", len(res.Batches), err)
 		}
@@ -234,7 +254,7 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		mk, err := exec.Execute(cfg.Sys, b, alloc, r.Uint64())
+		mk, err := exec.Execute(ctx, cfg.Sys, b, alloc, r.Uint64())
 		if err != nil {
 			return nil, err
 		}

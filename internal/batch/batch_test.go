@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -160,7 +161,7 @@ func TestExpectedExecutorIsMaxOfMeans(t *testing.T) {
 	sys := testSystem()
 	b := sysmodel.Batch{templates()[0], templates()[2]}
 	al := sysmodel.Allocation{{Type: 0, Procs: 2}, {Type: 1, Procs: 4}}
-	mk, err := ExpectedExecutor{}.Execute(sys, b, al, 0)
+	mk, err := ExpectedExecutor{}.Execute(context.Background(), sys, b, al, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestValidationErrors(t *testing.T) {
 
 type failingExecutor struct{}
 
-func (failingExecutor) Execute(*sysmodel.System, sysmodel.Batch, sysmodel.Allocation, uint64) (float64, error) {
+func (failingExecutor) Execute(context.Context, *sysmodel.System, sysmodel.Batch, sysmodel.Allocation, uint64) (float64, error) {
 	return 0, fmt.Errorf("boom")
 }
 

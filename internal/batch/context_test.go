@@ -1,0 +1,22 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A pre-cancelled context stops the batch stream between jobs with a
+// partial-progress error wrapping the cause.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, config())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "jobs") {
+		t.Errorf("error %q lacks partial-progress count", err)
+	}
+}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -234,6 +235,19 @@ type ScenarioResult struct {
 // reference availability, then Stage II simulations for every
 // availability case.
 func (f *Framework) RunScenario(sc Scenario, cases []Case, cfg StageIIConfig) (*ScenarioResult, error) {
+	return f.RunScenarioContext(context.Background(), sc, cases, cfg)
+}
+
+// RunScenarioContext is RunScenario under a context: ctx reaches the
+// Stage-I search (through ra.SolveContext) and every Stage-II
+// replication fan-out, and is additionally checked between cases, so a
+// cancelled scenario drains its worker pools and returns an error
+// wrapping ctx.Err(). Uncancelled seeded runs are bit-identical to
+// RunScenario.
+func (f *Framework) RunScenarioContext(ctx context.Context, sc Scenario, cases []Case, cfg StageIIConfig) (*ScenarioResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
@@ -251,7 +265,7 @@ func (f *Framework) RunScenario(sc Scenario, cases []Case, cfg StageIIConfig) (*
 	prog.PlanCases(len(cases))
 	scenarioRegion := tr.Begin("stage2", sc.Name, "scenario")
 	stage1Region := tr.Begin("stage2", "stage1: "+sc.IM.Name(), "stage1")
-	alloc, err := sc.IM.Allocate(&ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Metrics: cfg.Metrics, Tracer: cfg.Tracer})
+	alloc, err := ra.SolveContext(ctx, sc.IM, &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Metrics: cfg.Metrics, Tracer: cfg.Tracer})
 	stage1Region.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: stage I (%s): %w", sc.IM.Name(), err)
@@ -262,8 +276,11 @@ func (f *Framework) RunScenario(sc Scenario, cases []Case, cfg StageIIConfig) (*
 	}
 	res := &ScenarioResult{Scenario: sc.Name, StageI: stage1}
 	for ci, c := range cases {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: canceled after %d/%d cases: %w", ci, len(cases), err)
+		}
 		caseRegion := tr.Begin("stage2", "case: "+c.Name, "case")
-		cr, err := f.runCase(alloc, sc.RAS, c, cfg, uint64(ci), sc.Name+"/"+c.Name)
+		cr, err := f.runCase(ctx, alloc, sc.RAS, c, cfg, uint64(ci), sc.Name+"/"+c.Name)
 		caseRegion.End()
 		if err != nil {
 			return nil, err
@@ -305,7 +322,7 @@ func metricName(s string) string {
 	return strings.TrimSuffix(b.String(), "_")
 }
 
-func (f *Framework) runCase(alloc sysmodel.Allocation, ras []dls.Technique, c Case, cfg StageIIConfig, caseSalt uint64, traceScope string) (*CaseResult, error) {
+func (f *Framework) runCase(ctx context.Context, alloc sysmodel.Allocation, ras []dls.Technique, c Case, cfg StageIIConfig, caseSalt uint64, traceScope string) (*CaseResult, error) {
 	if len(c.Avail) != len(f.Sys.Types) {
 		return nil, fmt.Errorf("core: case %q has %d availability PMFs for %d types",
 			c.Name, len(c.Avail), len(f.Sys.Types))
@@ -335,7 +352,7 @@ func (f *Framework) runCase(alloc sysmodel.Allocation, ras []dls.Technique, c Ca
 		bestName, bestTime := "", 0.0
 		for ti, tech := range ras {
 			appRegion := cfg.tracer().Begin("stage2", app.Name+" / "+tech.Name, "app")
-			s, err := f.simulateApp(app, as, tech, iterDist, model, cfg,
+			s, err := f.simulateApp(ctx, app, as, tech, iterDist, model, cfg,
 				cfg.Seed^(caseSalt<<40)^(uint64(i)<<20)^uint64(ti)<<4,
 				traceScope+"/"+app.Name+"/"+tech.Name)
 			appRegion.End()
@@ -363,7 +380,7 @@ func (f *Framework) runCase(alloc sysmodel.Allocation, ras []dls.Technique, c Ca
 	return out, nil
 }
 
-func (f *Framework) simulateApp(app *sysmodel.Application, as sysmodel.Assignment, tech dls.Technique, iterDist stats.Dist, model availability.Model, cfg StageIIConfig, seed uint64, traceScope string) (*sim.Sample, error) {
+func (f *Framework) simulateApp(ctx context.Context, app *sysmodel.Application, as sysmodel.Assignment, tech dls.Technique, iterDist stats.Dist, model availability.Model, cfg StageIIConfig, seed uint64, traceScope string) (*sim.Sample, error) {
 	c := sim.Config{
 		SerialIters:   app.SerialIters,
 		ParallelIters: app.ParallelIters,
@@ -382,7 +399,7 @@ func (f *Framework) simulateApp(app *sysmodel.Application, as sysmodel.Assignmen
 	if cfg.WeightsFromAvail {
 		c.WeightsFromAvail = true
 	}
-	return sim.RunMany(c, cfg.Reps)
+	return sim.RunManyContext(ctx, c, cfg.Reps)
 }
 
 // SystemRobustness computes the paper's (rho_1, rho_2) from a scenario

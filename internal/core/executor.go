@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cdsf/internal/availability"
@@ -29,8 +30,9 @@ type SimExecutor struct {
 	Avail []pmf.PMF
 }
 
-// Execute implements the batch.Executor contract.
-func (e SimExecutor) Execute(sys *sysmodel.System, b sysmodel.Batch, alloc sysmodel.Allocation, seed uint64) (float64, error) {
+// Execute implements the batch.Executor contract; ctx cancels the
+// per-application replication fan-outs.
+func (e SimExecutor) Execute(ctx context.Context, sys *sysmodel.System, b sysmodel.Batch, alloc sysmodel.Allocation, seed uint64) (float64, error) {
 	if e.Technique.New == nil {
 		return 0, fmt.Errorf("core: SimExecutor has no technique")
 	}
@@ -56,7 +58,7 @@ func (e SimExecutor) Execute(sys *sysmodel.System, b sysmodel.Batch, alloc sysmo
 			avail = e.Avail[as.Type]
 		}
 		iterMean := b[i].ExecTime[as.Type].Mean() / float64(b[i].TotalIters())
-		s, err := sim.RunMany(sim.Config{
+		s, err := sim.RunManyContext(ctx, sim.Config{
 			SerialIters:      b[i].SerialIters,
 			ParallelIters:    b[i].ParallelIters,
 			Workers:          as.Procs,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"cdsf/internal/batch"
@@ -16,7 +17,7 @@ func TestSimExecutorBasics(t *testing.T) {
 	af, _ := dls.Get("AF")
 	e := SimExecutor{Technique: af, Config: quickCfg(2)}
 	alloc := sysmodel.Allocation{{Type: 0, Procs: 2}, {Type: 1, Procs: 4}}
-	mk, err := e.Execute(f.Sys, f.Batch, alloc, 7)
+	mk, err := e.Execute(context.Background(), f.Sys, f.Batch, alloc, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestSimExecutorBasics(t *testing.T) {
 	// The batch makespan dominates each application's own mean.
 	half := SimExecutor{Technique: af, Config: quickCfg(2),
 		Avail: []pmf.PMF{f.Sys.Types[0].Avail.Scale(0.5), f.Sys.Types[1].Avail.Scale(0.5)}}
-	mkHalf, err := half.Execute(f.Sys, f.Batch, alloc, 7)
+	mkHalf, err := half.Execute(context.Background(), f.Sys, f.Batch, alloc, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,15 +40,16 @@ func TestSimExecutorValidation(t *testing.T) {
 	f := testFramework()
 	af, _ := dls.Get("AF")
 	alloc := sysmodel.Allocation{{Type: 0, Procs: 2}, {Type: 1, Procs: 4}}
-	if _, err := (SimExecutor{Config: quickCfg(1)}).Execute(f.Sys, f.Batch, alloc, 1); err == nil {
+	ctx := context.Background()
+	if _, err := (SimExecutor{Config: quickCfg(1)}).Execute(ctx, f.Sys, f.Batch, alloc, 1); err == nil {
 		t.Error("missing technique accepted")
 	}
 	bad := SimExecutor{Technique: af, Config: quickCfg(1), Avail: []pmf.PMF{pmf.Point(1)}}
-	if _, err := bad.Execute(f.Sys, f.Batch, alloc, 1); err == nil {
+	if _, err := bad.Execute(ctx, f.Sys, f.Batch, alloc, 1); err == nil {
 		t.Error("mismatched Avail accepted")
 	}
 	over := sysmodel.Allocation{{Type: 0, Procs: 4}, {Type: 0, Procs: 4}}
-	if _, err := (SimExecutor{Technique: af, Config: quickCfg(1)}).Execute(f.Sys, f.Batch, over, 1); err == nil {
+	if _, err := (SimExecutor{Technique: af, Config: quickCfg(1)}).Execute(ctx, f.Sys, f.Batch, over, 1); err == nil {
 		t.Error("infeasible allocation accepted")
 	}
 }

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// Every ctx-aware generator must refuse a pre-cancelled context.
+func TestGeneratorsRefuseCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ComputeTableIVContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("ComputeTableIVContext: err = %v", err)
+	}
+	if _, err := RunPaperScenarioContext(ctx, 1, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunPaperScenarioContext: err = %v", err)
+	}
+	if _, err := GenerateFigureContext(ctx, 3, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("GenerateFigureContext: err = %v", err)
+	}
+	if _, _, err := GenerateTableVIContext(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("GenerateTableVIContext: err = %v", err)
+	}
+}
+
+// A cancelled scale study reports the cancellation, both on the
+// sequential and the parallel path.
+func TestRunScaleStudyContextCancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		cfg := DefaultScaleConfig(1)
+		cfg.Workers = workers
+		if _, err := RunScaleStudyContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}

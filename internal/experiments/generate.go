@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cdsf/internal/core"
@@ -92,13 +93,19 @@ type TableIVResult struct {
 // ComputeTableIV runs the naive load balancer and exhaustive search on
 // the paper instance and evaluates both allocations.
 func ComputeTableIV() (*TableIVResult, error) {
+	return ComputeTableIVContext(context.Background())
+}
+
+// ComputeTableIVContext is ComputeTableIV under a context; the
+// exhaustive Stage-I search honors cancellation.
+func ComputeTableIVContext(ctx context.Context) (*TableIVResult, error) {
 	f := Framework()
 	prob := &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline}
-	naiveAl, err := ra.NaiveLoadBalance{}.Allocate(prob)
+	naiveAl, err := ra.SolveContext(ctx, ra.NaiveLoadBalance{}, prob)
 	if err != nil {
 		return nil, err
 	}
-	robustAl, err := ra.Exhaustive{}.Allocate(prob)
+	robustAl, err := ra.SolveContext(ctx, &ra.Exhaustive{}, prob)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +130,12 @@ func ComputeTableIV() (*TableIVResult, error) {
 // GenerateTableIV reproduces Table IV: the naive and robust IM
 // allocations with their joint deadline probabilities.
 func GenerateTableIV() (*report.Table, error) {
-	res, err := ComputeTableIV()
+	return GenerateTableIVContext(context.Background())
+}
+
+// GenerateTableIVContext is GenerateTableIV under a context.
+func GenerateTableIVContext(ctx context.Context) (*report.Table, error) {
+	res, err := ComputeTableIVContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +165,12 @@ func GenerateTableIV() (*report.Table, error) {
 // GenerateTableV reproduces Table V: the expected parallel completion
 // times for both allocations, alongside the paper's values.
 func GenerateTableV() (*report.Table, error) {
-	res, err := ComputeTableIV()
+	return GenerateTableVContext(context.Background())
+}
+
+// GenerateTableVContext is GenerateTableV under a context.
+func GenerateTableVContext(ctx context.Context) (*report.Table, error) {
+	res, err := ComputeTableIVContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -181,22 +198,33 @@ func scenarioByNumber(n int) core.Scenario {
 // RunPaperScenario evaluates paper scenario n (1-4) with the default
 // calibrated Stage-II configuration and the given seed.
 func RunPaperScenario(n int, seed uint64) (*core.ScenarioResult, error) {
+	return RunPaperScenarioContext(context.Background(), n, seed)
+}
+
+// RunPaperScenarioContext is RunPaperScenario under a context; ctx
+// reaches the Stage-I search and every Stage-II replication fan-out.
+func RunPaperScenarioContext(ctx context.Context, n int, seed uint64) (*core.ScenarioResult, error) {
 	if n < 1 || n > 4 {
 		return nil, fmt.Errorf("experiments: scenario %d out of 1..4", n)
 	}
 	f := Framework()
 	cfg := core.DefaultStageII(Deadline, seed)
-	return f.RunScenario(scenarioByNumber(n), Cases(), cfg)
+	return f.RunScenarioContext(ctx, scenarioByNumber(n), Cases(), cfg)
 }
 
 // GenerateFigure renders paper figure n (3-6 correspond to scenarios
 // 1-4): per-case, per-application, per-technique mean execution times as
 // a bar chart against the deadline.
 func GenerateFigure(n int, seed uint64) (*report.BarChart, error) {
+	return GenerateFigureContext(context.Background(), n, seed)
+}
+
+// GenerateFigureContext is GenerateFigure under a context.
+func GenerateFigureContext(ctx context.Context, n int, seed uint64) (*report.BarChart, error) {
 	if n < 3 || n > 6 {
 		return nil, fmt.Errorf("experiments: figure %d out of 3..6", n)
 	}
-	res, err := RunPaperScenario(n-2, seed)
+	res, err := RunPaperScenarioContext(ctx, n-2, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +250,12 @@ func GenerateFigure(n int, seed uint64) (*report.BarChart, error) {
 // deadline-meeting DLS technique per application and case, plus the
 // resulting robustness tuple.
 func GenerateTableVI(seed uint64) (*report.Table, robustness.Tuple, error) {
-	res, err := RunPaperScenario(4, seed)
+	return GenerateTableVIContext(context.Background(), seed)
+}
+
+// GenerateTableVIContext is GenerateTableVI under a context.
+func GenerateTableVIContext(ctx context.Context, seed uint64) (*report.Table, robustness.Tuple, error) {
+	res, err := RunPaperScenarioContext(ctx, 4, seed)
 	if err != nil {
 		return nil, robustness.Tuple{}, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -129,6 +130,19 @@ type quadrant struct {
 // the fraction of instances whose whole batch met the deadline at
 // runtime under the degraded availability.
 func RunScaleStudy(cfg ScaleConfig) (*report.Table, error) {
+	return RunScaleStudyContext(context.Background(), cfg)
+}
+
+// RunScaleStudyContext is RunScaleStudy under a context: cancellation
+// stops the cell pool from claiming further (size, quadrant, instance)
+// cells, drains in-flight evaluations (each of which also observes ctx
+// through the Stage-I and Stage-II layers), and returns an error
+// wrapping ctx.Err(). Uncancelled seeded studies are bit-identical to
+// RunScaleStudy for any worker count.
+func RunScaleStudyContext(ctx context.Context, cfg ScaleConfig) (*report.Table, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Instances <= 0 || cfg.Reps <= 0 || cfg.Slack <= 0 {
 		return nil, fmt.Errorf("experiments: invalid scale config %+v", cfg)
 	}
@@ -174,7 +188,7 @@ func RunScaleStudy(cfg ScaleConfig) (*report.Table, error) {
 	// how far a long scale study has advanced.
 	prog := tracing.DefaultProgress()
 	prog.PlanCases(len(jobs))
-	forEachParallel(cfg.Workers, len(jobs), func(i int) {
+	if err := forEachParallel(ctx, cfg.Workers, len(jobs), func(i int) {
 		defer prog.CaseDone()
 		j := jobs[i]
 		apps, t1, t2 := j.size[0], j.size[1], j.size[2]
@@ -184,9 +198,11 @@ func RunScaleStudy(cfg ScaleConfig) (*report.Table, error) {
 			results[i] = cellResult{err: err}
 			return
 		}
-		ok, phi, err := evalQuadrant(prob, quadrants[j.quad], cfg, seed)
+		ok, phi, err := evalQuadrant(ctx, prob, quadrants[j.quad], cfg, seed)
 		results[i] = cellResult{phi: phi, met: ok, err: err}
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("experiments: scale study canceled: %w", err)
+	}
 	for _, r := range results {
 		if r.err != nil {
 			return nil, r.err
@@ -218,8 +234,10 @@ func RunScaleStudy(cfg ScaleConfig) (*report.Table, error) {
 
 // forEachParallel runs fn(0..n-1) across a bounded worker pool (the
 // experiments-layer twin of ra's internal helper). workers <= 1 runs
-// inline; non-positive workers means runtime.NumCPU().
-func forEachParallel(workers, n int, fn func(int)) {
+// inline; non-positive workers means runtime.NumCPU(). Cancellation
+// stops workers from claiming further indices; the pool drains and the
+// context's error is returned.
+func forEachParallel(ctx context.Context, workers, n int, fn func(int)) error {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -228,9 +246,12 @@ func forEachParallel(workers, n int, fn func(int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -238,7 +259,7 @@ func forEachParallel(workers, n int, fn func(int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -248,14 +269,15 @@ func forEachParallel(workers, n int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // evalQuadrant runs one quadrant on one instance: Stage I allocation,
 // then per-application Stage-II simulation under degraded availability;
 // the batch "meets" when every application has some technique whose
 // mean completion time satisfies the deadline.
-func evalQuadrant(prob *ra.Problem, q quadrant, cfg ScaleConfig, seed uint64) (bool, float64, error) {
-	alloc, err := q.im.Allocate(prob)
+func evalQuadrant(ctx context.Context, prob *ra.Problem, q quadrant, cfg ScaleConfig, seed uint64) (bool, float64, error) {
+	alloc, err := ra.SolveContext(ctx, q.im, prob)
 	if err != nil {
 		return false, 0, err
 	}
@@ -278,7 +300,7 @@ func evalQuadrant(prob *ra.Problem, q quadrant, cfg ScaleConfig, seed uint64) (b
 		return false, 0, err
 	}
 	sc := core.Scenario{Name: q.name, IM: fixedAlloc{alloc}, RAS: ras}
-	res, err := f.RunScenario(sc, []core.Case{{Name: "degraded", Avail: scaled}}, simCfg)
+	res, err := f.RunScenarioContext(ctx, sc, []core.Case{{Name: "degraded", Avail: scaled}}, simCfg)
 	if err != nil {
 		return false, 0, err
 	}

@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -29,7 +30,14 @@ type NaiveLoadBalance struct{}
 func (NaiveLoadBalance) Name() string { return "naive" }
 
 // Allocate implements Heuristic.
-func (NaiveLoadBalance) Allocate(p *Problem) (sysmodel.Allocation, error) {
+func (h NaiveLoadBalance) Allocate(p *Problem) (sysmodel.Allocation, error) {
+	return h.AllocateContext(context.Background(), p)
+}
+
+// AllocateContext implements ContextHeuristic: the equal-share
+// placement enumeration checks ctx every cancelCheckStride complete
+// placements.
+func (NaiveLoadBalance) AllocateContext(ctx context.Context, p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -42,6 +50,8 @@ func (NaiveLoadBalance) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	// keep the most robust feasible one; if the nominal equal share does
 	// not fit the per-type capacities (e.g. 8 processors exist overall
 	// but no single type has 8), halve it until a placement exists.
+	leaves := 0
+	stopped := false
 	for ; share >= 1; share /= 2 {
 		var best sysmodel.Allocation
 		bestPhi := -1.0
@@ -52,7 +62,14 @@ func (NaiveLoadBalance) Allocate(p *Problem) (sysmodel.Allocation, error) {
 		}
 		var rec func(i int)
 		rec = func(i int) {
+			if stopped {
+				return
+			}
 			if i == n {
+				if leaves++; leaves%cancelCheckStride == 0 && ctx.Err() != nil {
+					stopped = true
+					return
+				}
 				phi, err := p.Objective(al)
 				if err == nil && phi > bestPhi {
 					bestPhi = phi
@@ -71,6 +88,9 @@ func (NaiveLoadBalance) Allocate(p *Problem) (sysmodel.Allocation, error) {
 			}
 		}
 		rec(0)
+		if stopped {
+			return nil, searchErr("naive", ctx.Err())
+		}
 		if best != nil {
 			return best, nil
 		}
@@ -98,6 +118,9 @@ type Exhaustive struct {
 
 // Name returns "exhaustive".
 func (Exhaustive) Name() string { return "exhaustive" }
+
+// SetWorkers implements WorkerSettable.
+func (h *Exhaustive) SetWorkers(workers int) { h.Workers = workers }
 
 // score orders allocations: higher phi_1 first, then lower expected
 // makespan, then lower total expected time.
@@ -148,10 +171,18 @@ func (p *Problem) scoreOf(al sysmodel.Allocation) score {
 // the per-partition winners are reduced in partition order with the
 // same first-wins tie-break the sequential scan uses.
 func (h Exhaustive) Allocate(p *Problem) (sysmodel.Allocation, error) {
+	return h.AllocateContext(context.Background(), p)
+}
+
+// AllocateContext implements ContextHeuristic: each partition scan
+// checks ctx every cancelCheckStride enumerated allocations and the
+// partition pool drains at the next partition boundary, so cancelling a
+// multi-billion-allocation search returns within milliseconds.
+func (h Exhaustive) AllocateContext(ctx context.Context, p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if err := p.Precompute(h.Workers); err != nil {
+	if err := p.PrecomputeContext(ctx, h.Workers); err != nil {
 		return nil, err
 	}
 	// Partitions: every capacity-feasible assignment of application 0,
@@ -172,7 +203,7 @@ func (h Exhaustive) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	// atomic traffic.
 	scanned := p.registry().Counter("ra.exhaustive_scanned")
 	tr := p.tracer()
-	runParallel(h.Workers, len(opts), func(k int) {
+	poolErr := runParallel(ctx, h.Workers, len(opts), func(k int) {
 		defer tr.Begin(fmt.Sprintf("stage1/exhaustive/p%02d", k),
 			fmt.Sprintf("partition app0=%dx type%d", opts[k].Procs, opts[k].Type+1), "stage1").End()
 		var best sysmodel.Allocation
@@ -180,6 +211,9 @@ func (h Exhaustive) Allocate(p *Problem) (sysmodel.Allocation, error) {
 		var n int64
 		sysmodel.EnumerateAllocationsFrom(p.Sys, p.Batch, sysmodel.Allocation{opts[k]}, func(al sysmodel.Allocation) bool {
 			n++
+			if n%cancelCheckStride == 0 && ctx.Err() != nil {
+				return false
+			}
 			if s := p.scoreOf(al); s.better(bestScore) {
 				bestScore = s
 				best = al.Clone()
@@ -189,6 +223,9 @@ func (h Exhaustive) Allocate(p *Problem) (sysmodel.Allocation, error) {
 		scanned.Add(n)
 		results[k] = partBest{al: best, s: bestScore}
 	})
+	if poolErr != nil {
+		return nil, searchErr("exhaustive", poolErr)
+	}
 	var best sysmodel.Allocation
 	var bestScore score
 	for _, r := range results {
@@ -212,7 +249,13 @@ type Greedy struct{}
 func (Greedy) Name() string { return "greedy" }
 
 // Allocate implements Heuristic.
-func (Greedy) Allocate(p *Problem) (sysmodel.Allocation, error) {
+func (h Greedy) Allocate(p *Problem) (sysmodel.Allocation, error) {
+	return h.AllocateContext(context.Background(), p)
+}
+
+// AllocateContext implements ContextHeuristic: ctx is checked once per
+// assignment round.
+func (Greedy) AllocateContext(ctx context.Context, p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -224,6 +267,9 @@ func (Greedy) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	al := make(sysmodel.Allocation, n)
 	assigned := make([]bool, n)
 	for done := 0; done < n; done++ {
+		if err := ctx.Err(); err != nil {
+			return nil, searchErr("greedy", err)
+		}
 		// Pick the unassigned application whose best achievable
 		// probability is lowest (most constrained first).
 		worstI := -1
@@ -261,7 +307,12 @@ func (MinMin) Name() string { return "minmin" }
 
 // Allocate implements Heuristic.
 func (MinMin) Allocate(p *Problem) (sysmodel.Allocation, error) {
-	return minMaxMin(p, true)
+	return minMaxMin(context.Background(), p, true)
+}
+
+// AllocateContext implements ContextHeuristic.
+func (MinMin) AllocateContext(ctx context.Context, p *Problem) (sysmodel.Allocation, error) {
+	return minMaxMin(ctx, p, true)
 }
 
 // MaxMin is the Max-Min variant: the application whose best expected
@@ -274,10 +325,15 @@ func (MaxMin) Name() string { return "maxmin" }
 
 // Allocate implements Heuristic.
 func (MaxMin) Allocate(p *Problem) (sysmodel.Allocation, error) {
-	return minMaxMin(p, false)
+	return minMaxMin(context.Background(), p, false)
 }
 
-func minMaxMin(p *Problem, min bool) (sysmodel.Allocation, error) {
+// AllocateContext implements ContextHeuristic.
+func (MaxMin) AllocateContext(ctx context.Context, p *Problem) (sysmodel.Allocation, error) {
+	return minMaxMin(ctx, p, false)
+}
+
+func minMaxMin(ctx context.Context, p *Problem, min bool) (sysmodel.Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -289,6 +345,9 @@ func minMaxMin(p *Problem, min bool) (sysmodel.Allocation, error) {
 	al := make(sysmodel.Allocation, n)
 	assigned := make([]bool, n)
 	for done := 0; done < n; done++ {
+		if err := ctx.Err(); err != nil {
+			return nil, searchErr(map[bool]string{true: "minmin", false: "maxmin"}[min], err)
+		}
 		pickI := -1
 		pickExp := 0.0
 		var pickAs sysmodel.Assignment
@@ -344,7 +403,13 @@ type TwoPhaseGreedy struct{}
 func (TwoPhaseGreedy) Name() string { return "twophase" }
 
 // Allocate implements Heuristic.
-func (TwoPhaseGreedy) Allocate(p *Problem) (sysmodel.Allocation, error) {
+func (h TwoPhaseGreedy) Allocate(p *Problem) (sysmodel.Allocation, error) {
+	return h.AllocateContext(context.Background(), p)
+}
+
+// AllocateContext implements ContextHeuristic: ctx is checked once per
+// phase-1 placement and per phase-2 doubling round.
+func (TwoPhaseGreedy) AllocateContext(ctx context.Context, p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -358,6 +423,9 @@ func (TwoPhaseGreedy) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	// single-processor probability (ties broken by smaller expected
 	// completion time, which matters while all probabilities are 0).
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, searchErr("twophase", err)
+		}
 		bestJ, bestProb := -1, -1.0
 		bestExp := math.Inf(1)
 		for j := range p.Sys.Types {
@@ -424,6 +492,9 @@ func (TwoPhaseGreedy) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	}
 	cur := scoreNow()
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, searchErr("twophase", err)
+		}
 		bestI := -1
 		var bestAs sysmodel.Assignment
 		bestScore := cur

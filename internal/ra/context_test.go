@@ -1,0 +1,80 @@
+package ra
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// Every registered heuristic must refuse a pre-cancelled context with an
+// error wrapping context.Canceled and no partial allocation.
+func TestAllHeuristicsRefuseCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := smallProblem()
+	for _, name := range Names() {
+		h, _ := Get(name)
+		al, err := SolveContext(ctx, h, p)
+		if err == nil {
+			t.Errorf("%s: cancelled context accepted", name)
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: error %v does not wrap context.Canceled", name, err)
+		}
+		if al != nil {
+			t.Errorf("%s: cancelled search returned a partial allocation %v", name, al)
+		}
+	}
+}
+
+// A cancelled precompute must abort with context.Canceled, and the
+// problem must remain usable with a fresh context afterwards.
+func TestPrecomputeContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := smallProblem()
+	if err := p.PrecomputeContext(ctx, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled precompute: err = %v", err)
+	}
+	if err := p.PrecomputeContext(context.Background(), 2); err != nil {
+		t.Fatalf("fresh precompute after cancel failed: %v", err)
+	}
+}
+
+// Cancellation mid-search (via a deadline that expires during the
+// exhaustive scan) must surface context.DeadlineExceeded.
+func TestExhaustiveDeadlineMidSearch(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 1)
+	defer cancel()
+	<-ctx.Done() // the 1ns deadline has certainly expired
+	p := randomProblem(7, 5)
+	if _, err := (&Exhaustive{Workers: 4}).AllocateContext(ctx, p); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// The context plumbing must not perturb results: SolveContext with a
+// background context is bit-identical to the legacy Allocate path for
+// every registered heuristic on a seeded instance.
+func TestSolveContextMatchesAllocate(t *testing.T) {
+	for _, name := range Names() {
+		// Two independent problems so precomputed tables don't alias.
+		p1, p2 := randomProblem(3, 3), randomProblem(3, 3)
+		h1, _ := Get(name)
+		h2, _ := Get(name)
+		a1, err1 := h1.Allocate(p1)
+		a2, err2 := SolveContext(context.Background(), h2, p2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Errorf("%s: Allocate err %v vs SolveContext err %v", name, err1, err2)
+			continue
+		}
+		if err1 != nil {
+			continue
+		}
+		if !reflect.DeepEqual(a1, a2) {
+			t.Errorf("%s: Allocate %v != SolveContext %v", name, a1, a2)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package ra
 
 import (
+	"context"
+
 	"cdsf/internal/sysmodel"
 )
 
@@ -17,9 +19,18 @@ func init() {
 func (Duplex) Name() string { return "duplex" }
 
 // Allocate implements Heuristic.
-func (Duplex) Allocate(p *Problem) (sysmodel.Allocation, error) {
-	a, errA := MinMin{}.Allocate(p)
-	b, errB := MaxMin{}.Allocate(p)
+func (h Duplex) Allocate(p *Problem) (sysmodel.Allocation, error) {
+	return h.AllocateContext(context.Background(), p)
+}
+
+// AllocateContext implements ContextHeuristic by delegating to the two
+// member searches.
+func (Duplex) AllocateContext(ctx context.Context, p *Problem) (sysmodel.Allocation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, searchErr("duplex", err)
+	}
+	a, errA := MinMin{}.AllocateContext(ctx, p)
+	b, errB := MaxMin{}.AllocateContext(ctx, p)
 	switch {
 	case errA != nil && errB != nil:
 		return nil, errA

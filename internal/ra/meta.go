@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -54,16 +55,24 @@ type restartResult struct {
 // strictly higher phi_1 wins. It returns the first error only when
 // every restart failed. label names the heuristic in the restarts'
 // trace spans (lanes "stage1/<label>/r<k>").
-func runRestarts(p *Problem, label string, workers int, streams []*rng.Source, run func(r *rng.Source) (sysmodel.Allocation, float64, error)) (sysmodel.Allocation, error) {
+//
+// Cancellation: the pool stops claiming restarts once ctx is cancelled
+// and in-flight restarts abort at their own checkpoints; a cancelled
+// run always returns an error wrapping ctx.Err() — never a partial
+// merge, which would depend on how far the workers got.
+func runRestarts(ctx context.Context, p *Problem, label string, workers int, streams []*rng.Source, run func(ctx context.Context, r *rng.Source) (sysmodel.Allocation, float64, error)) (sysmodel.Allocation, error) {
 	p.registry().Counter("ra.restarts").Add(int64(len(streams)))
 	tr := p.tracer()
 	results := make([]restartResult, len(streams))
-	runParallel(workers, len(streams), func(k int) {
+	poolErr := runParallel(ctx, workers, len(streams), func(k int) {
 		defer tr.Begin(fmt.Sprintf("stage1/%s/r%02d", label, k),
 			fmt.Sprintf("%s restart %d", label, k), "stage1").End()
-		al, phi, err := run(streams[k])
+		al, phi, err := run(ctx, streams[k])
 		results[k] = restartResult{al: al, phi: phi, err: err}
 	})
+	if poolErr != nil {
+		return nil, searchErr(label, poolErr)
+	}
 	var best sysmodel.Allocation
 	bestPhi := -1.0
 	var firstErr error
@@ -173,19 +182,28 @@ type Random struct {
 // Name returns "random".
 func (h *Random) Name() string { return "random" }
 
+// SetWorkers implements WorkerSettable.
+func (h *Random) SetWorkers(workers int) { h.Workers = workers }
+
 // Allocate implements Heuristic.
 func (h *Random) Allocate(p *Problem) (sysmodel.Allocation, error) {
+	return h.AllocateContext(context.Background(), p)
+}
+
+// AllocateContext implements ContextHeuristic: each try is one cheap
+// draw, so the restart pool's per-task check is the checkpoint.
+func (h *Random) AllocateContext(ctx context.Context, p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if h.Tries <= 0 {
 		return nil, fmt.Errorf("ra: random heuristic with %d tries", h.Tries)
 	}
-	if err := p.Precompute(h.Workers); err != nil {
+	if err := p.PrecomputeContext(ctx, h.Workers); err != nil {
 		return nil, err
 	}
-	al, err := runRestarts(p, "random", h.Workers, restartStreams(h.Seed, h.Tries),
-		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
+	al, err := runRestarts(ctx, p, "random", h.Workers, restartStreams(h.Seed, h.Tries),
+		func(_ context.Context, r *rng.Source) (sysmodel.Allocation, float64, error) {
 			al, ok := randomAllocation(p, r)
 			if !ok {
 				return nil, 0, fmt.Errorf("ra: infeasible instance")
@@ -197,6 +215,9 @@ func (h *Random) Allocate(p *Problem) (sysmodel.Allocation, error) {
 			return al, phi, nil
 		})
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("ra: random heuristic found no feasible allocation in %d tries", h.Tries)
 	}
 	return al, err
@@ -265,26 +286,35 @@ type SimulatedAnnealing struct {
 // Name returns "anneal".
 func (h *SimulatedAnnealing) Name() string { return "anneal" }
 
+// SetWorkers implements WorkerSettable.
+func (h *SimulatedAnnealing) SetWorkers(workers int) { h.Workers = workers }
+
 // Allocate implements Heuristic.
 func (h *SimulatedAnnealing) Allocate(p *Problem) (sysmodel.Allocation, error) {
+	return h.AllocateContext(context.Background(), p)
+}
+
+// AllocateContext implements ContextHeuristic: each walk checks ctx
+// every metaCheckStride proposed moves.
+func (h *SimulatedAnnealing) AllocateContext(ctx context.Context, p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if err := p.Precompute(h.Workers); err != nil {
+	if err := p.PrecomputeContext(ctx, h.Workers); err != nil {
 		return nil, err
 	}
 	restarts := h.Restarts
 	if restarts <= 0 {
 		restarts = 1
 	}
-	return runRestarts(p, "anneal", h.Workers, restartStreams(h.Seed+0x5a5a, restarts),
-		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
-			return h.annealOnce(p, r)
+	return runRestarts(ctx, p, "anneal", h.Workers, restartStreams(h.Seed+0x5a5a, restarts),
+		func(ctx context.Context, r *rng.Source) (sysmodel.Allocation, float64, error) {
+			return h.annealOnce(ctx, p, r)
 		})
 }
 
 // annealOnce runs one annealing walk on its own rng stream.
-func (h *SimulatedAnnealing) annealOnce(p *Problem, r *rng.Source) (sysmodel.Allocation, float64, error) {
+func (h *SimulatedAnnealing) annealOnce(ctx context.Context, p *Problem, r *rng.Source) (sysmodel.Allocation, float64, error) {
 	iters := h.Iterations
 	if iters <= 0 {
 		iters = 2000
@@ -307,6 +337,11 @@ func (h *SimulatedAnnealing) annealOnce(p *Problem, r *rng.Source) (sysmodel.All
 	}
 	best, bestPhi := cur.Clone(), curPhi
 	for k := 0; k < iters; k++ {
+		if k%metaCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
 		cand, ok := neighbor(p, cur, r)
 		if !ok {
 			continue
@@ -349,26 +384,35 @@ type GeneticAlgorithm struct {
 // Name returns "genetic".
 func (h *GeneticAlgorithm) Name() string { return "genetic" }
 
+// SetWorkers implements WorkerSettable.
+func (h *GeneticAlgorithm) SetWorkers(workers int) { h.Workers = workers }
+
 // Allocate implements Heuristic.
 func (h *GeneticAlgorithm) Allocate(p *Problem) (sysmodel.Allocation, error) {
+	return h.AllocateContext(context.Background(), p)
+}
+
+// AllocateContext implements ContextHeuristic: each evolution checks
+// ctx once per generation.
+func (h *GeneticAlgorithm) AllocateContext(ctx context.Context, p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if err := p.Precompute(h.Workers); err != nil {
+	if err := p.PrecomputeContext(ctx, h.Workers); err != nil {
 		return nil, err
 	}
 	restarts := h.Restarts
 	if restarts <= 0 {
 		restarts = 1
 	}
-	return runRestarts(p, "genetic", h.Workers, restartStreams(h.Seed+0x6e6e, restarts),
-		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
-			return h.evolveOnce(p, r)
+	return runRestarts(ctx, p, "genetic", h.Workers, restartStreams(h.Seed+0x6e6e, restarts),
+		func(ctx context.Context, r *rng.Source) (sysmodel.Allocation, float64, error) {
+			return h.evolveOnce(ctx, p, r)
 		})
 }
 
 // evolveOnce runs one evolution on its own rng stream.
-func (h *GeneticAlgorithm) evolveOnce(p *Problem, r *rng.Source) (sysmodel.Allocation, float64, error) {
+func (h *GeneticAlgorithm) evolveOnce(ctx context.Context, p *Problem, r *rng.Source) (sysmodel.Allocation, float64, error) {
 	pop := h.Population
 	if pop <= 0 {
 		pop = 32
@@ -394,6 +438,9 @@ func (h *GeneticAlgorithm) evolveOnce(p *Problem, r *rng.Source) (sysmodel.Alloc
 	}
 	var cur []indiv
 	for len(cur) < pop {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		al, ok := randomAllocation(p, r)
 		if !ok {
 			continue
@@ -411,6 +458,9 @@ func (h *GeneticAlgorithm) evolveOnce(p *Problem, r *rng.Source) (sysmodel.Alloc
 		return b
 	}
 	for g := 0; g < gens; g++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		sort.Slice(cur, func(i, j int) bool { return cur[i].phi > cur[j].phi })
 		next := []indiv{cur[0], cur[1%len(cur)]} // elitism
 		for len(next) < pop {
@@ -469,26 +519,35 @@ type TabuSearch struct {
 // Name returns "tabu".
 func (h *TabuSearch) Name() string { return "tabu" }
 
+// SetWorkers implements WorkerSettable.
+func (h *TabuSearch) SetWorkers(workers int) { h.Workers = workers }
+
 // Allocate implements Heuristic.
 func (h *TabuSearch) Allocate(p *Problem) (sysmodel.Allocation, error) {
+	return h.AllocateContext(context.Background(), p)
+}
+
+// AllocateContext implements ContextHeuristic: each search checks ctx
+// every metaCheckStride steps.
+func (h *TabuSearch) AllocateContext(ctx context.Context, p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if err := p.Precompute(h.Workers); err != nil {
+	if err := p.PrecomputeContext(ctx, h.Workers); err != nil {
 		return nil, err
 	}
 	restarts := h.Restarts
 	if restarts <= 0 {
 		restarts = 1
 	}
-	return runRestarts(p, "tabu", h.Workers, restartStreams(h.Seed+0x7a7a, restarts),
-		func(r *rng.Source) (sysmodel.Allocation, float64, error) {
-			return h.searchOnce(p, r)
+	return runRestarts(ctx, p, "tabu", h.Workers, restartStreams(h.Seed+0x7a7a, restarts),
+		func(ctx context.Context, r *rng.Source) (sysmodel.Allocation, float64, error) {
+			return h.searchOnce(ctx, p, r)
 		})
 }
 
 // searchOnce runs one tabu search on its own rng stream.
-func (h *TabuSearch) searchOnce(p *Problem, r *rng.Source) (sysmodel.Allocation, float64, error) {
+func (h *TabuSearch) searchOnce(ctx context.Context, p *Problem, r *rng.Source) (sysmodel.Allocation, float64, error) {
 	iters := h.Iterations
 	if iters <= 0 {
 		iters = 400
@@ -521,6 +580,11 @@ func (h *TabuSearch) searchOnce(p *Problem, r *rng.Source) (sysmodel.Allocation,
 		}
 	}
 	for k := 0; k < iters; k++ {
+		if k%metaCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
 		var stepBest sysmodel.Allocation
 		stepPhi := math.Inf(-1)
 		for c := 0; c < cands; c++ {

@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"context"
 	"fmt"
 
 	"cdsf/internal/sysmodel"
@@ -41,15 +42,25 @@ func init() {
 // Name returns "minimal".
 func (MinimalRobust) Name() string { return "minimal" }
 
+// SetWorkers implements WorkerSettable.
+func (m *MinimalRobust) SetWorkers(workers int) { m.Workers = workers }
+
 // Allocate implements Heuristic.
 func (m MinimalRobust) Allocate(p *Problem) (sysmodel.Allocation, error) {
+	return m.AllocateContext(context.Background(), p)
+}
+
+// AllocateContext implements ContextHeuristic: the exact enumeration
+// checks ctx every cancelCheckStride allocations and the greedy shrink
+// once per halving round.
+func (m MinimalRobust) AllocateContext(ctx context.Context, p *Problem) (sysmodel.Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if m.Target <= 0 || m.Target > 1 {
 		return nil, fmt.Errorf("ra: minimal-robust target %v outside (0,1]", m.Target)
 	}
-	if err := p.Precompute(m.Workers); err != nil {
+	if err := p.PrecomputeContext(ctx, m.Workers); err != nil {
 		return nil, err
 	}
 	limit := m.EnumerationLimit
@@ -57,18 +68,22 @@ func (m MinimalRobust) Allocate(p *Problem) (sysmodel.Allocation, error) {
 		limit = 200000
 	}
 	if sysmodel.CountAllocations(p.Sys, p.Batch) <= limit {
-		return m.exact(p)
+		return m.exact(ctx, p)
 	}
-	return m.shrink(p)
+	return m.shrink(ctx, p)
 }
 
 // exact enumerates all allocations, keeping the fewest-processor one
 // meeting the target (ties broken by higher phi_1).
-func (m MinimalRobust) exact(p *Problem) (sysmodel.Allocation, error) {
+func (m MinimalRobust) exact(ctx context.Context, p *Problem) (sysmodel.Allocation, error) {
 	var best, fallback sysmodel.Allocation
 	bestProcs := 1 << 30
 	bestPhi, fallbackPhi := -1.0, -1.0
+	var n int64
 	sysmodel.EnumerateAllocations(p.Sys, p.Batch, func(al sysmodel.Allocation) bool {
+		if n++; n%cancelCheckStride == 0 && ctx.Err() != nil {
+			return false
+		}
 		phi, err := p.Objective(al)
 		if err != nil {
 			return true
@@ -91,6 +106,9 @@ func (m MinimalRobust) exact(p *Problem) (sysmodel.Allocation, error) {
 		}
 		return true
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, searchErr("minimal", err)
+	}
 	if best == nil {
 		if !m.Strict && fallback != nil {
 			return fallback, nil
@@ -102,8 +120,8 @@ func (m MinimalRobust) exact(p *Problem) (sysmodel.Allocation, error) {
 
 // shrink starts from the portfolio's allocation and halves the largest
 // assignment that keeps the target satisfied until no halving fits.
-func (m MinimalRobust) shrink(p *Problem) (sysmodel.Allocation, error) {
-	al, err := Portfolio{Workers: m.Workers}.Allocate(p)
+func (m MinimalRobust) shrink(ctx context.Context, p *Problem) (sysmodel.Allocation, error) {
+	al, err := Portfolio{Workers: m.Workers}.AllocateContext(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -118,6 +136,9 @@ func (m MinimalRobust) shrink(p *Problem) (sysmodel.Allocation, error) {
 		return nil, fmt.Errorf("ra: best found phi1 %v below target %v", phi, m.Target)
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, searchErr("minimal", err)
+		}
 		// Try halving assignments from the largest down; accept the
 		// first that keeps the target.
 		type cand struct{ idx, procs int }

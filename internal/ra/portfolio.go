@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"context"
 	"fmt"
 
 	"cdsf/internal/sysmodel"
@@ -29,6 +30,9 @@ func init() {
 // Name returns "portfolio".
 func (Portfolio) Name() string { return "portfolio" }
 
+// SetWorkers implements WorkerSettable.
+func (p *Portfolio) SetWorkers(workers int) { p.Workers = workers }
+
 // DefaultPortfolio returns the default member set: the cheap
 // constructive heuristics plus the two strongest metaheuristics.
 func DefaultPortfolio() []Heuristic {
@@ -45,10 +49,17 @@ func DefaultPortfolio() []Heuristic {
 // Allocate implements Heuristic: best member wins; members that fail
 // are skipped, and an error is returned only if every member fails.
 func (p Portfolio) Allocate(prob *Problem) (sysmodel.Allocation, error) {
+	return p.AllocateContext(context.Background(), prob)
+}
+
+// AllocateContext implements ContextHeuristic: ctx reaches every member
+// through SolveContext, so cancelling the portfolio cancels its
+// members' searches, and the member pool drains before returning.
+func (p Portfolio) AllocateContext(ctx context.Context, prob *Problem) (sysmodel.Allocation, error) {
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
-	if err := prob.Precompute(p.Workers); err != nil {
+	if err := prob.PrecomputeContext(ctx, p.Workers); err != nil {
 		return nil, err
 	}
 	members := p.Members
@@ -62,9 +73,9 @@ func (p Portfolio) Allocate(prob *Problem) (sysmodel.Allocation, error) {
 	}
 	results := make([]memberResult, len(members))
 	tr := prob.tracer()
-	runParallel(p.Workers, len(members), func(i int) {
+	poolErr := runParallel(ctx, p.Workers, len(members), func(i int) {
 		defer tr.Begin("stage1/portfolio/"+members[i].Name(), members[i].Name(), "stage1").End()
-		al, err := members[i].Allocate(prob)
+		al, err := SolveContext(ctx, members[i], prob)
 		if err != nil {
 			results[i] = memberResult{err: fmt.Errorf("ra: portfolio member %s: %w", members[i].Name(), err)}
 			return
@@ -72,6 +83,9 @@ func (p Portfolio) Allocate(prob *Problem) (sysmodel.Allocation, error) {
 		phi, err := prob.Objective(al)
 		results[i] = memberResult{al: al, phi: phi, err: err}
 	})
+	if poolErr != nil {
+		return nil, searchErr("portfolio", poolErr)
+	}
 	var best sysmodel.Allocation
 	bestPhi := -1.0
 	var lastErr error

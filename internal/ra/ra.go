@@ -214,32 +214,29 @@ func Get(name string) (Heuristic, bool) {
 	return mk(), true
 }
 
-// SetWorkers configures the worker-pool bound on heuristics that search
-// in parallel (exhaustive, portfolio, random, and the metaheuristics),
-// returning true if h supports the knob. Worker count never changes a
-// heuristic's result, only its wall-clock time; non-positive values
-// mean runtime.NumCPU(). It is how the CLIs thread their -workers flag
-// through to registry-constructed heuristics.
+// WorkerSettable is implemented by heuristics with a worker-pool knob:
+// SetWorkers bounds the search's parallelism. Worker count never
+// changes a heuristic's result, only its wall-clock time; non-positive
+// values mean runtime.NumCPU(). Heuristics that search in parallel
+// implement it on their pointer receiver, so registry-constructed
+// instances (which are pointers) pick up the CLIs' -workers flag
+// automatically — a new heuristic cannot silently miss the plumbing by
+// being left out of a central type switch.
+type WorkerSettable interface {
+	SetWorkers(workers int)
+}
+
+// SetWorkers configures the worker-pool bound on heuristics
+// implementing WorkerSettable (exhaustive, portfolio, random, minimal,
+// and the metaheuristics), returning true if h supports the knob. It is
+// how the CLIs thread their -workers flag through to
+// registry-constructed heuristics.
 func SetWorkers(h Heuristic, workers int) bool {
-	switch v := h.(type) {
-	case *Exhaustive:
-		v.Workers = workers
-	case *Portfolio:
-		v.Workers = workers
-	case *Random:
-		v.Workers = workers
-	case *SimulatedAnnealing:
-		v.Workers = workers
-	case *GeneticAlgorithm:
-		v.Workers = workers
-	case *TabuSearch:
-		v.Workers = workers
-	case *MinimalRobust:
-		v.Workers = workers
-	default:
-		return false
+	ws, ok := h.(WorkerSettable)
+	if ok {
+		ws.SetWorkers(workers)
 	}
-	return true
+	return ok
 }
 
 // Names returns the registered heuristic names, sorted.

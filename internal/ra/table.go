@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,14 @@ func normWorkers(w int) int {
 // package calls it before fanning out, so plain sequential construction
 // followed by concurrent use is always safe.
 func (p *Problem) Precompute(workers int) error {
+	return p.PrecomputeContext(context.Background(), workers)
+}
+
+// PrecomputeContext is Precompute under a context: the table build's
+// worker pool drains at the next cell boundary when ctx is cancelled,
+// the Problem is left un-precomputed (no partial table is ever
+// published), and the returned error wraps ctx.Err().
+func (p *Problem) PrecomputeContext(ctx context.Context, workers int) error {
 	if p.table != nil {
 		return nil
 	}
@@ -103,11 +112,13 @@ func (p *Problem) Precompute(workers int) error {
 			}
 		}
 	}
-	runParallel(workers, len(jobs), func(n int) {
+	if err := runParallel(ctx, workers, len(jobs), func(n int) {
 		jb := jobs[n]
 		as := sysmodel.Assignment{Type: jb.j, Procs: 1 << jb.k}
 		t.cells[(jb.i*t.types+jb.j)*t.logs+jb.k] = p.computeCell(jb.i, as)
-	})
+	}); err != nil {
+		return searchErr("precompute", err)
+	}
 	p.table = t
 	if reg != nil {
 		reg.Counter("ra.precompute_cells").Add(int64(len(jobs)))
@@ -126,16 +137,25 @@ func (p *Problem) computeCell(i int, as sysmodel.Assignment) memoVal {
 // workers <= 1 (or n <= 1) it degenerates to a plain sequential loop.
 // Tasks are claimed from an atomic counter, so every task runs exactly
 // once; fn must write only to its own task's slot of any shared output.
-func runParallel(workers, n int, fn func(int)) {
+//
+// Cancellation: workers check ctx before claiming each task, so a
+// cancelled context drains the pool at the next task boundary (in-flight
+// tasks finish — or abort at their own internal checkpoints). runParallel
+// then returns ctx.Err(); callers must treat their shared output as
+// incomplete when it does.
+func runParallel(ctx context.Context, workers, n int, fn func(int)) error {
 	workers = normWorkers(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for k := 0; k < n; k++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(k)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -143,7 +163,7 @@ func runParallel(workers, n int, fn func(int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				k := int(next.Add(1)) - 1
 				if k >= n {
 					return
@@ -153,4 +173,5 @@ func runParallel(workers, n int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }

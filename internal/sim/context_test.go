@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, replCfg(t)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A cancelled replication fan-out must drain its workers and report the
+// partial progress, for both the sequential and the parallel path.
+func TestRunManyContextCancelled(t *testing.T) {
+	// reps < 4 exercises the sequential path, reps >= 4 the worker pool.
+	for _, reps := range []int{2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := RunManyContext(ctx, replCfg(t), reps)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("reps=%d: err = %v, want context.Canceled", reps, err)
+		}
+		if !strings.Contains(err.Error(), "repetitions") {
+			t.Errorf("reps=%d: error %q lacks partial-progress count", reps, err)
+		}
+	}
+}
+
+// RunManyContext with a background context must be bit-identical to the
+// legacy RunMany on a seeded workload.
+func TestRunManyContextMatchesRunMany(t *testing.T) {
+	a, err := RunMany(replCfg(t), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunManyContext(context.Background(), replCfg(t), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Makespans, b.Makespans) {
+		t.Errorf("RunMany %v != RunManyContext %v", a.Makespans, b.Makespans)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -96,6 +97,19 @@ func (s *Sample) PrLE(x float64) float64 {
 // chain); the aggregate is identical either way because every
 // repetition's seed is fixed up front.
 func RunMany(cfg Config, reps int) (*Sample, error) {
+	return RunManyContext(context.Background(), cfg, reps)
+}
+
+// RunManyContext is RunMany under a context. Cancellation stops workers
+// from claiming further repetitions, drains the in-flight ones (each of
+// which also observes ctx through RunContext), and returns a
+// partial-progress error wrapping ctx.Err() that reports how many
+// repetitions had completed. Uncancelled seeded runs are bit-identical
+// to RunMany for any worker count.
+func RunManyContext(ctx context.Context, cfg Config, reps int) (*Sample, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if reps <= 0 {
 		return nil, fmt.Errorf("sim: %d repetitions", reps)
 	}
@@ -117,14 +131,14 @@ func RunMany(cfg Config, reps int) (*Sample, error) {
 		// Trace only the first repetition: one representative timeline
 		// per batch instead of reps copies flooding the span buffer.
 		c.noTrace = i != 0
-		results[i], errs[i] = Run(c)
+		results[i], errs[i] = RunContext(ctx, c)
 		prog.RepDone()
 	}
 
 	_, groupScoped := availability.AsGroupScoped(cfg.Avail)
 	workers := runtime.GOMAXPROCS(0)
 	if groupScoped || workers <= 1 || reps < 4 {
-		for i := 0; i < reps; i++ {
+		for i := 0; i < reps && ctx.Err() == nil; i++ {
 			runOne(i)
 		}
 	} else {
@@ -137,7 +151,7 @@ func RunMany(cfg Config, reps int) (*Sample, error) {
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					i := int(next.Add(1)) - 1
 					if i >= reps {
 						return
@@ -147,6 +161,16 @@ func RunMany(cfg Config, reps int) (*Sample, error) {
 			}()
 		}
 		wg.Wait()
+	}
+
+	if err := ctx.Err(); err != nil {
+		done := 0
+		for i := 0; i < reps; i++ {
+			if errs[i] == nil && results[i] != nil {
+				done++
+			}
+		}
+		return nil, fmt.Errorf("sim: canceled after %d/%d repetitions: %w", done, reps, err)
 	}
 
 	out := &Sample{Makespans: make([]float64, 0, reps)}

@@ -1,6 +1,7 @@
 package tracing
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -67,11 +68,26 @@ func StartDebug(addr string, reg *metrics.Registry, prog *Progress, tr *Tracer) 
 // Addr returns the server's listen address (with the resolved port).
 func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down. It is a no-op on a nil receiver, so
-// CLIs can defer it unconditionally.
+// Close shuts the server down immediately, dropping in-flight
+// requests. It is a no-op on a nil receiver, so CLIs can defer it
+// unconditionally.
 func (s *DebugServer) Close() error {
 	if s == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops the server gracefully: it closes the listener and
+// waits for in-flight handlers (a /debug/pprof/profile capture, a
+// /trace export) until ctx expires, then force-closes whatever
+// remains. Like Close it is a no-op on a nil receiver.
+func (s *DebugServer) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
 }
