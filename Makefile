@@ -5,17 +5,25 @@
 #   make vet     run go vet across the module
 #   make test    run the full test suite
 #   make race    run the full test suite under the race detector
-#   make cover   enforce the coverage floor on the observability
-#                packages (internal/tracing, internal/trace)
+#   make cover   enforce the coverage floor on the observability and
+#                service packages (internal/tracing, internal/trace,
+#                internal/api, internal/server)
 #   make bench   run the benchmark suite with allocation stats
 #   make fuzz    run each pmf fuzz target briefly
+#   make serve   build and run the cdsfd scheduling service locally
 
 GO ?= go
 
-# Minimum statement coverage (percent) for the observability packages.
+# Minimum statement coverage (percent) for the floored packages.
 COVER_FLOOR ?= 85
 
-.PHONY: check build vet test race cover bench fuzz
+# Packages held to the coverage floor.
+COVER_PKGS ?= ./internal/tracing ./internal/trace ./internal/api ./internal/server
+
+# Listen address for `make serve`.
+SERVE_ADDR ?= 127.0.0.1:8080
+
+.PHONY: check build vet test race cover bench fuzz serve
 
 check: build vet test race cover
 
@@ -32,7 +40,7 @@ race:
 	$(GO) test -race ./...
 
 cover:
-	@for pkg in ./internal/tracing ./internal/trace; do \
+	@for pkg in $(COVER_PKGS); do \
 		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$pkg"; exit 1; fi; \
 		ok=$$(echo "$$pct $(COVER_FLOOR)" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \
@@ -47,3 +55,6 @@ fuzz:
 	$(GO) test -run=xxx -fuzz=FuzzNew -fuzztime=10s ./internal/pmf
 	$(GO) test -run=xxx -fuzz=FuzzCombineMerge -fuzztime=10s ./internal/pmf
 	$(GO) test -run=xxx -fuzz=FuzzRebin -fuzztime=10s ./internal/pmf
+
+serve:
+	$(GO) run ./cmd/cdsfd -addr $(SERVE_ADDR)

@@ -51,9 +51,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	return rf.Run(ctx, "batchsim", stderr, func(ctx context.Context, s *runner.Session) error {
-		h, ok := ra.Get(*heuristic)
-		if !ok {
-			return fmt.Errorf("unknown heuristic %q (have %s)", *heuristic, strings.Join(ra.Names(), ", "))
+		h, err := ra.ByName(*heuristic)
+		if err != nil {
+			return err
 		}
 		ra.SetWorkers(h, rf.Workers)
 		if *rate <= 0 {

@@ -26,9 +26,7 @@ import (
 
 	"cdsf/internal/config"
 	"cdsf/internal/core"
-	"cdsf/internal/dls"
 	"cdsf/internal/experiments"
-	"cdsf/internal/pmf"
 	"cdsf/internal/ra"
 	"cdsf/internal/report"
 	"cdsf/internal/runner"
@@ -66,23 +64,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 					cases = append(cases, core.Case{Name: c.Name, Avail: c.Avail})
 				}
 			} else {
-				// Without declared cases, evaluate the reference
-				// availability plus two uniformly degraded cases.
-				ref := make([]pmf.PMF, len(sys.Types))
-				for j, t := range sys.Types {
-					ref[j] = t.Avail
-				}
-				cases = []core.Case{{Name: "reference", Avail: ref}}
-				for _, scale := range []float64{0.8, 0.6} {
-					scaled := make([]pmf.PMF, len(sys.Types))
-					for j, t := range sys.Types {
-						scaled[j] = t.Avail.Scale(scale)
-					}
-					cases = append(cases, core.Case{
-						Name:  fmt.Sprintf("scaled %.0f%%", scale*100),
-						Avail: scaled,
-					})
-				}
+				cases = core.FallbackCases(sys)
 			}
 		}
 		cfg := core.DefaultStageII(f.Deadline, *seed)
@@ -152,34 +134,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	})
 }
 
+// buildScenario adapts the CLI's comma-separated -ras flag to
+// core.BuildScenario, the scenario resolver shared with the cdsfd
+// scheduling service, so flag names and wire names cannot drift.
 func buildScenario(scenario int, im, ras string) (core.Scenario, error) {
-	if im == "" && ras == "" {
-		if scenario < 1 || scenario > 4 {
-			return core.Scenario{}, fmt.Errorf("scenario %d out of 1..4", scenario)
-		}
-		return core.PaperScenarios(ra.NaiveLoadBalance{}, ra.Exhaustive{})[scenario-1], nil
+	var techs []string
+	if ras != "" {
+		techs = strings.Split(ras, ",")
 	}
-	sc := core.Scenario{Name: "custom"}
-	imName := im
-	if imName == "" {
-		imName = "exhaustive"
-	}
-	h, ok := ra.Get(imName)
-	if !ok {
-		return core.Scenario{}, fmt.Errorf("unknown heuristic %q (have %s)", imName, strings.Join(ra.Names(), ", "))
-	}
-	sc.IM = h
-	if ras == "" {
-		sc.RAS = core.RobustRAS()
-	} else {
-		for _, name := range strings.Split(ras, ",") {
-			t, ok := dls.Get(strings.TrimSpace(name))
-			if !ok {
-				return core.Scenario{}, fmt.Errorf("unknown technique %q (have %s)", name, strings.Join(dls.Names(), ", "))
-			}
-			sc.RAS = append(sc.RAS, t)
-		}
-	}
-	sc.Name = fmt.Sprintf("custom: %s IM + {%s}", sc.IM.Name(), ras)
-	return sc, nil
+	return core.BuildScenario(scenario, im, techs)
 }

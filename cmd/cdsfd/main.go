@@ -1,0 +1,96 @@
+// Command cdsfd serves the CDSF framework as a long-running scheduling
+// service: a versioned HTTP/JSON job API (internal/api, v1) over a
+// bounded job queue and executor pool (internal/server).
+//
+// Usage:
+//
+//	cdsfd                          # serve on :8080
+//	cdsfd -addr 127.0.0.1:9090 -queue 32 -executors 4
+//	cdsfd -metrics m.json -trace t.json -drain-timeout 1m
+//
+// Submit work with POST /v1/solve, /v1/simulate, or /v1/scenario (202
+// plus a job envelope; 429 with Retry-After when the queue is full),
+// poll GET /v1/jobs/{id}, cancel with DELETE /v1/jobs/{id}, and list
+// with GET /v1/jobs?state=queued,running. The debug endpoints every
+// CLI exposes behind -debug-addr (/metrics, /progress, /trace,
+// /debug/pprof/*) are mounted on the same address.
+//
+// SIGINT/SIGTERM (and -timeout) drain the service: admission stops
+// (503), queued jobs are cancelled, running jobs get -drain-timeout to
+// finish before their contexts are cancelled, and the -metrics and
+// -trace outputs are flushed before the nonzero exit — the same
+// cancellation contract as every other CLI in cmd/.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"cdsf/internal/api"
+	"cdsf/internal/runner"
+	"cdsf/internal/server"
+)
+
+func main() { runner.Main("cdsfd", run) }
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cdsfd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "HTTP listen address for the v1 job API (e.g. 127.0.0.1:0 for a free port)")
+	queue := fs.Int("queue", 16, "bound on jobs waiting for an executor; submissions beyond it answer 429")
+	executors := fs.Int("executors", 2, "number of jobs executed concurrently")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after a shutdown signal before their contexts are cancelled")
+	rf := runner.RegisterWorkerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return rf.Run(ctx, "cdsfd", stderr, func(ctx context.Context, s *runner.Session) error {
+		srv := server.New(server.Options{
+			Queue:     *queue,
+			Executors: *executors,
+			Workers:   rf.Workers,
+			Metrics:   s.Metrics,
+			Tracer:    s.Tracer,
+		})
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		// The readiness line carries the resolved port (for -addr ...:0)
+		// and marks the point from which requests are accepted.
+		fmt.Fprintf(stderr, "cdsfd: serving the %s job API on http://%s/\n", api.Version, ln.Addr())
+
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- httpSrv.Serve(ln) }()
+
+		select {
+		case err := <-serveErr:
+			// The listener died on its own; nothing is serving anymore,
+			// so cancel whatever was running and report the cause.
+			srv.Drain(0)
+			return err
+		case <-ctx.Done():
+		}
+
+		// Drain sequence: jobs first (admission already answers 503, and
+		// polling keeps working so clients see their jobs reach terminal
+		// states), then the HTTP server itself.
+		fmt.Fprintf(stderr, "cdsfd: draining jobs (timeout %s)\n", *drainTimeout)
+		srv.Drain(*drainTimeout)
+		downCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(downCtx); err != nil {
+			_ = httpSrv.Close()
+		}
+		// Propagate the cancellation cause so the process exits nonzero,
+		// after runner.Run flushes -metrics and -trace.
+		return fmt.Errorf("serving interrupted: %w", context.Cause(ctx))
+	})
+}

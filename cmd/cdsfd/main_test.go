@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cdsf/internal/api"
+	"cdsf/internal/runner"
+)
+
+// helperEnv re-executes this test binary as the real cdsfd daemon, so
+// the signal tests exercise the full runner.Exec path in a child
+// process.
+const helperEnv = "CDSFD_TEST_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(helperEnv) == "1" {
+		os.Exit(runner.Exec("cdsfd", os.Args[1:], os.Stdout, os.Stderr, run))
+	}
+	os.Exit(m.Run())
+}
+
+func TestRunFlagAndListenErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-no-such-flag"}, &stdout, &stderr); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.256.256.256:0"}, &stdout, &stderr); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+func TestRunTimeoutStopsServing(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-timeout", "50ms"}, &stdout, &stderr)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// startDaemon launches the daemon subprocess and waits for its
+// readiness line, returning the base URL and the stderr collector.
+func startDaemon(t *testing.T, extraArgs ...string) (*exec.Cmd, string, *strings.Builder) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), helperEnv+"=1")
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
+
+	ready := make(chan string, 1)
+	all := &strings.Builder{}
+	go func() {
+		sc := bufio.NewScanner(stderrPipe)
+		for sc.Scan() {
+			line := sc.Text()
+			all.WriteString(line + "\n")
+			if strings.Contains(line, "job API on http://") {
+				select {
+				case ready <- line:
+				default:
+				}
+			}
+		}
+		select {
+		case ready <- "EOF":
+		default:
+		}
+	}()
+	select {
+	case line := <-ready:
+		if line == "EOF" {
+			t.Fatalf("daemon exited before readiness:\n%s", all.String())
+		}
+		base := "http://" + strings.TrimSuffix(line[strings.Index(line, "http://")+len("http://"):], "/")
+		return cmd, base, all
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never announced readiness")
+		return nil, "", nil
+	}
+}
+
+// submitJob posts a request and returns the accepted job id.
+func submitJob(t *testing.T, base, path string, req any) string {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+	}
+	var j api.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j.ID
+}
+
+// pollState fetches one job's state over HTTP.
+func pollState(t *testing.T, base, id string) api.JobState {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var j api.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j.State
+}
+
+// TestEndToEndOverHTTP drives a real daemon subprocess through a full
+// job lifecycle and a clean SIGTERM shutdown with nothing running.
+func TestEndToEndOverHTTP(t *testing.T) {
+	cmd, base, _ := startDaemon(t)
+
+	id := submitJob(t, base, "/v1/solve", api.SolveRequest{Heuristic: "greedy"})
+	deadline := time.Now().Add(30 * time.Second)
+	for pollState(t, base, id) != api.JobDone {
+		if time.Now().After(deadline) {
+			t.Fatal("job never completed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("wait: %v, want exit code 1", err)
+	}
+}
+
+// Acceptance: SIGTERM with a job running drains within -drain-timeout —
+// the running job's context is cancelled, the process exits nonzero,
+// and the -metrics output is still flushed with the job counters.
+func TestSigtermDrainsAndFlushesMetrics(t *testing.T) {
+	dir := t.TempDir()
+	mpath := dir + "/metrics.json"
+	cmd, base, stderrLog := startDaemon(t,
+		"-metrics", mpath, "-drain-timeout", "2s", "-executors", "1", "-queue", "4")
+
+	// An effectively unbounded job: millions of repetitions.
+	id := submitJob(t, base, "/v1/simulate", api.SimulateRequest{
+		Allocation: []api.Assignment{{Type: 0, Procs: 4}, {Type: 1, Procs: 4}, {Type: 1, Procs: 4}},
+		Techniques: []string{"STATIC"},
+		Reps:       2_000_000,
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for pollState(t, base, id) != api.JobRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	start := time.Now()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) {
+			t.Fatalf("wait: %v, want nonzero exit", err)
+		}
+		if code := exitErr.ExitCode(); code != 1 {
+			t.Errorf("exit code %d, want 1\nstderr:\n%s", code, stderrLog.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain within 30s of SIGTERM")
+	}
+	// -drain-timeout was 2s; the exit must come shortly after (engine
+	// teardown and the flush add a little, bounded well under the 30s
+	// hard limit above).
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Errorf("drain took %v with a 2s -drain-timeout", elapsed)
+	}
+
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatalf("metrics not flushed after SIGTERM: %v", err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("flushed metrics invalid: %v\n%s", err, data)
+	}
+	if snap.Counters["server.jobs_submitted"] < 1 {
+		t.Errorf("flushed metrics lack job counters: %+v", snap.Counters)
+	}
+	if snap.Counters["server.jobs_cancelled"] < 1 {
+		t.Errorf("running job not recorded as cancelled: %+v", snap.Counters)
+	}
+}

@@ -21,7 +21,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"strings"
 	"time"
 
 	"cdsf/internal/config"
@@ -109,9 +108,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			prob.Deadline, len(prob.Batch), prob.Sys.TotalProcessors()), headers...)
 
 		for _, name := range names {
-			h, ok := ra.Get(name)
-			if !ok {
-				return fmt.Errorf("unknown heuristic %q (have %s)", name, strings.Join(ra.Names(), ", "))
+			h, err := ra.ByName(name)
+			if err != nil {
+				return err
 			}
 			ra.SetWorkers(h, rf.Workers)
 			t0 := time.Now()

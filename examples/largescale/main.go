@@ -87,9 +87,9 @@ func main() {
 	}
 	var best *outcome
 	for _, name := range []string{"naive", "greedy", "maxmin", "twophase", "random", "anneal", "tabu", "genetic"} {
-		h, ok := ra.Get(name)
-		if !ok {
-			log.Fatalf("heuristic %q missing", name)
+		h, err := ra.ByName(name)
+		if err != nil {
+			log.Fatal(err)
 		}
 		t0 := time.Now()
 		al, err := h.Allocate(prob)

@@ -32,9 +32,9 @@ func main() {
 		"Arrival rate", "Heuristic", "Batches", "Mean batch", "Mean wait", "Deadline rate (%)")
 	for _, rate := range rates {
 		for _, name := range heuristics {
-			h, ok := ra.Get(name)
-			if !ok {
-				log.Fatalf("heuristic %q missing", name)
+			h, err := ra.ByName(name)
+			if err != nil {
+				log.Fatal(err)
 			}
 			res, err := batch.Run(batch.Config{
 				Sys: experiments.ReferenceSystem(),

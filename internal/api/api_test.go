@@ -1,0 +1,132 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cdsf/internal/core"
+	"cdsf/internal/robustness"
+	"cdsf/internal/sysmodel"
+)
+
+func TestJobStateTerminal(t *testing.T) {
+	cases := map[JobState]bool{
+		JobQueued:    false,
+		JobRunning:   false,
+		JobDone:      true,
+		JobFailed:    true,
+		JobCancelled: true,
+	}
+	for s, want := range cases {
+		if got := s.Terminal(); got != want {
+			t.Errorf("%s.Terminal() = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestAllocationRoundTrip(t *testing.T) {
+	al := sysmodel.Allocation{{Type: 0, Procs: 2}, {Type: 1, Procs: 8}}
+	wire := FromAllocation(al)
+	back := ToAllocation(wire)
+	if !al.Equal(back) {
+		t.Errorf("allocation round trip changed %v into %v", al, back)
+	}
+	// Wire form must survive JSON too.
+	data, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire2 []Assignment
+	if err := json.Unmarshal(data, &wire2); err != nil {
+		t.Fatal(err)
+	}
+	if !al.Equal(ToAllocation(wire2)) {
+		t.Errorf("JSON round trip changed %v into %v", wire, wire2)
+	}
+}
+
+func TestFromStageICopies(t *testing.T) {
+	r := &robustness.StageIResult{
+		Alloc:         sysmodel.Allocation{{Type: 1, Procs: 4}},
+		PerApp:        []float64{0.9},
+		Phi1:          0.9,
+		ExpectedTimes: []float64{123.4},
+	}
+	w := FromStageI(r)
+	if w.Phi1 != r.Phi1 || len(w.Allocation) != 1 || w.Allocation[0] != (Assignment{Type: 1, Procs: 4}) {
+		t.Errorf("FromStageI mismatch: %+v", w)
+	}
+	// Mutating the wire copy must not reach the model result.
+	w.PerApp[0] = 0
+	w.ExpectedTimes[0] = 0
+	if r.PerApp[0] != 0.9 || r.ExpectedTimes[0] != 123.4 {
+		t.Error("FromStageI aliased the model slices")
+	}
+}
+
+func TestFromScenarioResult(t *testing.T) {
+	res := &core.ScenarioResult{
+		Scenario: "test scenario",
+		StageI: &robustness.StageIResult{
+			Alloc:         sysmodel.Allocation{{Type: 0, Procs: 2}},
+			PerApp:        []float64{0.8},
+			Phi1:          0.8,
+			ExpectedTimes: []float64{50},
+		},
+		Cases: []core.CaseResult{
+			{
+				Case:     core.Case{Name: "reference"},
+				Decrease: 0,
+				PerApp: [][]core.TechOutcome{{
+					{Technique: "AF", MeanTime: 40, StdDev: 2, PrMeet: 1, Meets: true},
+				}},
+				Best:    []string{"AF"},
+				AllMeet: true,
+			},
+			{
+				Case:     core.Case{Name: "degraded"},
+				Decrease: 0.3,
+				PerApp: [][]core.TechOutcome{{
+					{Technique: "AF", MeanTime: 90, StdDev: 5, PrMeet: 0, Meets: false},
+				}},
+				Best:    []string{""},
+				AllMeet: false,
+			},
+		},
+	}
+	w := FromScenarioResult(res)
+	if w.Scenario != "test scenario" {
+		t.Errorf("scenario label %q", w.Scenario)
+	}
+	if w.Rho1 != 0.8 {
+		t.Errorf("rho1 = %v, want 0.8", w.Rho1)
+	}
+	// Only the reference case (decrease 0) meets the deadline, so rho2
+	// is 0: no positive decrease is tolerated.
+	if w.Rho2 != 0 {
+		t.Errorf("rho2 = %v, want 0", w.Rho2)
+	}
+	if len(w.Cases) != 2 || w.Cases[0].Case != "reference" || w.Cases[1].Case != "degraded" {
+		t.Errorf("cases mismatch: %+v", w.Cases)
+	}
+	if !w.Cases[0].AllMeet || w.Cases[1].AllMeet {
+		t.Error("AllMeet flags lost in conversion")
+	}
+	if got := w.Cases[0].PerApp[0][0]; got != (TechOutcome{Technique: "AF", MeanTime: 40, StdDev: 2, PrMeet: 1, Meets: true}) {
+		t.Errorf("outcome mismatch: %+v", got)
+	}
+
+	// The wire document must survive a JSON round trip losslessly
+	// (shortest-float encoding is exact for float64).
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w2 ScenarioResult
+	if err := json.Unmarshal(data, &w2); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Rho1 != w.Rho1 || w2.StageI.Phi1 != w.StageI.Phi1 {
+		t.Error("JSON round trip changed floats")
+	}
+}

@@ -145,6 +145,11 @@ type Result struct {
 }
 
 // Run simulates the arrival queue and batch-synchronous execution.
+//
+// Deprecated: Run is the context-free wrapper kept for existing
+// callers. New code should call RunContext, the canonical cancellable
+// entry point (see DESIGN.md §7); Run is exactly RunContext under
+// context.Background().
 func Run(cfg Config) (*Result, error) {
 	return RunContext(context.Background(), cfg)
 }

@@ -101,13 +101,51 @@ func Load(path string) (*sysmodel.System, sysmodel.Batch, float64, error) {
 // Read parses an instance from r and builds the model objects,
 // validating everything.
 func Read(r io.Reader) (*sysmodel.System, sysmodel.Batch, float64, error) {
+	inst, err := Parse(r)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return Build(inst)
+}
+
+// Parse decodes an Instance document from r without building the model
+// objects. Unknown fields are rejected, so typos in hand-written
+// instances (and service requests) fail loudly instead of being
+// silently dropped.
+func Parse(r io.Reader) (*Instance, error) {
 	var inst Instance
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&inst); err != nil {
-		return nil, nil, 0, fmt.Errorf("config: %w", err)
+		return nil, fmt.Errorf("config: %w", err)
 	}
-	return Build(&inst)
+	return &inst, nil
+}
+
+// Marshal renders an Instance as canonical JSON: two-space indentation,
+// keys in struct-declaration order (stable across runs and Go
+// versions), empty optional fields omitted, and a trailing newline.
+// Marshal(Parse(Marshal(inst))) is byte-identical to Marshal(inst), so
+// the scheduling service can echo the canonical instance back in job
+// results and clients can diff instances textually.
+func Marshal(inst *Instance) ([]byte, error) {
+	data, err := json.MarshalIndent(inst, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Write writes the canonical JSON rendering of inst to w.
+func Write(w io.Writer, inst *Instance) error {
+	data, err := Marshal(inst)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return nil
 }
 
 // Build converts a parsed Instance into validated model objects.
@@ -252,30 +290,29 @@ func LoadFull(path string) (*sysmodel.System, sysmodel.Batch, float64, []NamedAv
 		return nil, nil, 0, nil, fmt.Errorf("config: %w", err)
 	}
 	defer f.Close()
-	var inst Instance
-	dec := json.NewDecoder(f)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&inst); err != nil {
-		return nil, nil, 0, nil, fmt.Errorf("config: %w", err)
-	}
-	sys, batch, deadline, err := Build(&inst)
+	inst, err := Parse(f)
 	if err != nil {
 		return nil, nil, 0, nil, err
 	}
-	cases, err := BuildCases(&inst)
+	sys, batch, deadline, err := Build(inst)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	cases, err := BuildCases(inst)
 	if err != nil {
 		return nil, nil, 0, nil, err
 	}
 	return sys, batch, deadline, cases, nil
 }
 
-// Save writes an Instance as indented JSON.
+// Save writes an Instance to path in the canonical JSON form (see
+// Marshal).
 func Save(path string, inst *Instance) error {
-	data, err := json.MarshalIndent(inst, "", "  ")
+	data, err := Marshal(inst)
 	if err != nil {
-		return fmt.Errorf("config: %w", err)
+		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return os.WriteFile(path, data, 0o644)
 }
 
 // FromModel converts model objects back into a serializable Instance

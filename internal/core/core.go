@@ -61,6 +61,30 @@ func (f *Framework) Decrease(c Case) float64 {
 	return robustness.AvailabilityDecrease(f.Sys, f.Sys.WithAvailability(c.Avail))
 }
 
+// FallbackCases returns the runtime availability cases evaluated when
+// an instance declares none: the reference availability itself plus
+// uniform degradations to 80% and 60% of it. The cdsf CLI and the
+// scheduling service share this default, so an instance without cases
+// behaves identically however it is submitted.
+func FallbackCases(sys *sysmodel.System) []Case {
+	ref := make([]pmf.PMF, len(sys.Types))
+	for j, t := range sys.Types {
+		ref[j] = t.Avail
+	}
+	cases := []Case{{Name: "reference", Avail: ref}}
+	for _, scale := range []float64{0.8, 0.6} {
+		scaled := make([]pmf.PMF, len(sys.Types))
+		for j, t := range sys.Types {
+			scaled[j] = t.Avail.Scale(scale)
+		}
+		cases = append(cases, Case{
+			Name:  fmt.Sprintf("scaled %.0f%%", scale*100),
+			Avail: scaled,
+		})
+	}
+	return cases
+}
+
 // StageIIConfig controls the Stage-II simulations.
 type StageIIConfig struct {
 	// Reps is the number of independent simulation repetitions per
@@ -101,6 +125,11 @@ type StageIIConfig struct {
 	// from wall time and finished results, so seeded outputs are
 	// bit-identical with tracing on or off.
 	Tracer *tracing.Tracer
+	// Progress optionally receives scenario/case/replication progress.
+	// Nil falls back to tracing.DefaultProgress(), the process-wide
+	// board the CLIs install with -debug-addr; the scheduling service
+	// wires a per-job board here so concurrent jobs report separately.
+	Progress *tracing.Progress
 }
 
 // registry resolves the effective metrics registry for this config.
@@ -117,6 +146,14 @@ func (c *StageIIConfig) tracer() *tracing.Tracer {
 		return c.Tracer
 	}
 	return tracing.Default()
+}
+
+// progress resolves the effective progress board for this config.
+func (c *StageIIConfig) progress() *tracing.Progress {
+	if c.Progress != nil {
+		return c.Progress
+	}
+	return tracing.DefaultProgress()
 }
 
 // DefaultStageII returns the configuration used by the paper
@@ -190,6 +227,50 @@ func PaperScenarios(naiveIM, robustIM ra.Heuristic) []Scenario {
 	}
 }
 
+// BuildScenario resolves the scenario selection shared by the cdsf CLI
+// and the scheduling service: with no custom IM and no RAS names it
+// returns one of the paper's four scenarios (naive load balance vs.
+// exhaustive Stage I); otherwise a custom scenario pairing the named
+// Stage-I heuristic (default exhaustive) with the named Stage-II
+// techniques (default the paper's robust set). Heuristic names resolve
+// through ra.ByName and technique names through the dls registry, so
+// wire names, CLI flags, and report labels cannot drift.
+func BuildScenario(scenario int, im string, ras []string) (Scenario, error) {
+	if im == "" && len(ras) == 0 {
+		if scenario < 1 || scenario > 4 {
+			return Scenario{}, fmt.Errorf("core: scenario %d out of 1..4", scenario)
+		}
+		return PaperScenarios(ra.NaiveLoadBalance{}, ra.Exhaustive{})[scenario-1], nil
+	}
+	imName := im
+	if imName == "" {
+		imName = "exhaustive"
+	}
+	h, err := ra.ByName(imName)
+	if err != nil {
+		return Scenario{}, err
+	}
+	sc := Scenario{IM: h}
+	if len(ras) == 0 {
+		sc.RAS = RobustRAS()
+	} else {
+		for _, name := range ras {
+			t, ok := dls.Get(strings.TrimSpace(name))
+			if !ok {
+				return Scenario{}, fmt.Errorf("core: unknown technique %q (have %s)",
+					name, strings.Join(dls.Names(), ", "))
+			}
+			sc.RAS = append(sc.RAS, t)
+		}
+	}
+	techNames := make([]string, len(sc.RAS))
+	for i, t := range sc.RAS {
+		techNames[i] = t.Name
+	}
+	sc.Name = fmt.Sprintf("custom: %s IM + {%s}", h.Name(), strings.Join(techNames, ","))
+	return sc, nil
+}
+
 // TechOutcome is the Stage-II result of one (application, technique,
 // case) cell.
 type TechOutcome struct {
@@ -234,6 +315,11 @@ type ScenarioResult struct {
 // RunScenario evaluates a scenario: Stage I against the framework's
 // reference availability, then Stage II simulations for every
 // availability case.
+//
+// Deprecated: RunScenario is the context-free wrapper kept for
+// existing callers. New code should call RunScenarioContext, the
+// canonical cancellable entry point (see DESIGN.md §7); RunScenario is
+// exactly RunScenarioContext under context.Background().
 func (f *Framework) RunScenario(sc Scenario, cases []Case, cfg StageIIConfig) (*ScenarioResult, error) {
 	return f.RunScenarioContext(context.Background(), sc, cases, cfg)
 }
@@ -260,7 +346,7 @@ func (f *Framework) RunScenarioContext(ctx context.Context, sc Scenario, cases [
 		t0 = time.Now()
 	}
 	tr := cfg.tracer()
-	prog := tracing.DefaultProgress()
+	prog := cfg.progress()
 	prog.PlanScenarios(1)
 	prog.PlanCases(len(cases))
 	scenarioRegion := tr.Begin("stage2", sc.Name, "scenario")
@@ -320,6 +406,40 @@ func metricName(s string) string {
 		}
 	}
 	return strings.TrimSuffix(b.String(), "_")
+}
+
+// RunCaseContext evaluates the Stage-II simulations of one availability
+// case for a fixed allocation: for every (application, technique) cell
+// it drives sim.RunManyContext with cfg.Reps repetitions and selects
+// the best deadline-meeting technique per application, exactly as one
+// case iteration of RunScenarioContext does. It is the entry point
+// behind the scheduling service's simulate jobs. Seeded calls are
+// bit-identical to the first case of a scenario run (the per-case seed
+// salt is the case index, which is 0 here).
+func (f *Framework) RunCaseContext(ctx context.Context, alloc sysmodel.Allocation, ras []dls.Technique, c Case, cfg StageIIConfig) (*CaseResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := alloc.Validate(f.Sys, f.Batch); err != nil {
+		return nil, err
+	}
+	if len(ras) == 0 {
+		return nil, fmt.Errorf("core: no stage-II techniques")
+	}
+	prog := cfg.progress()
+	prog.PlanCases(1)
+	cr, err := f.runCase(ctx, alloc, ras, c, cfg, 0, c.Name)
+	if err != nil {
+		return nil, err
+	}
+	prog.CaseDone()
+	return cr, nil
 }
 
 func (f *Framework) runCase(ctx context.Context, alloc sysmodel.Allocation, ras []dls.Technique, c Case, cfg StageIIConfig, caseSalt uint64, traceScope string) (*CaseResult, error) {
@@ -395,6 +515,7 @@ func (f *Framework) simulateApp(ctx context.Context, app *sysmodel.Application, 
 		Metrics:       cfg.Metrics,
 		Tracer:        cfg.Tracer,
 		TraceScope:    traceScope,
+		Progress:      cfg.Progress,
 	}
 	if cfg.WeightsFromAvail {
 		c.WeightsFromAvail = true

@@ -129,6 +129,11 @@ type quadrant struct {
 // reports, per instance size and quadrant, the mean Stage-I phi_1 and
 // the fraction of instances whose whole batch met the deadline at
 // runtime under the degraded availability.
+//
+// Deprecated: RunScaleStudy is the context-free wrapper kept for
+// existing callers. New code should call RunScaleStudyContext, the
+// canonical cancellable entry point (see DESIGN.md §7); RunScaleStudy
+// is exactly RunScaleStudyContext under context.Background().
 func RunScaleStudy(cfg ScaleConfig) (*report.Table, error) {
 	return RunScaleStudyContext(context.Background(), cfg)
 }

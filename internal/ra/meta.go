@@ -185,6 +185,9 @@ func (h *Random) Name() string { return "random" }
 // SetWorkers implements WorkerSettable.
 func (h *Random) SetWorkers(workers int) { h.Workers = workers }
 
+// SetSeed implements SeedSettable.
+func (h *Random) SetSeed(seed uint64) { h.Seed = seed }
+
 // Allocate implements Heuristic.
 func (h *Random) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	return h.AllocateContext(context.Background(), p)
@@ -289,6 +292,9 @@ func (h *SimulatedAnnealing) Name() string { return "anneal" }
 // SetWorkers implements WorkerSettable.
 func (h *SimulatedAnnealing) SetWorkers(workers int) { h.Workers = workers }
 
+// SetSeed implements SeedSettable.
+func (h *SimulatedAnnealing) SetSeed(seed uint64) { h.Seed = seed }
+
 // Allocate implements Heuristic.
 func (h *SimulatedAnnealing) Allocate(p *Problem) (sysmodel.Allocation, error) {
 	return h.AllocateContext(context.Background(), p)
@@ -386,6 +392,9 @@ func (h *GeneticAlgorithm) Name() string { return "genetic" }
 
 // SetWorkers implements WorkerSettable.
 func (h *GeneticAlgorithm) SetWorkers(workers int) { h.Workers = workers }
+
+// SetSeed implements SeedSettable.
+func (h *GeneticAlgorithm) SetSeed(seed uint64) { h.Seed = seed }
 
 // Allocate implements Heuristic.
 func (h *GeneticAlgorithm) Allocate(p *Problem) (sysmodel.Allocation, error) {
@@ -521,6 +530,9 @@ func (h *TabuSearch) Name() string { return "tabu" }
 
 // SetWorkers implements WorkerSettable.
 func (h *TabuSearch) SetWorkers(workers int) { h.Workers = workers }
+
+// SetSeed implements SeedSettable.
+func (h *TabuSearch) SetSeed(seed uint64) { h.Seed = seed }
 
 // Allocate implements Heuristic.
 func (h *TabuSearch) Allocate(p *Problem) (sysmodel.Allocation, error) {

@@ -214,6 +214,19 @@ func Get(name string) (Heuristic, bool) {
 	return mk(), true
 }
 
+// ByName is the single lookup behind every surface that names a
+// heuristic — CLI flags, service requests, report labels. It returns a
+// fresh instance of the named heuristic (case-insensitive) with default
+// parameters, or an error listing the registered names, so wire names
+// and flag values can never drift from the registry.
+func ByName(name string) (Heuristic, error) {
+	h, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("ra: unknown heuristic %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return h, nil
+}
+
 // WorkerSettable is implemented by heuristics with a worker-pool knob:
 // SetWorkers bounds the search's parallelism. Worker count never
 // changes a heuristic's result, only its wall-clock time; non-positive
@@ -235,6 +248,28 @@ func SetWorkers(h Heuristic, workers int) bool {
 	ws, ok := h.(WorkerSettable)
 	if ok {
 		ws.SetWorkers(workers)
+	}
+	return ok
+}
+
+// SeedSettable is implemented by heuristics whose search is driven by
+// a random seed (random, anneal, genetic, tabu). Like WorkerSettable it
+// is implemented on the pointer receiver, so registry-constructed
+// instances pick up a caller-supplied seed without a central type
+// switch. Reseeding changes which allocation a stochastic search
+// returns, but for a fixed seed the result stays bit-identical across
+// runs and worker counts.
+type SeedSettable interface {
+	SetSeed(seed uint64)
+}
+
+// SetSeed reseeds heuristics implementing SeedSettable, returning true
+// if h supports the knob. Deterministic heuristics (naive, greedy,
+// exhaustive, ...) ignore seeds and return false.
+func SetSeed(h Heuristic, seed uint64) bool {
+	ss, ok := h.(SeedSettable)
+	if ok {
+		ss.SetSeed(seed)
 	}
 	return ok
 }

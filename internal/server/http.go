@@ -1,0 +1,406 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"cdsf/internal/api"
+	"cdsf/internal/config"
+	"cdsf/internal/core"
+	"cdsf/internal/dls"
+	"cdsf/internal/experiments"
+	"cdsf/internal/pmf"
+	"cdsf/internal/ra"
+	"cdsf/internal/robustness"
+	"cdsf/internal/sysmodel"
+	"cdsf/internal/tracing"
+)
+
+// maxRequestBytes bounds a request body. Instances carry explicit PMFs
+// per application and type, so the bound is generous; it exists to keep
+// a misbehaving client from exhausting memory, not to constrain real
+// documents.
+const maxRequestBytes = 16 << 20
+
+// Handler returns the service's HTTP surface:
+//
+//	POST   /v1/solve      submit a Stage-I search        -> 202 + Job
+//	POST   /v1/simulate   submit a Stage-II Monte Carlo  -> 202 + Job
+//	POST   /v1/scenario   submit a full framework run    -> 202 + Job
+//	GET    /v1/jobs       list jobs (?state=a,b filters)
+//	GET    /v1/jobs/{id}  poll one job
+//	DELETE /v1/jobs/{id}  cancel one job
+//	GET    /v1/healthz    liveness + draining flag
+//
+// plus the debug endpoints every CLI exposes behind -debug-addr
+// (/metrics, /progress, /trace, /debug/pprof/*), mounted on the same
+// mux with the server's registry and the aggregate of every job's
+// progress board.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/scenario", s.handleScenario)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	tracing.Mount(mux, s.opts.Metrics, s.progressSnapshot, s.opts.Tracer)
+	return mux
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, api.Error{Error: msg})
+}
+
+// decode parses a request body strictly: unknown fields are rejected so
+// a typo'd option fails loudly instead of silently running with
+// defaults.
+func decode[T any](w http.ResponseWriter, r *http.Request) (*T, bool) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	req := new(T)
+	if err := dec.Decode(req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return nil, false
+	}
+	return req, true
+}
+
+// accept enqueues a validated job and writes the admission response:
+// 202 with the envelope and a Location header, 429 + Retry-After when
+// the queue is full, 503 while draining.
+func (s *Server) accept(w http.ResponseWriter, kind api.JobKind, withProgress bool, run func(ctx context.Context, prog *tracing.Progress) (any, error)) {
+	j, err := s.enqueue(kind, withProgress, run)
+	switch {
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	default:
+		w.Header().Set("Location", "/"+api.Version+"/jobs/"+j.ID)
+		writeJSON(w, http.StatusAccepted, j)
+	}
+}
+
+// problem is a resolved problem document: the model objects, the
+// availability cases to evaluate, and the canonical echo of the
+// submitted instance (nil for the embedded paper example).
+type problem struct {
+	sys      *sysmodel.System
+	batch    sysmodel.Batch
+	deadline float64
+	cases    []core.Case
+	echo     json.RawMessage
+}
+
+// resolveProblem builds the model objects for a request. A nil instance
+// means the embedded paper example with the paper's four availability
+// cases; an instance without declared cases gets core.FallbackCases,
+// exactly like the cdsf CLI.
+func resolveProblem(inst *config.Instance) (*problem, error) {
+	if inst == nil {
+		f := experiments.Framework()
+		return &problem{sys: f.Sys, batch: f.Batch, deadline: f.Deadline, cases: experiments.Cases()}, nil
+	}
+	sys, batch, deadline, err := config.Build(inst)
+	if err != nil {
+		return nil, err
+	}
+	named, err := config.BuildCases(inst)
+	if err != nil {
+		return nil, err
+	}
+	cases := make([]core.Case, 0, len(named))
+	for _, na := range named {
+		cases = append(cases, core.Case{Name: na.Name, Avail: na.Avail})
+	}
+	if len(cases) == 0 {
+		cases = core.FallbackCases(sys)
+	}
+	echo, err := config.Marshal(inst)
+	if err != nil {
+		return nil, err
+	}
+	return &problem{sys: sys, batch: batch, deadline: deadline, cases: cases, echo: echo}, nil
+}
+
+// resolveCase picks the availability case a simulate request names:
+// empty or "reference" means the reference availability, anything else
+// must match one of the instance's cases.
+func (p *problem) resolveCase(name string) (core.Case, error) {
+	if name == "" || strings.EqualFold(name, "reference") {
+		ref := make([]pmf.PMF, len(p.sys.Types))
+		for j, t := range p.sys.Types {
+			ref[j] = t.Avail
+		}
+		return core.Case{Name: "reference", Avail: ref}, nil
+	}
+	for _, c := range p.cases {
+		if strings.EqualFold(c.Name, name) {
+			return c, nil
+		}
+	}
+	names := make([]string, len(p.cases))
+	for i, c := range p.cases {
+		names[i] = c.Name
+	}
+	return core.Case{}, fmt.Errorf("unknown case %q (have reference, %s)", name, strings.Join(names, ", "))
+}
+
+// workersFor resolves a request's worker count against the server
+// default.
+func (s *Server) workersFor(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return s.opts.Workers
+}
+
+// stageII builds the Stage-II configuration for a request from the
+// paper defaults, threading in the server's instrumentation.
+func (s *Server) stageII(deadline float64, seed uint64, reps int) core.StageIIConfig {
+	cfg := core.DefaultStageII(deadline, seed)
+	if reps > 0 {
+		cfg.Reps = reps
+	}
+	cfg.Metrics = s.opts.Metrics
+	cfg.Tracer = s.opts.Tracer
+	return cfg
+}
+
+// handleSolve validates a Stage-I request eagerly (bad instances and
+// unknown heuristic names are the client's fault and answer 400) and
+// enqueues the search.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[api.SolveRequest](w, r)
+	if !ok {
+		return
+	}
+	p, err := resolveProblem(req.Instance)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	deadline := p.deadline
+	if req.Deadline > 0 {
+		deadline = req.Deadline
+	}
+	name := req.Heuristic
+	if name == "" {
+		name = "exhaustive"
+	}
+	h, err := ra.ByName(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ra.SetWorkers(h, s.workersFor(req.Workers))
+	if req.Seed != 0 {
+		ra.SetSeed(h, req.Seed)
+	}
+	prob := &ra.Problem{Sys: p.sys, Batch: p.batch, Deadline: deadline,
+		Metrics: s.opts.Metrics, Tracer: s.opts.Tracer}
+	if err := prob.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	label := h.Name()
+	s.accept(w, api.KindSolve, false, func(ctx context.Context, _ *tracing.Progress) (any, error) {
+		al, err := ra.SolveContext(ctx, h, prob)
+		if err != nil {
+			return nil, err
+		}
+		st, err := robustness.EvaluateStageI(p.sys, p.batch, al, deadline)
+		if err != nil {
+			return nil, err
+		}
+		wire := api.FromStageI(st)
+		return api.SolveResult{
+			Heuristic:     label,
+			Allocation:    wire.Allocation,
+			Phi1:          wire.Phi1,
+			PerApp:        wire.PerApp,
+			ExpectedTimes: wire.ExpectedTimes,
+			Instance:      p.echo,
+		}, nil
+	})
+}
+
+// handleSimulate validates a Stage-II request eagerly and enqueues the
+// Monte-Carlo evaluation of the fixed allocation under one case.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[api.SimulateRequest](w, r)
+	if !ok {
+		return
+	}
+	p, err := resolveProblem(req.Instance)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Allocation) == 0 {
+		writeError(w, http.StatusBadRequest, "allocation is required")
+		return
+	}
+	alloc := api.ToAllocation(req.Allocation)
+	if err := alloc.Validate(p.sys, p.batch); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var techs []dls.Technique
+	if len(req.Techniques) == 0 {
+		techs = core.RobustRAS()
+	} else {
+		for _, name := range req.Techniques {
+			t, ok := dls.Get(strings.TrimSpace(name))
+			if !ok {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown technique %q (have %s)",
+					name, strings.Join(dls.Names(), ", ")))
+				return
+			}
+			techs = append(techs, t)
+		}
+	}
+	c, err := p.resolveCase(req.Case)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg := s.stageII(p.deadline, req.Seed, req.Reps)
+	if req.Overhead != nil {
+		cfg.Overhead = *req.Overhead
+	}
+	if req.IterCV != nil {
+		cfg.IterCV = *req.IterCV
+	}
+	if req.TimeSteps > 0 {
+		cfg.TimeSteps = req.TimeSteps
+	}
+	f := &core.Framework{Sys: p.sys, Batch: p.batch, Deadline: p.deadline}
+	s.accept(w, api.KindSimulate, true, func(ctx context.Context, prog *tracing.Progress) (any, error) {
+		run := cfg
+		run.Progress = prog
+		cr, err := f.RunCaseContext(ctx, alloc, techs, c, run)
+		if err != nil {
+			return nil, err
+		}
+		return api.SimulateResult{CaseResult: api.FromCaseResult(cr), Instance: p.echo}, nil
+	})
+}
+
+// handleScenario validates a full framework request eagerly and
+// enqueues the dual-stage run over every availability case.
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[api.ScenarioRequest](w, r)
+	if !ok {
+		return
+	}
+	p, err := resolveProblem(req.Instance)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	scenario := req.Scenario
+	if scenario == 0 {
+		scenario = 4
+	}
+	sc, err := core.BuildScenario(scenario, req.IM, req.RAS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ra.SetWorkers(sc.IM, s.workersFor(req.Workers))
+	f := &core.Framework{Sys: p.sys, Batch: p.batch, Deadline: p.deadline}
+	if err := f.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg := s.stageII(p.deadline, req.Seed, req.Reps)
+	cases := p.cases
+	s.accept(w, api.KindScenario, true, func(ctx context.Context, prog *tracing.Progress) (any, error) {
+		run := cfg
+		run.Progress = prog
+		res, err := f.RunScenarioContext(ctx, sc, cases, run)
+		if err != nil {
+			return nil, err
+		}
+		wire := api.FromScenarioResult(res)
+		wire.Instance = p.echo
+		return wire, nil
+	})
+}
+
+// handleJobs lists jobs, optionally filtered by ?state=queued,running.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var states map[api.JobState]bool
+	if vals, ok := r.URL.Query()["state"]; ok {
+		states = map[api.JobState]bool{}
+		for _, v := range vals {
+			for _, part := range strings.Split(v, ",") {
+				st := api.JobState(strings.TrimSpace(part))
+				switch st {
+				case api.JobQueued, api.JobRunning, api.JobDone, api.JobFailed, api.JobCancelled:
+					states[st] = true
+				default:
+					writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown state %q", part))
+					return
+				}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, api.JobList{Jobs: s.list(states)})
+}
+
+// handleJob polls one job.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.snapshot(j))
+}
+
+// handleCancel cancels one job. A job cancelled while queued (or
+// already terminal) answers 200 with its final envelope; a running job
+// answers 202 — its context is cancelled and the engine drains, so the
+// client polls until the state flips to cancelled.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	env, ok := s.cancelJob(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
+		return
+	}
+	status := http.StatusOK
+	if env.State == api.JobRunning {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, env)
+}
+
+// handleHealth reports liveness and whether the server is draining.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		Version  string `json:"version"`
+		Draining bool   `json:"draining"`
+	}{Status: "ok", Version: api.Version, Draining: s.Draining()})
+}

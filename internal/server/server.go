@@ -1,0 +1,379 @@
+// Package server turns the CDSF framework into a long-running
+// scheduling service: a bounded job queue and executor pool driving
+// the ctx-first engine entry points (ra.SolveContext,
+// sim.RunManyContext via core's case driver, core.RunScenarioContext)
+// behind the versioned HTTP/JSON API defined in internal/api.
+//
+// The lifecycle of a job is queued -> running -> done|failed|cancelled.
+// Admission is backpressured: when the queue is full the service
+// answers 429 with a Retry-After header instead of buffering without
+// bound, and while draining it answers 503. Every job runs under its
+// own context derived from the server's base context, so DELETE
+// cancels one job and Drain cancels them all — reusing the repository's
+// cancellation contract (DESIGN.md §7): a cancelled engine drains its
+// worker pools and returns an error wrapping context.Canceled, which
+// the server maps to the cancelled state.
+//
+// The server deliberately has no persistence: jobs live in memory for
+// the lifetime of the process, which is what the reproduction needs
+// and keeps the package dependency-free (net/http only).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cdsf/internal/api"
+	"cdsf/internal/metrics"
+	"cdsf/internal/tracing"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Queue bounds the number of jobs waiting for an executor (running
+	// jobs do not count). Submissions beyond the bound are rejected
+	// with 429; the queue never grows without limit. Non-positive
+	// means 16.
+	Queue int
+	// Executors is the number of jobs executed concurrently.
+	// Non-positive means 2: jobs are themselves internally parallel,
+	// so a small executor pool saturates the machine while keeping
+	// per-job latency predictable.
+	Executors int
+	// Workers is the default engine worker-pool size per job, used
+	// when a request does not set its own. Non-positive means
+	// runtime.NumCPU(). Results are identical for any value.
+	Workers int
+	// Metrics receives the server's own counters and is threaded into
+	// every job's engine configuration. Nil means a fresh registry
+	// (the /metrics endpoint then reports only this server).
+	Metrics *metrics.Registry
+	// Tracer is threaded into every job's engine configuration; nil
+	// disables tracing.
+	Tracer *tracing.Tracer
+}
+
+// Server owns the job table, the bounded queue, and the executor pool.
+// Create one with New and expose it with Handler; stop it with Drain.
+type Server struct {
+	opts Options
+
+	queue    chan *job
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	draining atomic.Bool
+
+	// baseCtx parents every job context; baseCancel is the drain
+	// hammer.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string
+	seq   int
+}
+
+// job pairs the wire envelope with the server-side control state. The
+// envelope is mutated only under Server.mu.
+type job struct {
+	env      api.Job
+	progress *tracing.Progress
+	run      func(ctx context.Context, prog *tracing.Progress) (any, error)
+	cancel   context.CancelFunc
+}
+
+// Sentinel admission errors; the HTTP layer maps them to 503 and 429.
+var (
+	errDraining  = errors.New("server: draining, not admitting jobs")
+	errQueueFull = errors.New("server: job queue full")
+)
+
+// New starts a server: the executor pool is running and Handler can be
+// mounted immediately. Callers must eventually call Drain (or Close)
+// to stop the pool.
+func New(opts Options) *Server {
+	if opts.Queue <= 0 {
+		opts.Queue = 16
+	}
+	if opts.Executors <= 0 {
+		opts.Executors = 2
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		queue:      make(chan *job, opts.Queue),
+		stop:       make(chan struct{}),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*job{},
+	}
+	s.wg.Add(opts.Executors)
+	for i := 0; i < opts.Executors; i++ {
+		go s.executor()
+	}
+	return s
+}
+
+// enqueue admits a job: it allocates an id, tries the bounded queue,
+// and registers the job for lookup. run receives the job's context and
+// its progress board (nil for kinds without Stage-II fan-out).
+func (s *Server) enqueue(kind api.JobKind, withProgress bool, run func(ctx context.Context, prog *tracing.Progress) (any, error)) (api.Job, error) {
+	if s.draining.Load() {
+		return api.Job{}, errDraining
+	}
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("job-%06d", s.seq)
+	s.mu.Unlock()
+
+	j := &job{
+		env: api.Job{ID: id, Kind: kind, State: api.JobQueued, Created: time.Now().UTC()},
+		run: run,
+	}
+	if withProgress {
+		j.progress = tracing.NewProgress()
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.opts.Metrics.Counter("server.jobs_rejected").Inc()
+		return api.Job{}, errQueueFull
+	}
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.opts.Metrics.Counter("server.jobs_submitted").Inc()
+	return s.snapshot(j), nil
+}
+
+// executor pulls jobs off the queue until the server stops. A closed
+// stop channel finishes the current job but claims no further ones —
+// the first half of the drain sequence.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob drives one job through running to a terminal state.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.env.State != api.JobQueued {
+		// Cancelled while waiting in the queue.
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.cancel = cancel
+	now := time.Now().UTC()
+	j.env.State = api.JobRunning
+	j.env.Started = &now
+	s.mu.Unlock()
+
+	res, err := j.run(ctx, j.progress)
+	cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	done := time.Now().UTC()
+	j.env.Finished = &done
+	switch {
+	case err == nil:
+		raw, mErr := json.Marshal(res)
+		if mErr != nil {
+			j.env.State = api.JobFailed
+			j.env.Error = fmt.Sprintf("encoding result: %v", mErr)
+			s.opts.Metrics.Counter("server.jobs_failed").Inc()
+			return
+		}
+		j.env.State = api.JobDone
+		j.env.Result = raw
+		s.opts.Metrics.Counter("server.jobs_done").Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.env.State = api.JobCancelled
+		j.env.Error = err.Error()
+		s.opts.Metrics.Counter("server.jobs_cancelled").Inc()
+	default:
+		j.env.State = api.JobFailed
+		j.env.Error = err.Error()
+		s.opts.Metrics.Counter("server.jobs_failed").Inc()
+	}
+}
+
+// snapshot copies a job's envelope, attaching the current progress
+// counts for jobs that track them.
+func (s *Server) snapshot(j *job) api.Job {
+	s.mu.Lock()
+	env := j.env
+	s.mu.Unlock()
+	if j.progress != nil {
+		p := j.progress.Snapshot()
+		env.Progress = &api.Progress{
+			Scenarios:    api.Counts(p.Scenarios),
+			Cases:        api.Counts(p.Cases),
+			Replications: api.Counts(p.Replications),
+		}
+	}
+	return env
+}
+
+// lookup returns the job with the given id.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list returns envelope snapshots in submission order, keeping only
+// the given states (nil keeps everything).
+func (s *Server) list(states map[api.JobState]bool) []api.Job {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		js = append(js, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]api.Job, 0, len(js))
+	for _, j := range js {
+		env := s.snapshot(j)
+		if states == nil || states[env.State] {
+			out = append(out, env)
+		}
+	}
+	return out
+}
+
+// cancelJob requests cancellation of a job. Queued jobs cancel
+// immediately; running jobs have their context cancelled and reach the
+// cancelled state when the engine drains (the caller polls); terminal
+// jobs are left untouched. The bool reports whether the job exists.
+func (s *Server) cancelJob(id string) (api.Job, bool) {
+	j, ok := s.lookup(id)
+	if !ok {
+		return api.Job{}, false
+	}
+	var cancel context.CancelFunc
+	s.mu.Lock()
+	switch j.env.State {
+	case api.JobQueued:
+		s.markCancelledLocked(j, "cancelled while queued")
+	case api.JobRunning:
+		cancel = j.cancel
+	}
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return s.snapshot(j), true
+}
+
+// markCancelledLocked finalizes a not-yet-running job as cancelled.
+// Callers hold s.mu.
+func (s *Server) markCancelledLocked(j *job, why string) {
+	now := time.Now().UTC()
+	j.env.State = api.JobCancelled
+	j.env.Finished = &now
+	j.env.Error = why
+	s.opts.Metrics.Counter("server.jobs_cancelled").Inc()
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain shuts the server down: it stops admitting new jobs, cancels
+// the ones still waiting in the queue, gives running jobs up to
+// timeout to finish on their own, then cancels their contexts and
+// waits for the engines to drain their worker pools. A non-positive
+// timeout cancels running jobs immediately. Drain is idempotent and
+// returns once every executor has exited.
+func (s *Server) Drain(timeout time.Duration) {
+	s.draining.Store(true)
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.drainQueued()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if timeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(timeout):
+		}
+	}
+	// Cancel whatever is still running (a no-op if everything
+	// finished) and wait for the engines to drain.
+	s.baseCancel()
+	<-done
+	// A submission that raced the draining flag may have slipped into
+	// the queue after the first sweep; with the executors gone this
+	// sweep is final.
+	s.drainQueued()
+}
+
+// Close is Drain with immediate cancellation.
+func (s *Server) Close() { s.Drain(0) }
+
+// drainQueued empties the queue channel, cancelling every job that
+// never reached an executor.
+func (s *Server) drainQueued() {
+	for {
+		select {
+		case j := <-s.queue:
+			s.mu.Lock()
+			if j.env.State == api.JobQueued {
+				s.markCancelledLocked(j, "cancelled before start: server draining")
+			}
+			s.mu.Unlock()
+		default:
+			return
+		}
+	}
+}
+
+// progressSnapshot aggregates every job's progress board — the
+// /progress debug endpoint's view of the whole server.
+func (s *Server) progressSnapshot() tracing.ProgressSnapshot {
+	s.mu.Lock()
+	boards := make([]*tracing.Progress, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.progress != nil {
+			boards = append(boards, j.progress)
+		}
+	}
+	s.mu.Unlock()
+	var sum tracing.ProgressSnapshot
+	for _, b := range boards {
+		p := b.Snapshot()
+		sum.Scenarios.Done += p.Scenarios.Done
+		sum.Scenarios.Planned += p.Scenarios.Planned
+		sum.Cases.Done += p.Cases.Done
+		sum.Cases.Planned += p.Cases.Planned
+		sum.Replications.Done += p.Replications.Done
+		sum.Replications.Planned += p.Replications.Planned
+	}
+	return sum
+}

@@ -12,7 +12,6 @@ import (
 	"cdsf/internal/availability"
 	"cdsf/internal/rng"
 	"cdsf/internal/stats"
-	"cdsf/internal/tracing"
 )
 
 // Sample aggregates repeated simulation runs of the same configuration
@@ -96,6 +95,11 @@ func (s *Sample) PrLE(x float64) float64 {
 // sequential execution, detected through any availability.Wrapper
 // chain); the aggregate is identical either way because every
 // repetition's seed is fixed up front.
+//
+// Deprecated: RunMany is the context-free wrapper kept for existing
+// callers. New code should call RunManyContext, the canonical
+// cancellable entry point (see DESIGN.md §7); RunMany is exactly
+// RunManyContext under context.Background().
 func RunMany(cfg Config, reps int) (*Sample, error) {
 	return RunManyContext(context.Background(), cfg, reps)
 }
@@ -114,7 +118,7 @@ func RunManyContext(ctx context.Context, cfg Config, reps int) (*Sample, error) 
 		return nil, fmt.Errorf("sim: %d repetitions", reps)
 	}
 	cfg.registry().Counter("sim.replications").Add(int64(reps))
-	prog := tracing.DefaultProgress()
+	prog := cfg.progress()
 	prog.PlanReps(reps)
 	seeds := rng.New(cfg.Seed)
 	runSeeds := make([]uint64, reps)

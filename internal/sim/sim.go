@@ -102,10 +102,24 @@ type Config struct {
 	// scopes like "scenario/case/app" thread the Stage-II nesting into
 	// the trace.
 	TraceScope string
+	// Progress optionally receives replication progress: RunMany plans
+	// its repetitions on this board and marks each completion. Nil
+	// falls back to tracing.DefaultProgress(), the process-wide board
+	// the CLIs install with -debug-addr; the scheduling service wires a
+	// per-job board here instead so concurrent jobs report separately.
+	Progress *tracing.Progress
 	// noTrace suppresses the tracing.Default() fallback; RunMany sets
 	// it on all repetitions but the first so a Monte-Carlo batch traces
 	// one representative timeline instead of flooding the span buffer.
 	noTrace bool
+}
+
+// progress resolves the effective progress board for a run.
+func (c *Config) progress() *tracing.Progress {
+	if c.Progress != nil {
+		return c.Progress
+	}
+	return tracing.DefaultProgress()
 }
 
 // tracer resolves the effective tracer for a run.
@@ -248,6 +262,11 @@ func drawProfiledWork(dist stats.Dist, profile Profile, start, k, n int, r *rng.
 const simCheckStride = 1024
 
 // Run executes one simulation.
+//
+// Deprecated: Run is the context-free wrapper kept for existing
+// callers. New code should call RunContext, the canonical cancellable
+// entry point (see DESIGN.md §7); Run is exactly RunContext under
+// context.Background().
 func Run(cfg Config) (*Result, error) {
 	return RunContext(context.Background(), cfg)
 }

@@ -26,12 +26,15 @@ type DebugServer struct {
 	ln  net.Listener
 }
 
-// StartDebug listens on addr (e.g. ":6060"; ":0" picks a free port)
-// and serves the debug endpoints in a background goroutine. reg, prog,
-// and tr may each be nil: the endpoints then serve empty snapshots.
-// Close shuts the server down.
-func StartDebug(addr string, reg *metrics.Registry, prog *Progress, tr *Tracer) (*DebugServer, error) {
-	mux := http.NewServeMux()
+// Mount registers the debug endpoints (/debug/pprof/*, /metrics,
+// /progress, /trace) on an existing mux, so a service that already
+// owns an HTTP surface — the cdsfd job API — exposes the same
+// observability endpoints as the CLIs' -debug-addr server. reg and tr
+// may be nil (the endpoints serve empty snapshots); prog supplies the
+// progress snapshot and may be nil for an always-empty board. A
+// *Progress method value (prog.Snapshot) is the usual argument; a
+// custom func can aggregate several boards.
+func Mount(mux *http.ServeMux, reg *metrics.Registry, prog func() ProgressSnapshot, tr *Tracer) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -48,13 +51,26 @@ func StartDebug(addr string, reg *metrics.Registry, prog *Progress, tr *Tracer) 
 		_ = snap.WriteJSON(w)
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		var snap ProgressSnapshot
+		if prog != nil {
+			snap = prog()
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = prog.Snapshot().WriteJSON(w)
+		_ = snap.WriteJSON(w)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = tr.WriteChrome(w)
 	})
+}
+
+// StartDebug listens on addr (e.g. ":6060"; ":0" picks a free port)
+// and serves the debug endpoints in a background goroutine. reg, prog,
+// and tr may each be nil: the endpoints then serve empty snapshots.
+// Close shuts the server down.
+func StartDebug(addr string, reg *metrics.Registry, prog *Progress, tr *Tracer) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	Mount(mux, reg, prog.Snapshot, tr)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
