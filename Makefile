@@ -7,8 +7,11 @@
 #   make race    run the full test suite under the race detector
 #   make cover   enforce the coverage floor on the observability and
 #                service packages (internal/tracing, internal/trace,
-#                internal/api, internal/server)
+#                internal/api, internal/server) and the PMF kernels
+#                (internal/pmf)
 #   make bench   run the benchmark suite with allocation stats
+#   make bench-pmf  refresh the PMF backend comparison behind
+#                BENCH_PMF2.json (sparse vs grid kernels, solve)
 #   make fuzz    run each pmf fuzz target briefly
 #   make serve   build and run the cdsfd scheduling service locally
 
@@ -18,12 +21,12 @@ GO ?= go
 COVER_FLOOR ?= 85
 
 # Packages held to the coverage floor.
-COVER_PKGS ?= ./internal/tracing ./internal/trace ./internal/api ./internal/server
+COVER_PKGS ?= ./internal/tracing ./internal/trace ./internal/api ./internal/server ./internal/pmf
 
 # Listen address for `make serve`.
 SERVE_ADDR ?= 127.0.0.1:8080
 
-.PHONY: check build vet test race cover bench fuzz serve
+.PHONY: check build vet test race cover bench bench-pmf fuzz serve
 
 check: build vet test race cover
 
@@ -51,10 +54,17 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# The raw numbers feeding BENCH_PMF2.json: the sparse reference kernels
+# (PMFOps), the sparse-vs-grid backend comparison on Stage-I-shaped
+# workloads (PMFBackends), and the end-to-end solve under each backend.
+bench-pmf:
+	$(GO) test -run=xxx -bench 'BenchmarkPMFOps|BenchmarkPMFBackends|BenchmarkSolveBackends|BenchmarkEvalTableBuild' -benchmem .
+
 fuzz:
 	$(GO) test -run=xxx -fuzz=FuzzNew -fuzztime=10s ./internal/pmf
 	$(GO) test -run=xxx -fuzz=FuzzCombineMerge -fuzztime=10s ./internal/pmf
 	$(GO) test -run=xxx -fuzz=FuzzRebin -fuzztime=10s ./internal/pmf
+	$(GO) test -run=xxx -fuzz=FuzzGridSparse -fuzztime=10s ./internal/pmf
 
 serve:
 	$(GO) run ./cmd/cdsfd -addr $(SERVE_ADDR)

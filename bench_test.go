@@ -469,3 +469,94 @@ func BenchmarkBatchSubstrate(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------
+// Ablation: sparse vs grid PMF backend on Stage-I-shaped workloads
+
+// BenchmarkPMFBackends compares the two distribution backends on the
+// shapes Stage I actually produces: completion-time divisions are
+// ~750-pulse PMFs, and the makespan/objective path combines them with
+// Add and Max. The grid rows include releasing the pooled output, so
+// they measure the steady-state cost a table build pays per cell.
+func BenchmarkPMFBackends(b *testing.B) {
+	avail := pmf.MustNew([]pmf.Pulse{
+		{Value: 0.25, Prob: 0.25}, {Value: 0.5, Prob: 0.25}, {Value: 1, Prob: 0.5}})
+	exec := pmf.Discretize(stats.NewNormal(1000, 100), 250)
+	comp := pmf.Div(exec, avail)
+	comp2 := pmf.Div(pmf.Discretize(stats.NewNormal(1400, 150), 250), avail)
+	step := float64(experiments.Deadline) / 1024
+	g1 := comp.ToGrid(step)
+	g2 := comp2.ToGrid(step)
+	defer g1.Release()
+	defer g2.Release()
+
+	b.Run("Add/sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = pmf.Add(comp, comp2)
+		}
+	})
+	b.Run("Add/grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g1.Add(g2).Release()
+		}
+	})
+	b.Run("Max/sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = pmf.Max(comp, comp2)
+		}
+	})
+	b.Run("Max/grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g1.MaxWith(g2).Release()
+		}
+	})
+	b.Run("Div/sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = pmf.Div(exec, avail)
+		}
+	})
+	b.Run("Div/grid", func(b *testing.B) {
+		ge := exec.ToGrid(step)
+		defer ge.Release()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ge.DivPMF(avail).Release()
+		}
+	})
+	b.Run("PrLE/sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = comp.PrLE(experiments.Deadline)
+		}
+	})
+	b.Run("PrLE/grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = g1.PrLE(experiments.Deadline)
+		}
+	})
+	// ToGrid is the grid backend's analogue of Compact: the one-time
+	// quantization a PMF pays to enter the dense representation.
+	b.Run("ToGrid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			comp.ToGrid(step).Release()
+		}
+	})
+}
+
+// BenchmarkSolveBackends measures the end-to-end Stage-I solve (table
+// build + exhaustive search) on the paper instance under each backend.
+func BenchmarkSolveBackends(b *testing.B) {
+	f := experiments.Framework()
+	for _, backend := range []pmf.Backend{pmf.BackendSparse, pmf.BackendGrid} {
+		b.Run(string(backend), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prob := &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Backend: backend}
+				if err := prob.Precompute(0); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := (&ra.Exhaustive{}).Allocate(prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

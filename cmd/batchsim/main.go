@@ -71,6 +71,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			MaxBatch:  *maxBatch,
 			Jobs:      *jobs,
 			Seed:      *seed,
+			Backend:   rf.PMF,
 		}
 		switch *executor {
 		case "expected":
@@ -81,6 +82,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				return fmt.Errorf("unknown technique %q (have %s)", *tech, strings.Join(dls.Names(), ", "))
 			}
 			simCfg := core.DefaultStageII(*deadline, *seed)
+			simCfg.PMFBackend = rf.PMF
 			simCfg.Reps = *reps
 			simCfg.Metrics = s.Metrics
 			simCfg.Tracer = s.Tracer

@@ -68,6 +68,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			}
 		}
 		cfg := core.DefaultStageII(f.Deadline, *seed)
+		cfg.PMFBackend = rf.PMF
 		cfg.Metrics = s.Metrics
 		cfg.Tracer = s.Tracer
 		if *reps > 0 {

@@ -51,11 +51,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	return rf.Run(ctx, "cdsfd", stderr, func(ctx context.Context, s *runner.Session) error {
 		srv := server.New(server.Options{
-			Queue:     *queue,
-			Executors: *executors,
-			Workers:   rf.Workers,
-			Metrics:   s.Metrics,
-			Tracer:    s.Tracer,
+			Queue:      *queue,
+			Executors:  *executors,
+			Workers:    rf.Workers,
+			PMFBackend: rf.PMF,
+			Metrics:    s.Metrics,
+			Tracer:     s.Tracer,
 		})
 		ln, err := net.Listen("tcp", *addr)
 		if err != nil {

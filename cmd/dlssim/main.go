@@ -67,7 +67,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return simulate(ctx, s, stdout,
 			*iters, *serial, *workers, *mean, *cv, *dist, *profile, *availSpec, *model,
 			*interval, *persistence, *techs, *overhead, *reps, *seed, *deadline,
-			*gantt, *chunksOut, *hist, *schedule)
+			*gantt, *chunksOut, *hist, *schedule, rf.PMF)
 	})
 }
 
@@ -94,7 +94,8 @@ func parseAvail(spec string) (pmf.PMF, error) {
 func simulate(ctx context.Context, s *runner.Session, stdout io.Writer,
 	iters, serial, workers int, mean, cv float64, distName, profileName, availSpec, model string,
 	interval, persistence float64, techs string, overhead float64, reps int,
-	seed uint64, deadline float64, gantt bool, chunksOut string, hist, schedule bool) error {
+	seed uint64, deadline float64, gantt bool, chunksOut string, hist, schedule bool,
+	backend pmf.Backend) error {
 
 	reg, tr := s.Metrics, s.Tracer
 
@@ -198,7 +199,21 @@ func simulate(ctx context.Context, s *runner.Session, stdout io.Writer,
 			fmt.Sprintf("%.3f", sample.MeanImbalance),
 		}
 		if deadline > 0 {
-			row = append(row, fmt.Sprintf("%.2f", sample.PrLE(deadline)))
+			prle := sample.PrLE(deadline)
+			if backend.IsGrid() {
+				// The grid backend answers the deadline probability off a
+				// quantized completion distribution instead of the exact
+				// order statistic, matching Stage I's -pmf=grid estimates.
+				d, err := sample.Distribution(backend, 64)
+				if err != nil {
+					return err
+				}
+				prle = d.PrLE(deadline)
+				if g, ok := d.(*pmf.Grid); ok {
+					g.Release()
+				}
+			}
+			row = append(row, fmt.Sprintf("%.2f", prle))
 		}
 		tbl.AddRow(row...)
 		if hist {

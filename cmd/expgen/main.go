@@ -50,16 +50,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		case *sensitivity:
 			return runSensitivity(ctx, stdout, *seed, *reps, *csv)
 		case *scale:
-			return runScale(ctx, stdout, *seed, rf.Workers, *csv)
+			return runScale(ctx, stdout, *seed, rf, *csv)
 		default:
 			return runTables(ctx, stdout, *table, *figure, *seed, *csv)
 		}
 	})
 }
 
-func runScale(ctx context.Context, stdout io.Writer, seed uint64, workers int, csv bool) error {
+func runScale(ctx context.Context, stdout io.Writer, seed uint64, rf *runner.Flags, csv bool) error {
 	cfg := experiments.DefaultScaleConfig(seed)
-	cfg.Workers = workers
+	cfg.Workers = rf.Workers
+	cfg.Backend = rf.PMF
 	t, err := experiments.RunScaleStudyContext(ctx, cfg)
 	if err != nil {
 		return err

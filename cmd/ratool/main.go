@@ -68,6 +68,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			prob = &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: *deadline}
 		}
 
+		prob.Backend = rf.PMF
 		prob.Metrics = s.Metrics
 		prob.Tracer = s.Tracer
 

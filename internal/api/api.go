@@ -128,6 +128,12 @@ type SolveRequest struct {
 	// Workers bounds the search's worker pool; 0 means the server
 	// default. Results are identical for any value.
 	Workers int `json:"workers,omitempty"`
+	// PMFBackend selects the Stage-I distribution representation:
+	// "sparse" (the default: exact pulses, bit-identical to earlier
+	// releases) or "grid" (dense fixed-step lattice, faster within a
+	// documented quantization-error bound). Empty means the server's
+	// default backend.
+	PMFBackend string `json:"pmf_backend,omitempty"`
 }
 
 // Assignment is the wire form of one application's processor group.
@@ -186,6 +192,11 @@ type SimulateRequest struct {
 	// TimeSteps runs each application as a multi-sweep time-stepping
 	// loop (0 or 1: single sweep).
 	TimeSteps int `json:"timeSteps,omitempty"`
+	// PMFBackend selects the distribution representation of any
+	// Stage-I evaluation embedded in the job ("sparse" or "grid";
+	// empty means the server default). The Monte-Carlo replications
+	// themselves are backend-independent.
+	PMFBackend string `json:"pmf_backend,omitempty"`
 }
 
 // TechOutcome is one (application, technique) cell of a Stage-II
@@ -247,6 +258,9 @@ type ScenarioRequest struct {
 	// Workers bounds the Stage-I worker pool; 0 means the server
 	// default. Results are identical for any value.
 	Workers int `json:"workers,omitempty"`
+	// PMFBackend selects the Stage-I distribution representation
+	// ("sparse" or "grid"; empty means the server default).
+	PMFBackend string `json:"pmf_backend,omitempty"`
 }
 
 // StageIResult is the Stage-I portion of a scenario result.

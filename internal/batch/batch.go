@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"cdsf/internal/pmf"
 	"cdsf/internal/ra"
 	"cdsf/internal/rng"
 	"cdsf/internal/stats"
@@ -110,6 +111,9 @@ type Config struct {
 	// Policy decides when queued jobs form a batch; nil schedules
 	// everything queued immediately (GreedyPolicy).
 	Policy Policy
+	// Backend selects the PMF representation for each batch's Stage-I
+	// search; the zero value is the exact sparse backend.
+	Backend pmf.Backend
 	// Seed drives arrivals, template choice, and executor seeds.
 	Seed uint64
 }
@@ -250,7 +254,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		for i := next; i < end; i++ {
 			b = append(b, jobs[i].App)
 		}
-		prob := &ra.Problem{Sys: cfg.Sys, Batch: b, Deadline: cfg.Deadline}
+		prob := &ra.Problem{Sys: cfg.Sys, Batch: b, Deadline: cfg.Deadline, Backend: cfg.Backend}
 		alloc, err := ra.SolveContext(ctx, cfg.Heuristic, prob)
 		if err != nil {
 			return nil, fmt.Errorf("batch %d: %w", len(res.Batches), err)

@@ -110,6 +110,13 @@ type StageIIConfig struct {
 	// many sweeps (0 or 1 means a single sweep); the deadline then
 	// applies to the whole multi-sweep execution.
 	TimeSteps int
+	// PMFBackend selects the distribution representation of the
+	// Stage-I search embedded in a scenario run: the exact sparse
+	// pulses (the zero value) or the dense fixed-step grid (see
+	// DESIGN.md, "Two PMF backends"). It never affects the Stage-II
+	// Monte-Carlo replications, whose seeds and rng streams are
+	// backend-independent.
+	PMFBackend pmf.Backend
 	// Seed drives all Stage-II randomness.
 	Seed uint64
 	// Metrics optionally receives end-to-end instrumentation: it is
@@ -186,6 +193,9 @@ func (c *StageIIConfig) validate() error {
 	}
 	if c.Overhead < 0 {
 		return fmt.Errorf("core: negative overhead %v", c.Overhead)
+	}
+	if err := c.PMFBackend.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
@@ -351,7 +361,7 @@ func (f *Framework) RunScenarioContext(ctx context.Context, sc Scenario, cases [
 	prog.PlanCases(len(cases))
 	scenarioRegion := tr.Begin("stage2", sc.Name, "scenario")
 	stage1Region := tr.Begin("stage2", "stage1: "+sc.IM.Name(), "stage1")
-	alloc, err := ra.SolveContext(ctx, sc.IM, &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Metrics: cfg.Metrics, Tracer: cfg.Tracer})
+	alloc, err := ra.SolveContext(ctx, sc.IM, &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Backend: cfg.PMFBackend, Metrics: cfg.Metrics, Tracer: cfg.Tracer})
 	stage1Region.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: stage I (%s): %w", sc.IM.Name(), err)

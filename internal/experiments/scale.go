@@ -102,6 +102,11 @@ type ScaleConfig struct {
 	// cell derives its randomness from Seed alone, so the study's output
 	// is identical for any worker count.
 	Workers int
+	// Backend selects the PMF representation for every Stage-I search
+	// in the study; the zero value is the exact sparse backend. The
+	// grid backend makes the large instances' evaluation tables much
+	// cheaper at a quantization error bounded in DESIGN.md.
+	Backend pmf.Backend
 }
 
 // DefaultScaleConfig returns the configuration used by the repository's
@@ -203,6 +208,7 @@ func RunScaleStudyContext(ctx context.Context, cfg ScaleConfig) (*report.Table, 
 			results[i] = cellResult{err: err}
 			return
 		}
+		prob.Backend = cfg.Backend
 		ok, phi, err := evalQuadrant(ctx, prob, quadrants[j.quad], cfg, seed)
 		results[i] = cellResult{phi: phi, met: ok, err: err}
 	}); err != nil {
@@ -296,6 +302,7 @@ func evalQuadrant(ctx context.Context, prob *ra.Problem, q quadrant, cfg ScaleCo
 		scaled[j] = pt.Avail.Scale(cfg.Scale)
 	}
 	simCfg := core.DefaultStageII(prob.Deadline, seed)
+	simCfg.PMFBackend = cfg.Backend
 	simCfg.Reps = cfg.Reps
 	simCfg.Model = func(p pmf.PMF) availability.Model {
 		return availability.Markov{PMF: p, Interval: prob.Deadline / 4, Persistence: 0.5}

@@ -1,0 +1,93 @@
+package pmf
+
+import "fmt"
+
+// Backend selects the distribution representation used by the engines
+// that can run on either: the exact sparse pulse list (PMF) or the
+// fixed-step dense grid (Grid). The zero value means sparse, so
+// structs gain a Backend field without changing their behaviour.
+type Backend string
+
+const (
+	// BackendSparse is the exact sorted-pulse representation — the
+	// reference backend. Seeded runs under it are bit-identical to the
+	// pre-grid revisions of this repository.
+	BackendSparse Backend = "sparse"
+	// BackendGrid is the fixed-step dense-grid representation: faster
+	// kernels at the cost of a bounded quantization error (see
+	// DESIGN.md, "Two PMF backends").
+	BackendGrid Backend = "grid"
+)
+
+// ParseBackend maps a user-supplied string to a Backend. The empty
+// string parses as BackendSparse (the default everywhere).
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case "", BackendSparse:
+		return BackendSparse, nil
+	case BackendGrid:
+		return BackendGrid, nil
+	}
+	return "", fmt.Errorf("pmf: unknown backend %q (want %q or %q)", s, BackendSparse, BackendGrid)
+}
+
+// Validate reports whether b names a known backend ("" counts as
+// sparse).
+func (b Backend) Validate() error {
+	_, err := ParseBackend(string(b))
+	return err
+}
+
+// IsGrid reports whether b selects the grid backend. It is the single
+// branch point the engines test, so "" and "sparse" behave
+// identically.
+func (b Backend) IsGrid() bool { return b == BackendGrid }
+
+// String implements fmt.Stringer; the zero value prints as "sparse".
+func (b Backend) String() string {
+	if b == "" {
+		return string(BackendSparse)
+	}
+	return string(b)
+}
+
+// MarshalText implements encoding.TextMarshaler so a Backend can be a
+// flag.TextVar target and a JSON string field.
+func (b Backend) MarshalText() ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (b *Backend) UnmarshalText(text []byte) error {
+	p, err := ParseBackend(string(text))
+	if err != nil {
+		return err
+	}
+	*b = p
+	return nil
+}
+
+// Dist is the read-only surface shared by the two backends: the
+// queries Stage I and the reporting paths need from a completion-time
+// distribution, regardless of representation. PMF and *Grid both
+// implement it.
+type Dist interface {
+	// PrLE returns P(X <= x).
+	PrLE(x float64) float64
+	// Quantile returns the smallest support value v with P(X <= v) >= q.
+	Quantile(q float64) float64
+	// Mean returns E[X].
+	Mean() float64
+	// StdDev returns the standard deviation of X.
+	StdDev() float64
+	// Len returns the number of support atoms (pulses or grid bins).
+	Len() int
+}
+
+var (
+	_ Dist = PMF{}
+	_ Dist = (*Grid)(nil)
+)

@@ -92,30 +92,47 @@ func DiscretizeRange(d stats.Dist, lo, hi float64, bins int) PMF {
 // cell's mass at its probability-weighted mean value. It reduces pulse
 // count after cross-combinations, which otherwise grow multiplicatively.
 // It panics if width is not positive.
+//
+// The pulses are already sorted, so the cell keys floor(v/width) are
+// non-decreasing and the cells accumulate in one sequential pass into
+// the pooled scratch buffer shared with Combine — no map, no per-cell
+// boxing, and (unlike the historical map-based version, which summed
+// the normalizer in random iteration order) a bit-deterministic
+// result.
 func (p PMF) Rebin(width float64) PMF {
 	if width <= 0 || math.IsNaN(width) {
 		panic(fmt.Sprintf("pmf: Rebin with width %v", width))
 	}
-	type cell struct {
-		mass float64
-		sum  float64 // probability-weighted value sum
-	}
-	cells := map[int64]*cell{}
+	sp := getScratch(len(p.pulses))
+	defer pulseScratch.Put(sp)
+	cells := (*sp)[:0]
+	key := int64(math.Floor(p.pulses[0].Value / width))
+	mass, sum := 0.0, 0.0
 	for _, pl := range p.pulses {
 		k := int64(math.Floor(pl.Value / width))
-		c := cells[k]
-		if c == nil {
-			c = &cell{}
-			cells[k] = c
+		if k != key {
+			cells = append(cells, Pulse{Value: sum / mass, Prob: mass})
+			key, mass, sum = k, 0, 0
 		}
-		c.mass += pl.Prob
-		c.sum += pl.Prob * pl.Value
+		mass += pl.Prob
+		sum += pl.Prob * pl.Value
 	}
-	ps := make([]Pulse, 0, len(cells))
-	for _, c := range cells {
-		ps = append(ps, Pulse{Value: c.sum / c.mass, Prob: c.mass})
+	cells = append(cells, Pulse{Value: sum / mass, Prob: mass})
+
+	// Cell means of increasing disjoint cells are strictly increasing,
+	// so the scratch is already sorted; copy it out of the pool (the
+	// constructor takes ownership of its argument) and finish.
+	ps := make([]Pulse, len(cells))
+	copy(ps, cells)
+	total := 0.0
+	for _, c := range ps {
+		total += c.Prob
 	}
-	return MustNew(ps)
+	out, err := finishSorted(ps, total)
+	if err != nil {
+		panic(fmt.Sprintf("pmf: Rebin: %v", err))
+	}
+	return out
 }
 
 // Prune drops pulses with probability below eps (renormalizing), keeping

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -28,6 +29,45 @@ func getScratch(n int) *[]Pulse {
 	}
 	*bp = (*bp)[:n]
 	return bp
+}
+
+// smallCombinePulses is the output size below which Combine prefers
+// the direct product loop of combineSmall over the k-way merge: for a
+// handful of rows of a few dozen pulses, sorting the cross product
+// outright is cheaper than the merge's per-output cursor scans. The
+// threshold is deliberately below the ~750-pulse completion-time
+// divisions of the paper instance, which stay on the merge path (and
+// therefore keep their exact historical bit patterns).
+const smallCombinePulses = 256
+
+// combineSmall is the naive cross product with the defensive copy of
+// New elided: it builds the product directly, sorts it, and finishes
+// through the shared constructor. ok is false on non-finite values or
+// zero total mass, in which case the caller falls through to the
+// error-reporting path.
+func combineSmall(p, q PMF, f func(x, y float64) float64) (PMF, bool) {
+	ps := make([]Pulse, 0, len(p.pulses)*len(q.pulses))
+	total := 0.0
+	for _, a := range p.pulses {
+		for _, b := range q.pulses {
+			v := f(a.Value, b.Value)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return PMF{}, false
+			}
+			pr := a.Prob * b.Prob
+			ps = append(ps, Pulse{Value: v, Prob: pr})
+			total += pr
+		}
+	}
+	if total <= 0 {
+		return PMF{}, false
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Value < ps[j].Value })
+	out, err := finishSorted(ps, total)
+	if err != nil {
+		return PMF{}, false
+	}
+	return out, true
 }
 
 // rowHeap is a min-heap of row cursors ordered by the current head value

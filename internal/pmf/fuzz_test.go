@@ -84,6 +84,81 @@ func FuzzCombineMerge(f *testing.F) {
 	})
 }
 
+// FuzzGridSparse checks the grid backend against the sparse reference
+// over arbitrary pulse placements: Add, Max, and Mul results must
+// agree with the exact sparse computation within the documented
+// quantization bounds (each ToGrid moves a support point by at most
+// step/2 and the general combine re-quantizes once more, so means
+// agree within the accumulated shift and PrLE within the sparse
+// bracket at +-shift).
+func FuzzGridSparse(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0, 5.0, 0.5)
+	f.Add(10.0, 10.5, 11.0, 0.25, 90.0, 0.25)
+	f.Add(-3.0, 0.0, 3.0, -1.0, 1.0, 2.0)
+	f.Fuzz(func(t *testing.T, v1, v2, v3, w1, w2, step float64) {
+		if step <= 1e-6 || step > 1e6 || math.IsNaN(step) || math.IsInf(step, 0) {
+			return
+		}
+		for _, v := range []float64{v1, v2, v3, w1, w2} {
+			// Keep bins per grid bounded and products finite.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e3*step {
+				return
+			}
+		}
+		p := MustNew([]Pulse{{Value: v1, Prob: 0.2}, {Value: v2, Prob: 0.3}, {Value: v3, Prob: 0.5}})
+		q := MustNew([]Pulse{{Value: w1, Prob: 0.6}, {Value: w2, Prob: 0.4}})
+		gp, gq := p.ToGrid(step), q.ToGrid(step)
+		defer gp.Release()
+		defer gq.Release()
+
+		// Quantization alone: means within step/2, PrLE within the
+		// sparse bracket at +-(step/2 + eps).
+		shift := step/2 + 1e-9*math.Max(1, math.Abs(p.Max()))
+		if d := math.Abs(gp.Mean() - p.Mean()); d > shift {
+			t.Fatalf("ToGrid moved mean by %v > %v", d, shift)
+		}
+		for _, x := range []float64{v1, v2, v3, (v1 + v2) / 2} {
+			lo, hi := p.PrLE(x-shift)-1e-9, p.PrLE(x+shift)+1e-9
+			if got := gp.PrLE(x); got < lo || got > hi {
+				t.Fatalf("ToGrid PrLE(%v) = %v outside [%v,%v]", x, got, lo, hi)
+			}
+		}
+
+		check := func(name string, g *Grid, want PMF, shift float64) {
+			t.Helper()
+			defer g.Release()
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s: invalid grid: %v", name, err)
+			}
+			tol := shift + 1e-6*math.Max(1, math.Abs(want.Mean()))
+			if d := math.Abs(g.Mean() - want.Mean()); d > tol {
+				t.Fatalf("%s: mean off by %v > %v (grid %v, sparse %v)", name, d, tol, g.Mean(), want.Mean())
+			}
+			for _, x := range []float64{want.Min(), want.Max(), (want.Min() + want.Max()) / 2} {
+				lo := want.PrLE(x-shift) - 1e-6
+				hi := want.PrLE(x+shift) + 1e-6
+				if got := g.PrLE(x); got < lo || got > hi {
+					t.Fatalf("%s: PrLE(%v) = %v outside [%v,%v]", name, x, got, lo, hi)
+				}
+			}
+		}
+		// Add: each operand quantized by <= step/2; the convolution
+		// itself is exact on the lattice.
+		check("Add", gp.Add(gq), Add(p, q), step+1e-9)
+		// Max: quantization only; the CDF product is exact.
+		check("Max", gp.MaxWith(gq), Max(p, q), step/2+1e-9)
+		// Mul: input shifts scale by the other operand's magnitude and
+		// the output re-quantizes by another step/2. Skip when the
+		// product's span would need more bins than the grid cap allows.
+		mx := math.Max(math.Abs(p.Min()), math.Abs(p.Max()))
+		my := math.Max(math.Abs(q.Min()), math.Abs(q.Max()))
+		if mx*my/step <= 1e5 {
+			mulShift := step/2*(mx+my+1) + step/2 + 1e-9
+			check("Mul", gp.Mul(gq), Mul(p, q), mulShift)
+		}
+	})
+}
+
 // FuzzRebin checks mass and mean preservation for arbitrary bin widths.
 func FuzzRebin(f *testing.F) {
 	f.Add(1.0)

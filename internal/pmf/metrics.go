@@ -16,6 +16,7 @@ import (
 
 type pmfInstr struct {
 	fast      *metrics.Counter // pmf.combine_fast: merge-path Combines
+	small     *metrics.Counter // pmf.combine_small: direct-product small Combines
 	fallback  *metrics.Counter // pmf.combine_fallback: naive cross products
 	truncated *metrics.Counter // pmf.compact_truncations: lossy Compacts
 }
@@ -33,6 +34,7 @@ func SetMetrics(reg *metrics.Registry) {
 	}
 	instrPtr.Store(&pmfInstr{
 		fast:      reg.Counter("pmf.combine_fast"),
+		small:     reg.Counter("pmf.combine_small"),
 		fallback:  reg.Counter("pmf.combine_fallback"),
 		truncated: reg.Counter("pmf.compact_truncations"),
 	})

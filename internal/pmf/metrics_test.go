@@ -6,12 +6,25 @@ import (
 	"cdsf/internal/metrics"
 )
 
+// wideUniform builds an n-pulse uniform PMF on {lo, lo+1, ...} for
+// driving Combine past the small-combine threshold.
+func wideUniform(lo float64, n int) PMF {
+	ps := make([]Pulse, n)
+	for i := range ps {
+		ps[i] = Pulse{Value: lo + float64(i), Prob: 1 / float64(n)}
+	}
+	return MustNew(ps)
+}
+
 // TestSetMetricsCountsPaths verifies the package counters distinguish
-// the Combine merge fast path from the naive fallback and record
-// Compact truncations, and that counting leaves results untouched.
+// the three Combine paths (merge fast path, direct small-combine, and
+// the naive fallback), record Compact truncations, and that counting
+// leaves results untouched.
 func TestSetMetricsCountsPaths(t *testing.T) {
 	a := MustNew([]Pulse{{Value: 1, Prob: 0.5}, {Value: 2, Prob: 0.5}})
 	b := MustNew([]Pulse{{Value: 3, Prob: 0.25}, {Value: 4, Prob: 0.5}, {Value: 5, Prob: 0.25}})
+	wa := wideUniform(0, 20)
+	wb := wideUniform(100, 20)
 
 	plain := Add(a, b)
 
@@ -19,12 +32,13 @@ func TestSetMetricsCountsPaths(t *testing.T) {
 	SetMetrics(reg)
 	defer SetMetrics(nil)
 
+	// A 2x3 combine is far below smallCombinePulses: direct product.
 	counted := Add(a, b)
-	if got := reg.Counter("pmf.combine_fast").Value(); got != 1 {
-		t.Errorf("combine_fast = %d, want 1 (Add is row-monotone)", got)
+	if got := reg.Counter("pmf.combine_small").Value(); got != 1 {
+		t.Errorf("combine_small = %d, want 1 (2x3 Add is a small combine)", got)
 	}
-	if got := reg.Counter("pmf.combine_fallback").Value(); got != 0 {
-		t.Errorf("combine_fallback = %d, want 0", got)
+	if got := reg.Counter("pmf.combine_fast").Value(); got != 0 {
+		t.Errorf("combine_fast = %d, want 0", got)
 	}
 	if len(plain.Pulses()) != len(counted.Pulses()) {
 		t.Fatal("metrics changed the combined PMF")
@@ -35,9 +49,16 @@ func TestSetMetricsCountsPaths(t *testing.T) {
 		}
 	}
 
-	// An operator that is non-monotone in y over a 3-pulse row (the
-	// row reads 1, 0, 1) forces the naive cross-product fallback.
-	Combine(a, b, func(x, y float64) float64 { return x + (y-4)*(y-4) })
+	// A 20x20 combine exceeds the threshold and Add is row-monotone:
+	// merge fast path.
+	Add(wa, wb)
+	if got := reg.Counter("pmf.combine_fast").Value(); got != 1 {
+		t.Errorf("combine_fast = %d, want 1 (large Add is row-monotone)", got)
+	}
+
+	// An operator that is non-monotone in y over a large row forces
+	// the naive cross-product fallback.
+	Combine(wa, wb, func(x, y float64) float64 { return x + (y-110)*(y-110) })
 	if got := reg.Counter("pmf.combine_fallback").Value(); got != 1 {
 		t.Errorf("combine_fallback = %d, want 1", got)
 	}
@@ -63,7 +84,7 @@ func TestSetMetricsCountsPaths(t *testing.T) {
 	// After SetMetrics(nil) counting stops.
 	SetMetrics(nil)
 	Add(a, b)
-	if got := reg.Counter("pmf.combine_fast").Value(); got != 1 {
+	if got := reg.Counter("pmf.combine_small").Value(); got != 1 {
 		t.Errorf("counter advanced after SetMetrics(nil): %d", got)
 	}
 }

@@ -278,9 +278,20 @@ func (p PMF) Shift(c float64) PMF {
 // result is built in sorted order and the O(nm log nm) sort inside New
 // is skipped. Operators that are not row-monotone fall back to the
 // naive cross product transparently; both paths produce the same PMF.
+//
+// Below smallCombinePulses output pulses the merge bookkeeping (row
+// orientation, monotonicity checks, cursor scans) costs more than just
+// sorting, so tiny combines use a direct product loop instead.
 func Combine(p, q PMF, f func(x, y float64) float64) PMF {
 	in := instrPtr.Load()
-	if out, ok := combineMerge(p, q, f); ok {
+	if n := len(p.pulses) * len(q.pulses); n > 0 && n <= smallCombinePulses {
+		if out, ok := combineSmall(p, q, f); ok {
+			if in != nil {
+				in.small.Inc()
+			}
+			return out
+		}
+	} else if out, ok := combineMerge(p, q, f); ok {
 		if in != nil {
 			in.fast.Inc()
 		}

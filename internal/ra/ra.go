@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"cdsf/internal/metrics"
+	"cdsf/internal/pmf"
 	"cdsf/internal/sysmodel"
 	"cdsf/internal/tracing"
 )
@@ -53,6 +54,15 @@ type Problem struct {
 	Sys      *sysmodel.System
 	Batch    sysmodel.Batch
 	Deadline float64
+
+	// Backend selects the PMF representation used when evaluating
+	// completion-time cells: the exact sparse pulses (the zero value)
+	// or the dense fixed-step grid, which trades the quantization
+	// error bounded in DESIGN.md for much faster kernels. The choice
+	// only affects how each cell's (probability, expectation) pair is
+	// computed; the searches themselves are identical. Set it before
+	// Precompute, like every other field.
+	Backend pmf.Backend
 
 	// Metrics optionally receives search instrumentation (cell
 	// evaluations, table hits/misses, precompute wall time, exhaustive
@@ -153,6 +163,9 @@ func (p *Problem) Validate() error {
 	}
 	if p.Deadline <= 0 {
 		return fmt.Errorf("ra: non-positive deadline %v", p.Deadline)
+	}
+	if err := p.Backend.Validate(); err != nil {
+		return fmt.Errorf("ra: %w", err)
 	}
 	return nil
 }

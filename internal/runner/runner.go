@@ -100,17 +100,22 @@ type Flags struct {
 	// Workers is -workers (only when registered via RegisterWorkerFlags
 	// or RegisterWorkers): the worker-pool size for parallel engines.
 	Workers int
+	// PMF is -pmf: the distribution backend for the engines that can
+	// run on either (sparse is the exact default; grid trades a
+	// bounded quantization error for faster kernels).
+	PMF pmf.Backend
 }
 
 // RegisterFlags installs the shared observability and runtime flags
-// (-metrics, -trace, -debug-addr, -timeout) on fs and returns the
-// struct their values land in.
+// (-metrics, -trace, -debug-addr, -timeout, -pmf) on fs and returns
+// the struct their values land in.
 func RegisterFlags(fs *flag.FlagSet) *Flags {
-	f := &Flags{}
+	f := &Flags{PMF: pmf.BackendSparse}
 	fs.StringVar(&f.MetricsDest, "metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
 	fs.StringVar(&f.TraceDest, "trace", "", `record span timelines and write Chrome Trace Event JSON (chrome://tracing, Perfetto) to this destination: "-" for stdout or a file path`)
 	fs.StringVar(&f.DebugAddr, "debug-addr", "", `serve live debug endpoints (/debug/pprof/*, /metrics, /progress, /trace) on this address, e.g. ":6060"`)
 	fs.DurationVar(&f.Timeout, "timeout", 0, `abort the run after this wall-clock duration (e.g. 30s, 5m); the partial run still flushes -metrics and -trace (0: no limit)`)
+	fs.TextVar(&f.PMF, "pmf", pmf.BackendSparse, `PMF backend for the Stage-I engines: "sparse" (exact pulses, bit-identical to earlier releases) or "grid" (dense fixed-step lattice: faster kernels within the documented quantization-error bound)`)
 	return f
 }
 

@@ -172,6 +172,15 @@ func (s *Server) workersFor(requested int) int {
 	return s.opts.Workers
 }
 
+// backendFor resolves a request's pmf_backend against the server
+// default; an unknown name is the client's fault.
+func (s *Server) backendFor(requested string) (pmf.Backend, error) {
+	if requested == "" {
+		return s.opts.PMFBackend, nil
+	}
+	return pmf.ParseBackend(requested)
+}
+
 // stageII builds the Stage-II configuration for a request from the
 // paper defaults, threading in the server's instrumentation.
 func (s *Server) stageII(deadline float64, seed uint64, reps int) core.StageIIConfig {
@@ -214,8 +223,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Seed != 0 {
 		ra.SetSeed(h, req.Seed)
 	}
+	backend, err := s.backendFor(req.PMFBackend)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	prob := &ra.Problem{Sys: p.sys, Batch: p.batch, Deadline: deadline,
-		Metrics: s.opts.Metrics, Tracer: s.opts.Tracer}
+		Backend: backend, Metrics: s.opts.Metrics, Tracer: s.opts.Tracer}
 	if err := prob.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -282,7 +296,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	backend, err := s.backendFor(req.PMFBackend)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	cfg := s.stageII(p.deadline, req.Seed, req.Reps)
+	cfg.PMFBackend = backend
 	if req.Overhead != nil {
 		cfg.Overhead = *req.Overhead
 	}
@@ -326,12 +346,18 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ra.SetWorkers(sc.IM, s.workersFor(req.Workers))
+	backend, err := s.backendFor(req.PMFBackend)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	f := &core.Framework{Sys: p.sys, Batch: p.batch, Deadline: p.deadline}
 	if err := f.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	cfg := s.stageII(p.deadline, req.Seed, req.Reps)
+	cfg.PMFBackend = backend
 	cases := p.cases
 	s.accept(w, api.KindScenario, true, func(ctx context.Context, prog *tracing.Progress) (any, error) {
 		run := cfg

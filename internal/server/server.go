@@ -31,6 +31,7 @@ import (
 
 	"cdsf/internal/api"
 	"cdsf/internal/metrics"
+	"cdsf/internal/pmf"
 	"cdsf/internal/tracing"
 )
 
@@ -50,6 +51,11 @@ type Options struct {
 	// when a request does not set its own. Non-positive means
 	// runtime.NumCPU(). Results are identical for any value.
 	Workers int
+	// PMFBackend is the default Stage-I distribution backend for jobs
+	// whose request leaves pmf_backend empty. The zero value is the
+	// sparse (exact) backend, keeping seeded service results
+	// bit-identical to earlier releases.
+	PMFBackend pmf.Backend
 	// Metrics receives the server's own counters and is threaded into
 	// every job's engine configuration. Nil means a fresh registry
 	// (the /metrics endpoint then reports only this server).

@@ -199,6 +199,38 @@ func TestSolveBitIdentical(t *testing.T) {
 	}
 }
 
+// TestSolveGridBackend submits a solve under the grid backend: the
+// job must complete and, at the paper's scale, agree with the sparse
+// exhaustive optimum's allocation.
+func TestSolveGridBackend(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var j api.Job
+	resp := post(t, ts.URL+"/v1/solve", api.SolveRequest{Heuristic: "exhaustive", PMFBackend: "grid"}, &j)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	done := waitState(t, ts.URL, j.ID, api.JobDone)
+	var grid api.SolveResult
+	if err := json.Unmarshal(done.Result, &grid); err != nil {
+		t.Fatal(err)
+	}
+	resp = post(t, ts.URL+"/v1/solve", api.SolveRequest{Heuristic: "exhaustive"}, &j)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	done = waitState(t, ts.URL, j.ID, api.JobDone)
+	var sparse api.SolveResult
+	if err := json.Unmarshal(done.Result, &sparse); err != nil {
+		t.Fatal(err)
+	}
+	if !api.ToAllocation(grid.Allocation).Equal(api.ToAllocation(sparse.Allocation)) {
+		t.Errorf("grid allocation %v != sparse %v", grid.Allocation, sparse.Allocation)
+	}
+	if diff := grid.Phi1 - sparse.Phi1; diff > 0.01 || diff < -0.01 {
+		t.Errorf("grid phi1 %v vs sparse %v beyond the quantization bound", grid.Phi1, sparse.Phi1)
+	}
+}
+
 func TestSimulateJobMatchesLibrary(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	req := api.SimulateRequest{
@@ -430,6 +462,8 @@ func TestBadRequests(t *testing.T) {
 	checkStatus("/v1/simulate", `{"allocation": [{"type": 0, "procs": 2}, {"type": 1, "procs": 4}, {"type": 1, "procs": 4}], "case": "nope"}`, http.StatusBadRequest)
 	checkStatus("/v1/scenario", `{"scenario": 9}`, http.StatusBadRequest)
 	checkStatus("/v1/scenario", `{"ras": ["NOPE"]}`, http.StatusBadRequest)
+	checkStatus("/v1/solve", `{"pmf_backend": "nope"}`, http.StatusBadRequest)
+	checkStatus("/v1/scenario", `{"pmf_backend": "nope"}`, http.StatusBadRequest)
 
 	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999")
 	if err != nil {
@@ -562,4 +596,3 @@ func getInto(t *testing.T, url string, out any) *http.Response {
 	}
 	return resp
 }
-

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"cdsf/internal/availability"
+	"cdsf/internal/pmf"
 	"cdsf/internal/rng"
 	"cdsf/internal/stats"
 )
@@ -73,6 +74,46 @@ func (s *Sample) Quantile(p float64) float64 {
 		return 0
 	}
 	return stats.QuantileSorted(s.sortedMakespans(), p)
+}
+
+// Distribution summarizes the sample's makespans as a completion-time
+// distribution under the selected PMF backend, for reporting paths
+// that want distribution queries (quantiles, deadline probabilities)
+// rather than raw order statistics. The sparse backend bins the
+// makespans into an exact pulse PMF (mirroring the paper's sampled
+// construction); the grid backend quantizes the same makespans onto a
+// dense lattice of span/bins step. bins must be positive and the
+// sample non-empty.
+func (s *Sample) Distribution(backend pmf.Backend, bins int) (pmf.Dist, error) {
+	if err := backend.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if bins <= 0 {
+		return nil, fmt.Errorf("sim: %d distribution bins", bins)
+	}
+	if len(s.Makespans) == 0 {
+		return nil, fmt.Errorf("sim: empty sample has no distribution")
+	}
+	if !backend.IsGrid() {
+		return pmf.FromSamples(s.Makespans, bins), nil
+	}
+	ms := s.sortedMakespans()
+	step := (ms[len(ms)-1] - ms[0]) / float64(bins)
+	if step <= 0 {
+		// Degenerate sample: every makespan equal; any positive step
+		// yields the single-bin grid.
+		step = math.Max(math.Abs(ms[0]), 1)
+	}
+	w := 1 / float64(len(ms))
+	ps := make([]pmf.Pulse, len(ms))
+	for i, m := range ms {
+		ps[i] = pmf.Pulse{Value: m, Prob: w}
+	}
+	exact, err := pmf.New(ps)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return exact.ToGrid(step), nil
 }
 
 // PrLE returns the fraction of runs whose makespan was <= x — the

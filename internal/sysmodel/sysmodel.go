@@ -179,6 +179,20 @@ func (a *Application) CompletionPMF(j, n int, avail pmf.PMF) pmf.PMF {
 	return pmf.Div(a.ParallelTimePMF(j, n), avail)
 }
 
+// CompletionGrid is CompletionPMF on the dense grid backend: the
+// parallel execution time is quantized once onto the lattice of the
+// given step and divided by the (sparse) availability PMF, whose
+// support in (0, 1] is far below any useful completion-time step. The
+// caller owns the grid and should Release it after reading the
+// deadline probability and expectation off it. Results differ from
+// CompletionPMF by at most the quantization bound documented in
+// DESIGN.md ("Two PMF backends").
+func (a *Application) CompletionGrid(j, n int, avail pmf.PMF, step float64) *pmf.Grid {
+	g := a.ParallelTimePMF(j, n).ToGrid(step)
+	defer g.Release()
+	return g.DivPMF(avail)
+}
+
 // Batch is the set of applications mapped together in Stage I.
 type Batch []Application
 
