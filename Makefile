@@ -7,11 +7,14 @@
 #   make race    run the full test suite under the race detector
 #   make cover   enforce the coverage floor on the observability and
 #                service packages (internal/tracing, internal/trace,
-#                internal/api, internal/server) and the PMF kernels
-#                (internal/pmf)
+#                internal/api, internal/server), the PMF kernels
+#                (internal/pmf), and the solve cache (internal/cache)
 #   make bench   run the benchmark suite with allocation stats
 #   make bench-pmf  refresh the PMF backend comparison behind
 #                BENCH_PMF2.json (sparse vs grid kernels, solve)
+#   make bench-cache  refresh the solve-cache comparison behind
+#                BENCH_CACHE.json (result-tier replay, warm tables,
+#                delta-solve)
 #   make fuzz    run each pmf fuzz target briefly
 #   make serve   build and run the cdsfd scheduling service locally
 
@@ -21,12 +24,12 @@ GO ?= go
 COVER_FLOOR ?= 85
 
 # Packages held to the coverage floor.
-COVER_PKGS ?= ./internal/tracing ./internal/trace ./internal/api ./internal/server ./internal/pmf
+COVER_PKGS ?= ./internal/tracing ./internal/trace ./internal/api ./internal/server ./internal/pmf ./internal/cache
 
 # Listen address for `make serve`.
 SERVE_ADDR ?= 127.0.0.1:8080
 
-.PHONY: check build vet test race cover bench bench-pmf fuzz serve
+.PHONY: check build vet test race cover bench bench-pmf bench-cache fuzz serve
 
 check: build vet test race cover
 
@@ -59,6 +62,12 @@ bench:
 # workloads (PMFBackends), and the end-to-end solve under each backend.
 bench-pmf:
 	$(GO) test -run=xxx -bench 'BenchmarkPMFOps|BenchmarkPMFBackends|BenchmarkSolveBackends|BenchmarkEvalTableBuild' -benchmem .
+
+# The raw numbers feeding BENCH_CACHE.json: result-tier replay at the
+# service layer (cold solve vs byte-identical repeat), warm evaluation
+# tables, and the delta-solve deadline sweep.
+bench-cache:
+	$(GO) test -run=xxx -bench 'BenchmarkCacheServer|BenchmarkCacheWarmTable|BenchmarkCacheDeltaSolve' -benchmem .
 
 fuzz:
 	$(GO) test -run=xxx -fuzz=FuzzNew -fuzztime=10s ./internal/pmf

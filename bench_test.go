@@ -9,17 +9,26 @@
 package cdsf_bench
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"testing"
+	"time"
 
+	"cdsf/internal/api"
 	"cdsf/internal/availability"
 	"cdsf/internal/batch"
+	"cdsf/internal/cache"
+	"cdsf/internal/config"
 	"cdsf/internal/dls"
 	"cdsf/internal/experiments"
 	"cdsf/internal/pmf"
 	"cdsf/internal/ra"
 	"cdsf/internal/robustness"
+	"cdsf/internal/server"
 	"cdsf/internal/sim"
 	"cdsf/internal/stats"
 )
@@ -538,6 +547,205 @@ func BenchmarkPMFBackends(b *testing.B) {
 	b.Run("ToGrid", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			comp.ToGrid(step).Release()
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Content-addressed solve cache: result-tier replay at the service
+// layer, warm-table reuse, and delta-solve (see DESIGN.md section 10,
+// make bench-cache, BENCH_CACHE.json).
+
+// benchCacheInstance builds a synthetic instance whose exhaustive
+// Stage-I solve takes long enough to dominate an HTTP round trip by
+// orders of magnitude. The paper instance solves in under a
+// millisecond, which would measure the cache against transport noise
+// rather than against the work it elides; seven applications over
+// three processor types put the cold solve near a second.
+func benchCacheInstance(apps, pulses int) *config.Instance {
+	inst := &config.Instance{
+		Name:     "bench-cache",
+		Deadline: 9000,
+		Pulses:   pulses,
+		Types: []config.ProcTypeSpec{
+			{Name: "T1", Count: 4, Availability: []config.PulseSpec{
+				{Value: 75, Probability: 50}, {Value: 100, Probability: 50}}},
+			{Name: "T2", Count: 8, Availability: []config.PulseSpec{
+				{Value: 25, Probability: 25}, {Value: 50, Probability: 25}, {Value: 100, Probability: 50}}},
+			{Name: "T3", Count: 16, Availability: []config.PulseSpec{
+				{Value: 50, Probability: 50}, {Value: 100, Probability: 50}}},
+		},
+	}
+	for i := 0; i < apps; i++ {
+		inst.Applications = append(inst.Applications, config.ApplicationSpec{
+			Name:          fmt.Sprintf("App %d", i+1),
+			SerialIters:   200 + 50*i,
+			ParallelIters: 1024 + 512*i,
+			ExecTimes: []config.ExecTimeSpec{
+				{Mean: 1500 + 300*float64(i)},
+				{Mean: 3000 + 500*float64(i)},
+				{Mean: 2000 + 400*float64(i)},
+			},
+		})
+	}
+	return inst
+}
+
+// benchSolveJob submits one solve request and drives it to a terminal
+// state, returning the final envelope. Result-tier hits come back
+// already done on the POST; cold jobs are polled.
+func benchSolveJob(b *testing.B, base string, body []byte) api.Job {
+	b.Helper()
+	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var job api.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	for !job.State.Terminal() {
+		time.Sleep(200 * time.Microsecond)
+		r, err := http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
+			b.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	if job.State != api.JobDone {
+		b.Fatalf("job ended %s: %s", job.State, job.Error)
+	}
+	return job
+}
+
+// BenchmarkCacheServer measures submit-to-done wall time at the
+// service layer: "cold" solves a fresh key every iteration (the seed
+// is part of the content address), "repeat" resubmits one byte-
+// identical request and is answered from the result tier at admission
+// time. The repeat/cold ratio is the headline latency collapse
+// BENCH_CACHE.json records.
+func BenchmarkCacheServer(b *testing.B) {
+	inst := benchCacheInstance(7, 250)
+	b.Run("cold", func(b *testing.B) {
+		s := server.New(server.Options{Cache: cache.New(cache.Options{})})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body, err := json.Marshal(api.SolveRequest{Instance: inst, Seed: uint64(i + 1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			job := benchSolveJob(b, ts.URL, body)
+			if job.Cache == nil || job.Cache.ResultHit {
+				b.Fatal("cold request served from cache")
+			}
+		}
+	})
+	b.Run("repeat", func(b *testing.B) {
+		s := server.New(server.Options{Cache: cache.New(cache.Options{})})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		body, err := json.Marshal(api.SolveRequest{Instance: inst, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSolveJob(b, ts.URL, body) // populate the result tier
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			job := benchSolveJob(b, ts.URL, body)
+			if job.Cache == nil || !job.Cache.ResultHit {
+				b.Fatal("repeat missed the result tier")
+			}
+		}
+	})
+}
+
+// BenchmarkCacheWarmTable isolates tier (b): the Stage-I evaluation
+// table built from scratch versus re-derived from warm cached
+// completion distributions (PrLE reads over cached CDFs instead of
+// PMF algebra).
+func BenchmarkCacheWarmTable(b *testing.B) {
+	sys, bat, deadline, err := config.Build(benchCacheInstance(6, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prob := &ra.Problem{Sys: sys, Batch: bat, Deadline: deadline,
+				Cache: cache.New(cache.Options{})}
+			if err := prob.Precompute(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c := cache.New(cache.Options{})
+		seed := &ra.Problem{Sys: sys, Batch: bat, Deadline: deadline, Cache: c}
+		if err := seed.Precompute(0); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			prob := &ra.Problem{Sys: sys, Batch: bat, Deadline: deadline, Cache: c}
+			if err := prob.Precompute(0); err != nil {
+				b.Fatal(err)
+			}
+			if h, m := prob.CacheCounts(); h == 0 || m != 0 {
+				b.Fatalf("warm build counts = (%d, %d)", h, m)
+			}
+		}
+	})
+}
+
+// BenchmarkCacheDeltaSolve measures the delta-solve path: the same
+// instance re-solved under a sweep of deadlines. Sparse completion
+// distributions are deadline-invariant, so every deadline re-derives
+// its table cells from the one warm entry instead of rebuilding.
+func BenchmarkCacheDeltaSolve(b *testing.B) {
+	sys, bat, deadline, err := config.Build(benchCacheInstance(6, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	factors := []float64{0.8, 0.9, 1.1, 1.25, 1.5}
+	b.Run("cacheless", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prob := &ra.Problem{Sys: sys, Batch: bat,
+				Deadline: deadline * factors[i%len(factors)]}
+			if err := prob.Precompute(0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := (ra.Greedy{}).Allocate(prob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c := cache.New(cache.Options{})
+		seed := &ra.Problem{Sys: sys, Batch: bat, Deadline: deadline, Cache: c}
+		if err := seed.Precompute(0); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			prob := &ra.Problem{Sys: sys, Batch: bat,
+				Deadline: deadline * factors[i%len(factors)], Cache: c}
+			if err := prob.Precompute(0); err != nil {
+				b.Fatal(err)
+			}
+			if h, m := prob.CacheCounts(); h == 0 || m != 0 {
+				b.Fatalf("delta build counts = (%d, %d)", h, m)
+			}
+			if _, err := (ra.Greedy{}).Allocate(prob); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

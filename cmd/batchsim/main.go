@@ -72,6 +72,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			Jobs:      *jobs,
 			Seed:      *seed,
 			Backend:   rf.PMF,
+			Cache:     s.Cache,
 		}
 		switch *executor {
 		case "expected":
@@ -86,6 +87,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			simCfg.Reps = *reps
 			simCfg.Metrics = s.Metrics
 			simCfg.Tracer = s.Tracer
+			simCfg.Cache = s.Cache
 			cfg.Executor = core.SimExecutor{Technique: dt, Config: simCfg}
 		default:
 			return fmt.Errorf("unknown executor %q (want expected or sim)", *executor)

@@ -71,6 +71,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cfg.PMFBackend = rf.PMF
 		cfg.Metrics = s.Metrics
 		cfg.Tracer = s.Tracer
+		cfg.Cache = s.Cache
 		if *reps > 0 {
 			cfg.Reps = *reps
 		}

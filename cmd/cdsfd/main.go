@@ -57,6 +57,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			PMFBackend: rf.PMF,
 			Metrics:    s.Metrics,
 			Tracer:     s.Tracer,
+			Cache:      s.Cache,
 		})
 		ln, err := net.Listen("tcp", *addr)
 		if err != nil {

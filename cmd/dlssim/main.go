@@ -10,7 +10,10 @@
 //
 // The -avail flag takes a comma-separated availability PMF of
 // value:probability pulses (fractions). Note -workers is the simulated
-// group size, not a host worker-pool bound. SIGINT/SIGTERM (and
+// group size, not a host worker-pool bound. The shared -cache flag is
+// accepted but has no effect here: dlssim drives the chunk-level
+// simulator directly and never builds the Stage-I evaluation tables or
+// result documents the solve cache stores. SIGINT/SIGTERM (and
 // -timeout) cancel the simulations; the partial run still flushes
 // -metrics and -trace before exiting nonzero.
 package main

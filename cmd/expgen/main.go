@@ -50,17 +50,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		case *sensitivity:
 			return runSensitivity(ctx, stdout, *seed, *reps, *csv)
 		case *scale:
-			return runScale(ctx, stdout, *seed, rf, *csv)
+			return runScale(ctx, stdout, *seed, rf, s, *csv)
 		default:
 			return runTables(ctx, stdout, *table, *figure, *seed, *csv)
 		}
 	})
 }
 
-func runScale(ctx context.Context, stdout io.Writer, seed uint64, rf *runner.Flags, csv bool) error {
+func runScale(ctx context.Context, stdout io.Writer, seed uint64, rf *runner.Flags, s *runner.Session, csv bool) error {
 	cfg := experiments.DefaultScaleConfig(seed)
 	cfg.Workers = rf.Workers
 	cfg.Backend = rf.PMF
+	cfg.Cache = s.Cache
 	t, err := experiments.RunScaleStudyContext(ctx, cfg)
 	if err != nil {
 		return err

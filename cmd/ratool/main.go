@@ -71,6 +71,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		prob.Backend = rf.PMF
 		prob.Metrics = s.Metrics
 		prob.Tracer = s.Tracer
+		prob.Cache = s.Cache
 
 		names := ra.Names()
 		if *heuristic != "" {

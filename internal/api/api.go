@@ -85,9 +85,26 @@ type Progress struct {
 	Replications Counts `json:"replications"`
 }
 
+// CacheInfo is the envelope's cache block, present when the server
+// runs with a solve cache. Key is the job's content address (the
+// SHA-256 over the canonical instance plus every knob the result
+// depends on); ResultHit marks a job answered from the result tier
+// without touching the queue. WarmHits/WarmMisses count the Stage-I
+// evaluation-table cells derived from warm cached distributions vs
+// computed from scratch (solve and scenario jobs; both zero when the
+// job never built a table).
+type CacheInfo struct {
+	Key        string `json:"key"`
+	ResultHit  bool   `json:"result_hit"`
+	WarmHits   int64  `json:"warm_hits,omitempty"`
+	WarmMisses int64  `json:"warm_misses,omitempty"`
+}
+
 // Job is the envelope every job endpoint returns. Result is the
 // kind-specific document (SolveResult, SimulateResult, ScenarioResult)
 // once State is done; Error is set for failed and cancelled jobs.
+// Cache is absent when the server runs without a solve cache, so
+// envelopes are unchanged for cacheless deployments.
 type Job struct {
 	ID       string          `json:"id"`
 	Kind     JobKind         `json:"kind"`
@@ -98,6 +115,7 @@ type Job struct {
 	Progress *Progress       `json:"progress,omitempty"`
 	Result   json.RawMessage `json:"result,omitempty"`
 	Error    string          `json:"error,omitempty"`
+	Cache    *CacheInfo      `json:"cache,omitempty"`
 }
 
 // JobList is the GET /v1/jobs response, in submission order.

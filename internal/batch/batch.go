@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"cdsf/internal/cache"
 	"cdsf/internal/pmf"
 	"cdsf/internal/ra"
 	"cdsf/internal/rng"
@@ -114,6 +115,11 @@ type Config struct {
 	// Backend selects the PMF representation for each batch's Stage-I
 	// search; the zero value is the exact sparse backend.
 	Backend pmf.Backend
+	// Cache, when non-nil, shares warm completion-time distributions
+	// across batches that contain the same applications — common when
+	// the arrival stream recycles templates. Results are bit-identical
+	// with it on or off.
+	Cache *cache.Cache
 	// Seed drives arrivals, template choice, and executor seeds.
 	Seed uint64
 }
@@ -254,7 +260,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		for i := next; i < end; i++ {
 			b = append(b, jobs[i].App)
 		}
-		prob := &ra.Problem{Sys: cfg.Sys, Batch: b, Deadline: cfg.Deadline, Backend: cfg.Backend}
+		prob := &ra.Problem{Sys: cfg.Sys, Batch: b, Deadline: cfg.Deadline, Backend: cfg.Backend, Cache: cfg.Cache}
 		alloc, err := ra.SolveContext(ctx, cfg.Heuristic, prob)
 		if err != nil {
 			return nil, fmt.Errorf("batch %d: %w", len(res.Batches), err)

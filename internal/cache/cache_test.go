@@ -1,0 +1,409 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"cdsf/internal/metrics"
+	"cdsf/internal/pmf"
+	"cdsf/internal/stats"
+	"cdsf/internal/sysmodel"
+)
+
+func testModel(t *testing.T, deadline float64) (*sysmodel.System, sysmodel.Batch) {
+	t.Helper()
+	sys := &sysmodel.System{Types: []sysmodel.ProcType{
+		{Name: "Type 1", Count: 2, Avail: pmf.MustNew([]pmf.Pulse{
+			{Value: 0.5, Prob: 0.5}, {Value: 1, Prob: 0.5}})},
+	}}
+	batch := sysmodel.Batch{{
+		Name:          "App 1",
+		SerialIters:   10,
+		ParallelIters: 100,
+		ExecTime:      []pmf.PMF{pmf.Discretize(stats.NewNormal(50, 5), 20)},
+	}}
+	_ = deadline
+	return sys, batch
+}
+
+func TestHasherFraming(t *testing.T) {
+	// Field boundaries are part of the identity: ("ab","c") != ("a","bc").
+	a := NewHasher("d").String("ab").String("c").Sum()
+	b := NewHasher("d").String("a").String("bc").Sum()
+	if a == b {
+		t.Error("framing collision: (ab,c) == (a,bc)")
+	}
+	// The domain label separates key spaces.
+	if NewHasher("d1").String("x").Sum() == NewHasher("d2").String("x").Sum() {
+		t.Error("distinct domains collided")
+	}
+	// Identical field sequences agree.
+	if NewHasher("d").Uint64(7).Float64(1.5).Bool(true).Int(-3).Sum() !=
+		NewHasher("d").Uint64(7).Float64(1.5).Bool(true).Int(-3).Sum() {
+		t.Error("identical sequences disagree")
+	}
+	// Every field write changes the key.
+	base := NewHasher("d").Uint64(7).Sum()
+	for name, k := range map[string]Key{
+		"uint64":  NewHasher("d").Uint64(8).Sum(),
+		"float64": NewHasher("d").Uint64(7).Float64(0).Sum(),
+		"bool":    NewHasher("d").Uint64(7).Bool(false).Sum(),
+		"bytes":   NewHasher("d").Uint64(7).Bytes(nil).Sum(),
+	} {
+		if k == base {
+			t.Errorf("%s write did not change the key", name)
+		}
+	}
+	// Float keys distinguish bit patterns, not printed forms.
+	if NewHasher("d").Float64(0.0).Sum() == NewHasher("d").Float64(negZero()).Sum() {
+		t.Error("+0 and -0 collided")
+	}
+}
+
+func negZero() float64 { var z float64; return -z }
+
+func TestKeyStringAndZero(t *testing.T) {
+	var k Key
+	if !k.IsZero() {
+		t.Error("zero key not IsZero")
+	}
+	k2 := NewHasher("d").Sum()
+	if k2.IsZero() {
+		t.Error("real key IsZero")
+	}
+	if len(k2.String()) != 64 {
+		t.Errorf("hex form has length %d", len(k2.String()))
+	}
+}
+
+func TestResultTierRoundTrip(t *testing.T) {
+	c := New(Options{})
+	k := NewHasher("cdsf-result-v1").String("x").Sum()
+	if _, ok := c.GetResult(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	doc := []byte(`{"x":1}`)
+	c.PutResult(k, doc)
+	doc[2] = 'y' // the cache copied on put, so this must not leak in
+	got, ok := c.GetResult(k)
+	if !ok || string(got) != `{"x":1}` {
+		t.Fatalf("GetResult = %q, %v", got, ok)
+	}
+	s := c.Stats()
+	if s.ResultHits != 1 || s.ResultMisses != 1 || s.Entries != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	// An empty document is never stored.
+	c.PutResult(NewHasher("d").String("e").Sum(), nil)
+	if c.Len() != 1 {
+		t.Error("empty document was stored")
+	}
+}
+
+func TestTableTierRoundTrip(t *testing.T) {
+	c := New(Options{})
+	k := NewHasher("cdsf-table-v1").String("x").Sum()
+	p := pmf.MustNew([]pmf.Pulse{{Value: 1, Prob: 1}})
+	c.PutTable(k, &Table{Types: 1, Logs: 2, Cells: []pmf.Dist{p, nil}})
+	got, ok := c.GetTable(k)
+	if !ok || got.Types != 1 || got.Logs != 2 || len(got.Cells) != 2 {
+		t.Fatalf("GetTable = %+v, %v", got, ok)
+	}
+	if got.Cells[0].Mean() != 1 {
+		t.Error("cell distribution corrupted")
+	}
+	// nil and empty tables are never stored.
+	c.PutTable(k, nil)
+	c.PutTable(NewHasher("d").Sum(), &Table{})
+	if c.Len() != 1 {
+		t.Error("degenerate table was stored")
+	}
+}
+
+func TestTiersDoNotAlias(t *testing.T) {
+	// Same raw key in both tiers: each tier only sees its own value.
+	c := New(Options{})
+	k := NewHasher("d").Sum()
+	c.PutResult(k, []byte("doc"))
+	if _, ok := c.GetTable(k); ok {
+		t.Error("table get returned a result entry")
+	}
+}
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache
+	k := NewHasher("d").Sum()
+	if _, ok := c.GetResult(k); ok {
+		t.Error("nil cache hit")
+	}
+	if _, ok := c.GetTable(k); ok {
+		t.Error("nil cache hit")
+	}
+	c.PutResult(k, []byte("x"))
+	c.PutTable(k, &Table{Cells: []pmf.Dist{nil}})
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Error("nil cache accumulated state")
+	}
+}
+
+func TestLRUEntryBound(t *testing.T) {
+	c := New(Options{MaxEntries: 4})
+	keyOf := func(i int) Key { return NewHasher("d").Int(i).Sum() }
+	for i := 0; i < 10; i++ {
+		c.PutResult(keyOf(i), []byte{byte(i)})
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	// The four most recent survive; the rest were evicted in order.
+	for i := 0; i < 6; i++ {
+		if _, ok := c.GetResult(keyOf(i)); ok {
+			t.Errorf("key %d survived past the entry bound", i)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if _, ok := c.GetResult(keyOf(i)); !ok {
+			t.Errorf("recent key %d evicted", i)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 6 {
+		t.Errorf("evictions = %d, want 6", s.Evictions)
+	}
+}
+
+func TestLRUByteBoundAndRecency(t *testing.T) {
+	// Each entry costs len(doc)+96 bytes; bound to fit two entries.
+	c := New(Options{MaxBytes: 2 * (4 + 96)})
+	keyOf := func(i int) Key { return NewHasher("d").Int(i).Sum() }
+	c.PutResult(keyOf(0), []byte("aaaa"))
+	c.PutResult(keyOf(1), []byte("bbbb"))
+	// Touch 0 so 1 becomes the LRU victim.
+	if _, ok := c.GetResult(keyOf(0)); !ok {
+		t.Fatal("warm entry missing")
+	}
+	c.PutResult(keyOf(2), []byte("cccc"))
+	if _, ok := c.GetResult(keyOf(1)); ok {
+		t.Error("LRU victim survived")
+	}
+	if _, ok := c.GetResult(keyOf(0)); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if s := c.Stats(); s.Bytes > 2*(4+96) {
+		t.Errorf("bytes %d over bound", s.Bytes)
+	}
+	// An entry larger than the whole budget is rejected outright.
+	before := c.Len()
+	c.PutResult(keyOf(3), make([]byte, 1024))
+	if c.Len() != before {
+		t.Error("oversize entry displaced the cache")
+	}
+}
+
+func TestDuplicatePutRefreshesRecency(t *testing.T) {
+	c := New(Options{MaxEntries: 2})
+	keyOf := func(i int) Key { return NewHasher("d").Int(i).Sum() }
+	c.PutResult(keyOf(0), []byte("a"))
+	c.PutResult(keyOf(1), []byte("b"))
+	c.PutResult(keyOf(0), []byte("a")) // duplicate: refresh, not grow
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after duplicate put", c.Len())
+	}
+	c.PutResult(keyOf(2), []byte("c"))
+	if _, ok := c.GetResult(keyOf(0)); !ok {
+		t.Error("refreshed entry was evicted")
+	}
+	if _, ok := c.GetResult(keyOf(1)); ok {
+		t.Error("stale entry survived")
+	}
+}
+
+// TestLRUBoundUnderParallelLoad drives mixed hits and misses from many
+// goroutines (run under -race) and checks the bounds hold at every
+// observation point.
+func TestLRUBoundUnderParallelLoad(t *testing.T) {
+	const (
+		workers    = 8
+		opsPer     = 400
+		maxEntries = 32
+		maxBytes   = int64(maxEntries) * (8 + 96)
+	)
+	c := New(Options{MaxBytes: maxBytes, MaxEntries: maxEntries})
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				// Half the key space is shared across workers (hits),
+				// half is private (misses + evictions).
+				var k Key
+				if i%2 == 0 {
+					k = NewHasher("shared").Int(i % 16).Sum()
+				} else {
+					k = NewHasher("private").Int(w).Int(i).Sum()
+				}
+				if doc, ok := c.GetResult(k); ok {
+					if len(doc) != 8 {
+						errs <- fmt.Sprintf("worker %d: cached doc has %d bytes", w, len(doc))
+						return
+					}
+				} else {
+					c.PutResult(k, []byte("12345678"))
+				}
+				if s := c.Stats(); s.Entries > maxEntries || s.Bytes > maxBytes {
+					errs <- fmt.Sprintf("worker %d: bounds exceeded: %+v", w, s)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	s := c.Stats()
+	if s.ResultHits == 0 || s.ResultMisses == 0 || s.Evictions == 0 {
+		t.Errorf("load did not exercise all paths: %+v", s)
+	}
+}
+
+func TestMetricsMirrors(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := New(Options{Metrics: reg, MaxEntries: 1})
+	keyOf := func(i int) Key { return NewHasher("d").Int(i).Sum() }
+	c.GetResult(keyOf(0)) // result miss
+	c.PutResult(keyOf(0), []byte("x"))
+	c.GetResult(keyOf(0))              // result hit
+	c.GetTable(keyOf(1))               // table miss
+	c.PutResult(keyOf(2), []byte("y")) // evicts keyOf(0)
+	for name, want := range map[string]int64{
+		"cache.result_hits":   1,
+		"cache.result_misses": 1,
+		"cache.table_misses":  1,
+		"cache.evictions":     1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if got := reg.Gauge("cache.entries").Value(); got != 1 {
+		t.Errorf("cache.entries = %v", got)
+	}
+	if got := reg.Gauge("cache.bytes").Value(); got <= 0 {
+		t.Errorf("cache.bytes = %v", got)
+	}
+}
+
+func TestTableKeyInvariances(t *testing.T) {
+	sys, batch := testModel(t, 3000)
+
+	base, err := TableKey(sys, batch, pmf.BackendSparse, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic.
+	again, _ := TableKey(sys, batch, pmf.BackendSparse, 0)
+	if base != again {
+		t.Error("TableKey is not deterministic")
+	}
+	// Sparse keys ignore the grid step (sparse cells are exact at any
+	// step).
+	withStep, _ := TableKey(sys, batch, pmf.BackendSparse, 3.17)
+	if base != withStep {
+		t.Error("sparse TableKey depends on the grid step")
+	}
+	// Grid keys include the step: a different deadline quantizes onto a
+	// different lattice, so it must be a warm miss.
+	g1, _ := TableKey(sys, batch, pmf.BackendGrid, 3000.0/1024)
+	g2, _ := TableKey(sys, batch, pmf.BackendGrid, 2800.0/1024)
+	if g1 == g2 {
+		t.Error("grid TableKey ignores the step")
+	}
+	if g1 == base {
+		t.Error("grid and sparse TableKey collided")
+	}
+	// The model content is the identity: a changed mean changes the key.
+	sys2, batch2 := testModel(t, 3000)
+	batch2[0].SerialIters++
+	changed, _ := TableKey(sys2, batch2, pmf.BackendSparse, 0)
+	if changed == base {
+		t.Error("TableKey ignores the batch content")
+	}
+}
+
+func TestTableKeyRejectsNonFinite(t *testing.T) {
+	// An infinite pulse probability passes the constructor's per-pulse
+	// check and normalizes to NaN (Inf/Inf), so a non-finite pulse can
+	// reach TableKey through the public API; the key must refuse to
+	// hash it, naming the offending field.
+	bad, err := pmf.New([]pmf.Pulse{{Value: 0.5, Prob: math.Inf(1)}, {Value: 1, Prob: 1}})
+	if err != nil {
+		t.Skip("constructor now rejects infinite probabilities; guard unreachable")
+	}
+
+	sys, batch := testModel(t, 3000)
+	sys.Types[0].Avail = bad
+	if _, err := TableKey(sys, batch, pmf.BackendSparse, 0); err == nil ||
+		!strings.Contains(err.Error(), "types[0].availability") {
+		t.Errorf("availability NaN: err = %v, want field path", err)
+	}
+
+	sys2, batch2 := testModel(t, 3000)
+	batch2[0].ExecTime[0] = bad
+	if _, err := TableKey(sys2, batch2, pmf.BackendSparse, 0); err == nil ||
+		!strings.Contains(err.Error(), "applications[0].execTimes[0]") {
+		t.Errorf("exec-time NaN: err = %v, want field path", err)
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	good := map[string]int64{
+		"1024":    1024,
+		"1k":      1 << 10,
+		"2kb":     2 << 10,
+		"3KiB":    3 << 10,
+		"4m":      4 << 20,
+		"5MB":     5 << 20,
+		"256MiB":  256 << 20,
+		"1g":      1 << 30,
+		"2GB":     2 << 30,
+		"1GiB":    1 << 30,
+		"512b":    512,
+		" 64MiB ": 64 << 20,
+	}
+	for in, want := range good {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "x", "-1", "0", "1.5MiB", "MiB", "9999999999g"} {
+		if n, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) = %d, want error", in, n)
+		}
+	}
+}
+
+func TestDistFootprint(t *testing.T) {
+	p := pmf.MustNew([]pmf.Pulse{{Value: 1, Prob: 0.5}, {Value: 2, Prob: 0.5}})
+	if distFootprint(nil) != 0 {
+		t.Error("nil footprint")
+	}
+	if distFootprint(p) <= 0 {
+		t.Error("PMF footprint")
+	}
+	g := p.ToGrid(1)
+	defer g.Release()
+	if distFootprint(g.Clone()) <= 0 {
+		t.Error("grid footprint")
+	}
+	tbl := &Table{Types: 1, Logs: 1, Cells: []pmf.Dist{p, nil}}
+	if tbl.footprint() <= 0 {
+		t.Error("table footprint")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"cdsf/internal/pmf"
@@ -128,12 +129,73 @@ func Parse(r io.Reader) (*Instance, error) {
 // Marshal(Parse(Marshal(inst))) is byte-identical to Marshal(inst), so
 // the scheduling service can echo the canonical instance back in job
 // results and clients can diff instances textually.
+//
+// Non-finite floats are rejected up front with the offending field
+// path (encoding/json would only say "unsupported value"); the
+// canonical bytes key the content-addressed solve cache, so a NaN or
+// ±Inf must fail loudly before it can reach the hasher.
 func Marshal(inst *Instance) ([]byte, error) {
+	if err := validateFinite(inst); err != nil {
+		return nil, err
+	}
 	data, err := json.MarshalIndent(inst, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("config: %w", err)
 	}
 	return append(data, '\n'), nil
+}
+
+// validateFinite walks every float in the document and reports the
+// first NaN/±Inf by its JSON field path, e.g.
+// "config: applications[2].execTimes[0].mean: non-finite value NaN".
+func validateFinite(inst *Instance) error {
+	finite := func(v float64, path string, args ...any) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("config: %s: non-finite value %v", fmt.Sprintf(path, args...), v)
+		}
+		return nil
+	}
+	pulses := func(specs []PulseSpec, path string, args ...any) error {
+		p := fmt.Sprintf(path, args...)
+		for k, s := range specs {
+			if err := finite(s.Value, "%s[%d].value", p, k); err != nil {
+				return err
+			}
+			if err := finite(s.Probability, "%s[%d].probability", p, k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := finite(inst.Deadline, "deadline"); err != nil {
+		return err
+	}
+	for j, ts := range inst.Types {
+		if err := pulses(ts.Availability, "types[%d].availability", j); err != nil {
+			return err
+		}
+	}
+	for i, as := range inst.Applications {
+		for j, es := range as.ExecTimes {
+			if err := finite(es.Mean, "applications[%d].execTimes[%d].mean", i, j); err != nil {
+				return err
+			}
+			if err := finite(es.Sigma, "applications[%d].execTimes[%d].sigma", i, j); err != nil {
+				return err
+			}
+			if err := pulses(es.Pulses, "applications[%d].execTimes[%d].pulses", i, j); err != nil {
+				return err
+			}
+		}
+	}
+	for c, cs := range inst.Cases {
+		for j, specs := range cs.Availability {
+			if err := pulses(specs, "cases[%d].availability[%d]", c, j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Write writes the canonical JSON rendering of inst to w.

@@ -1,4 +1,4 @@
-package config
+package config_test
 
 import (
 	"encoding/json"
@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"cdsf/internal/config"
 	"cdsf/internal/experiments"
 	"cdsf/internal/robustness"
 )
@@ -32,7 +33,7 @@ const paperJSON = `{
 }`
 
 func TestReadPaperInstanceMatchesEmbedded(t *testing.T) {
-	sys, batch, deadline, err := Read(strings.NewReader(paperJSON))
+	sys, batch, deadline, err := config.Read(strings.NewReader(paperJSON))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestReadRejectsBadInstances(t *testing.T) {
 		  "applications": [{"serialIterations":1,"parallelIterations":1,"execTimes":[{"mean":5}]}]}`,
 	}
 	for i, s := range bads {
-		if _, _, _, err := Read(strings.NewReader(s)); err == nil {
+		if _, _, _, err := config.Read(strings.NewReader(s)); err == nil {
 			t.Errorf("bad instance %d accepted", i)
 		}
 	}
@@ -91,7 +92,7 @@ func TestExplicitPulses(t *testing.T) {
 	  "applications": [{"serialIterations": 1, "parallelIterations": 9,
 	    "execTimes": [{"pulses": [{"value": 40, "probability": 0.5}, {"value": 60, "probability": 0.5}]}]}]
 	}`
-	_, batch, _, err := Read(strings.NewReader(src))
+	_, batch, _, err := config.Read(strings.NewReader(src))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,14 +104,14 @@ func TestExplicitPulses(t *testing.T) {
 func TestRoundTrip(t *testing.T) {
 	sys := experiments.ReferenceSystem()
 	batch := experiments.PaperBatch(40)
-	inst := FromModel("roundtrip", sys, batch, experiments.Deadline)
+	inst := config.FromModel("roundtrip", sys, batch, experiments.Deadline)
 
 	dir := t.TempDir()
 	path := filepath.Join(dir, "inst.json")
-	if err := Save(path, inst); err != nil {
+	if err := config.Save(path, inst); err != nil {
 		t.Fatal(err)
 	}
-	sys2, batch2, deadline, err := Load(path)
+	sys2, batch2, deadline, err := config.Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestLoadMissingFile(t *testing.T) {
-	if _, _, _, err := Load(filepath.Join(os.TempDir(), "definitely-not-here.json")); err == nil {
+	if _, _, _, err := config.Load(filepath.Join(os.TempDir(), "definitely-not-here.json")); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -146,11 +147,11 @@ func TestBuildCases(t *testing.T) {
      ]}
   ]
 }`
-	var inst Instance
+	var inst config.Instance
 	if err := jsonUnmarshal(src, &inst); err != nil {
 		t.Fatal(err)
 	}
-	cases, err := BuildCases(&inst)
+	cases, err := config.BuildCases(&inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestBuildCases(t *testing.T) {
 	}
 	// Wrong arity fails.
 	inst.Cases[0].Availability = inst.Cases[0].Availability[:1]
-	if _, err := BuildCases(&inst); err == nil {
+	if _, err := config.BuildCases(&inst); err == nil {
 		t.Error("mismatched case arity accepted")
 	}
 }
@@ -181,7 +182,7 @@ func TestLoadFull(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	sys, batch, deadline, cases, err := LoadFull(path)
+	sys, batch, deadline, cases, err := config.LoadFull(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,8 +194,73 @@ func TestLoadFull(t *testing.T) {
 	}
 }
 
+// TestMarshalRejectsNonFinite pins the cache-hasher guard: Marshal
+// fails up front on NaN/±Inf, naming the offending field by its JSON
+// path instead of encoding/json's generic "unsupported value".
+func TestMarshalRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	base := func() *config.Instance {
+		var inst config.Instance
+		if err := jsonUnmarshal(paperJSON, &inst); err != nil {
+			t.Fatal(err)
+		}
+		inst.Cases = []config.CaseSpec{{Name: "c", Availability: [][]PulseSpecAlias{
+			{{Value: 1, Probability: 1}},
+			{{Value: 0.5, Probability: 1}},
+		}}}
+		return &inst
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*config.Instance)
+		path   string
+	}{
+		{"deadline", func(i *config.Instance) { i.Deadline = nan }, "deadline: non-finite value NaN"},
+		{"avail value", func(i *config.Instance) { i.Types[1].Availability[2].Value = inf },
+			"types[1].availability[2].value: non-finite value +Inf"},
+		{"avail prob", func(i *config.Instance) { i.Types[0].Availability[0].Probability = nan },
+			"types[0].availability[0].probability: non-finite value NaN"},
+		{"exec mean", func(i *config.Instance) { i.Applications[2].ExecTimes[0].Mean = nan },
+			"applications[2].execTimes[0].mean: non-finite value NaN"},
+		{"exec sigma", func(i *config.Instance) { i.Applications[0].ExecTimes[1].Sigma = math.Inf(-1) },
+			"applications[0].execTimes[1].sigma: non-finite value -Inf"},
+		{"exec pulse", func(i *config.Instance) {
+			i.Applications[1].ExecTimes[0].Pulses = []PulseSpecAlias{{Value: nan, Probability: 1}}
+		}, "applications[1].execTimes[0].pulses[0].value: non-finite value NaN"},
+		{"case pulse", func(i *config.Instance) { i.Cases[0].Availability[1][0].Probability = inf },
+			"cases[0].availability[1][0].probability: non-finite value +Inf"},
+	}
+	for _, tc := range cases {
+		inst := base()
+		tc.mutate(inst)
+		_, err := config.Marshal(inst)
+		if err == nil {
+			t.Errorf("%s: non-finite value marshaled", tc.name)
+			continue
+		}
+		if want := "config: " + tc.path; err.Error() != want {
+			t.Errorf("%s: error = %q, want %q", tc.name, err, want)
+		}
+	}
+
+	// The untouched document still marshals, and canonically.
+	doc, err := config.Marshal(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := config.Marshal(base())
+	if err != nil || string(doc) != string(doc2) {
+		t.Error("canonical marshal is not byte-stable")
+	}
+}
+
+// PulseSpecAlias keeps the table above readable.
+type PulseSpecAlias = config.PulseSpec
+
 // jsonUnmarshal mirrors Read's strict decoding for test inputs.
-func jsonUnmarshal(src string, inst *Instance) error {
+func jsonUnmarshal(src string, inst *config.Instance) error {
 	dec := json.NewDecoder(strings.NewReader(src))
 	dec.DisallowUnknownFields()
 	return dec.Decode(inst)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"cdsf/internal/availability"
+	"cdsf/internal/cache"
 	"cdsf/internal/dls"
 	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
@@ -137,6 +138,13 @@ type StageIIConfig struct {
 	// board the CLIs install with -debug-addr; the scheduling service
 	// wires a per-job board here so concurrent jobs report separately.
 	Progress *tracing.Progress
+	// Cache optionally shares warm Stage-I evaluation-table
+	// distributions across runs (see ra.Problem.Cache): scenarios over
+	// the same types and applications reuse one cached distribution set
+	// even when the deadline, heuristic, or availability cases differ.
+	// Results are bit-identical with or without it. Nil disables
+	// sharing.
+	Cache *cache.Cache
 }
 
 // registry resolves the effective metrics registry for this config.
@@ -320,6 +328,12 @@ type ScenarioResult struct {
 	StageI *robustness.StageIResult
 	// Cases holds one CaseResult per evaluated availability case.
 	Cases []CaseResult
+	// WarmHits/WarmMisses count the Stage-I evaluation-table cells
+	// derived from the warm solve cache vs computed from scratch (both
+	// zero without a cfg.Cache). They describe how the run was
+	// computed, not what it computed, and are not part of the wire
+	// result document.
+	WarmHits, WarmMisses int64
 }
 
 // RunScenario evaluates a scenario: Stage I against the framework's
@@ -361,7 +375,8 @@ func (f *Framework) RunScenarioContext(ctx context.Context, sc Scenario, cases [
 	prog.PlanCases(len(cases))
 	scenarioRegion := tr.Begin("stage2", sc.Name, "scenario")
 	stage1Region := tr.Begin("stage2", "stage1: "+sc.IM.Name(), "stage1")
-	alloc, err := ra.SolveContext(ctx, sc.IM, &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Backend: cfg.PMFBackend, Metrics: cfg.Metrics, Tracer: cfg.Tracer})
+	prob := &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Backend: cfg.PMFBackend, Metrics: cfg.Metrics, Tracer: cfg.Tracer, Cache: cfg.Cache}
+	alloc, err := ra.SolveContext(ctx, sc.IM, prob)
 	stage1Region.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: stage I (%s): %w", sc.IM.Name(), err)
@@ -371,6 +386,7 @@ func (f *Framework) RunScenarioContext(ctx context.Context, sc Scenario, cases [
 		return nil, err
 	}
 	res := &ScenarioResult{Scenario: sc.Name, StageI: stage1}
+	res.WarmHits, res.WarmMisses = prob.CacheCounts()
 	for ci, c := range cases {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: canceled after %d/%d cases: %w", ci, len(cases), err)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"cdsf/internal/availability"
+	"cdsf/internal/cache"
 	"cdsf/internal/core"
 	"cdsf/internal/dls"
 	"cdsf/internal/pmf"
@@ -107,6 +108,10 @@ type ScaleConfig struct {
 	// grid backend makes the large instances' evaluation tables much
 	// cheaper at a quantization error bounded in DESIGN.md.
 	Backend pmf.Backend
+	// Cache, when non-nil, is the content-addressed solve cache shared
+	// by every cell's Stage-I and Stage-II work; the study's output is
+	// bit-identical with it on or off.
+	Cache *cache.Cache
 }
 
 // DefaultScaleConfig returns the configuration used by the repository's
@@ -209,6 +214,7 @@ func RunScaleStudyContext(ctx context.Context, cfg ScaleConfig) (*report.Table, 
 			return
 		}
 		prob.Backend = cfg.Backend
+		prob.Cache = cfg.Cache
 		ok, phi, err := evalQuadrant(ctx, prob, quadrants[j.quad], cfg, seed)
 		results[i] = cellResult{phi: phi, met: ok, err: err}
 	}); err != nil {
@@ -303,6 +309,7 @@ func evalQuadrant(ctx context.Context, prob *ra.Problem, q quadrant, cfg ScaleCo
 	}
 	simCfg := core.DefaultStageII(prob.Deadline, seed)
 	simCfg.PMFBackend = cfg.Backend
+	simCfg.Cache = cfg.Cache
 	simCfg.Reps = cfg.Reps
 	simCfg.Model = func(p pmf.PMF) availability.Model {
 		return availability.Markov{PMF: p, Interval: prob.Deadline / 4, Persistence: 0.5}

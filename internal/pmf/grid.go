@@ -77,6 +77,12 @@ type Grid struct {
 	// massBuf/cdfBuf are the pooled backing buffers (mass/cdf may be
 	// sub-slices after tail trimming); nil after Release.
 	massBuf, cdfBuf *[]float64
+
+	// released marks a poisoned grid: its buffers are back in the pool
+	// and may already belong to another grid, so every further use —
+	// including a second Release — panics instead of silently reading
+	// or double-freeing aliased memory.
+	released bool
 }
 
 // binOf returns the lattice bin of value v under step.
@@ -133,10 +139,17 @@ func (g *Grid) finish() *Grid {
 	return g
 }
 
-// Release returns the grid's buffers to the pool. The grid (and any
-// alias of its mass) must not be used afterwards. Releasing is
-// optional and idempotent.
+// Release returns the grid's buffers to the pool and poisons the grid:
+// any later use, including a second Release, panics. (Before the
+// poisoning, both misuses silently aliased pooled buffers — a
+// double-Release handed the same buffer to two future grids, and a
+// use-after-release read whatever grid owned the buffer next.)
+// Releasing is optional; an unreleased grid is ordinary garbage.
 func (g *Grid) Release() {
+	if g.released {
+		panic("pmf: Grid.Release called twice (buffers already returned to the pool)")
+	}
+	g.released = true
 	if g.massBuf != nil {
 		floatScratch.Put(g.massBuf)
 		g.massBuf = nil
@@ -146,6 +159,30 @@ func (g *Grid) Release() {
 		g.cdfBuf = nil
 	}
 	g.mass, g.cdf = nil, nil
+}
+
+// check panics when the grid has been Released; it guards every read
+// path so use-after-release fails loudly instead of observing pooled
+// buffers that may now belong to a different grid.
+func (g *Grid) check() {
+	if g.released {
+		panic("pmf: use of a released Grid (its buffers were returned to the pool)")
+	}
+}
+
+// Clone returns a deep copy detached from the buffer pool: the copy
+// owns plain heap slices, so it remains valid after the receiver is
+// Released and may be retained indefinitely (the solve cache's warm
+// tier stores clones). Releasing a clone only poisons it; nothing goes
+// back to the pool.
+func (g *Grid) Clone() *Grid {
+	g.check()
+	return &Grid{
+		step:  g.step,
+		first: g.first,
+		mass:  append([]float64(nil), g.mass...),
+		cdf:   append([]float64(nil), g.cdf...),
+	}
 }
 
 // ToGrid quantizes the PMF onto the lattice of the given step: each
@@ -172,6 +209,7 @@ func (p PMF) ToGrid(step float64) *Grid {
 // per occupied bin, renormalized to total mass 1 like every PMF
 // constructor.
 func (g *Grid) ToPMF() PMF {
+	g.check()
 	ps := make([]Pulse, 0, len(g.mass))
 	total := 0.0
 	for i, m := range g.mass {
@@ -199,13 +237,13 @@ func (g *Grid) Step() float64 { return g.step }
 
 // Len returns the number of bins spanned (including interior
 // zero-mass bins; tails are always trimmed).
-func (g *Grid) Len() int { return len(g.mass) }
+func (g *Grid) Len() int { g.check(); return len(g.mass) }
 
 // Min returns the smallest support value.
-func (g *Grid) Min() float64 { return g.value(0) }
+func (g *Grid) Min() float64 { g.check(); return g.value(0) }
 
 // Max returns the largest support value.
-func (g *Grid) Max() float64 { return g.value(len(g.mass) - 1) }
+func (g *Grid) Max() float64 { g.check(); return g.value(len(g.mass) - 1) }
 
 // total returns the grid's total mass (1 within tolerance for grids
 // built from valid PMFs).
@@ -255,6 +293,7 @@ func (g *Grid) Validate() error {
 
 // Mean returns E[X].
 func (g *Grid) Mean() float64 {
+	g.check()
 	sw, si := 0.0, 0.0
 	for i, m := range g.mass {
 		sw += m
@@ -281,6 +320,7 @@ func (g *Grid) StdDev() float64 { return math.Sqrt(g.Variance()) }
 // support values are exact lattice points, so x is compared against
 // them with a tiny tolerance absorbing the division rounding.
 func (g *Grid) PrLE(x float64) float64 {
+	g.check()
 	k := int64(math.Floor(x/g.step + 1e-9))
 	s := g.cdfAt(k)
 	if s > 1 {
@@ -295,6 +335,7 @@ func (g *Grid) PrGT(x float64) float64 { return 1 - g.PrLE(x) }
 // Quantile returns the smallest support value v with P(X <= v) >= q,
 // mirroring PMF.Quantile. It panics unless 0 < q <= 1.
 func (g *Grid) Quantile(q float64) float64 {
+	g.check()
 	if q <= 0 || q > 1 {
 		panic(fmt.Sprintf("pmf: quantile probability %v out of (0,1]", q))
 	}
@@ -309,6 +350,8 @@ func (g *Grid) Quantile(q float64) float64 {
 // operations would need a resampling policy the caller should choose
 // explicitly (convert through ToPMF/ToGrid).
 func (g *Grid) sameStep(h *Grid) {
+	g.check()
+	h.check()
 	if g.step != h.step {
 		panic(fmt.Sprintf("pmf: grid step mismatch %v vs %v", g.step, h.step))
 	}
@@ -453,6 +496,7 @@ func (g *Grid) Mul(h *Grid) *Grid {
 // step, so they stay sparse and each pulse scatters a scaled copy of
 // the grid. f must produce finite values.
 func (g *Grid) CombinePMF(q PMF, f func(x, y float64) float64) *Grid {
+	g.check()
 	if q.IsZero() {
 		panic("pmf: grid combine with zero PMF")
 	}

@@ -251,7 +251,68 @@ func TestGridReleaseAndReuse(t *testing.T) {
 		s.Release()
 		h.Release()
 		g.Release()
-		g.Release() // idempotent
+	}
+}
+
+// TestGridReleasePoisoning pins the pool-hazard contract: a second
+// Release panics instead of silently double-freeing the buffers, and
+// any use of a released grid panics instead of reading recycled
+// memory.
+func TestGridReleasePoisoning(t *testing.T) {
+	p := latticePMF(t, 1, []int64{1, 2, 3}, []float64{0.25, 0.5, 0.25})
+	mustPanicWith := func(name, want string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, want) {
+				t.Fatalf("%s panicked with %v, want message containing %q", name, r, want)
+			}
+		}()
+		f()
+	}
+
+	g := p.ToGrid(1)
+	g.Release()
+	mustPanicWith("double Release", "Release called twice", func() { g.Release() })
+
+	h := p.ToGrid(1)
+	h.Release()
+	mustPanicWith("Mean after Release", "use of a released Grid", func() { h.Mean() })
+	mustPanicWith("PrLE after Release", "use of a released Grid", func() { h.PrLE(2) })
+	mustPanicWith("ToPMF after Release", "use of a released Grid", func() { h.ToPMF() })
+	live := p.ToGrid(1)
+	defer live.Release()
+	mustPanicWith("Add with released operand", "use of a released Grid", func() { live.Add(h) })
+}
+
+// TestGridCloneSurvivesRelease pins the cache-retention contract:
+// Clone detaches from the pool, so releasing the original leaves the
+// clone fully usable and releasing the clone returns nothing to the
+// pool.
+func TestGridCloneSurvivesRelease(t *testing.T) {
+	p := latticePMF(t, 1, []int64{1, 2, 3}, []float64{0.25, 0.5, 0.25})
+	g := p.ToGrid(1)
+	c := g.Clone()
+	g.Release()
+	if !almostEqual(c.Mean(), p.Mean(), 1e-9) {
+		t.Fatalf("clone mean after original released: %v, want %v", c.Mean(), p.Mean())
+	}
+	for _, x := range []float64{0, 1, 2, 3, 4} {
+		if got, want := c.PrLE(x), p.PrLE(x); got != want {
+			t.Fatalf("clone PrLE(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Releasing the clone poisons it but must not feed the pool a
+	// buffer the pool never owned.
+	c.Release()
+	fresh := p.ToGrid(1)
+	defer fresh.Release()
+	if err := fresh.Validate(); err != nil {
+		t.Fatalf("grid built after clone release: %v", err)
 	}
 }
 

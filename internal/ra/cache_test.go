@@ -1,0 +1,198 @@
+package ra
+
+import (
+	"testing"
+
+	"cdsf/internal/cache"
+	"cdsf/internal/pmf"
+)
+
+// cloneProblem returns a fresh un-precomputed Problem over the same
+// model objects, so each solve builds (or warm-loads) its own table.
+func cloneProblem(p *Problem) *Problem {
+	return &Problem{Sys: p.Sys, Batch: p.Batch, Deadline: p.Deadline, Backend: p.Backend, Cache: p.Cache}
+}
+
+// solveCells precomputes the problem and returns its raw table cells.
+func solveCells(t *testing.T, p *Problem) []memoVal {
+	t.Helper()
+	if err := p.Precompute(2); err != nil {
+		t.Fatal(err)
+	}
+	return p.table.cells
+}
+
+// TestCacheBitIdenticalCells pins the central cache contract on both
+// backends: the evaluation table built with the cache absent, cold,
+// and warm is bit-identical cell for cell (exact float equality, not
+// tolerance), and a heuristic solve returns the identical allocation.
+func TestCacheBitIdenticalCells(t *testing.T) {
+	for _, backend := range []pmf.Backend{pmf.BackendSparse, pmf.BackendGrid} {
+		t.Run(backend.String(), func(t *testing.T) {
+			base := randomProblem(7, 3)
+			base.Backend = backend
+			plain := solveCells(t, cloneProblem(base))
+
+			c := cache.New(cache.Options{})
+			withCache := cloneProblem(base)
+			withCache.Cache = c
+			cold := solveCells(t, withCache)
+			if h, m := withCache.CacheCounts(); h != 0 || m == 0 {
+				t.Fatalf("cold build counts = (%d, %d), want (0, >0)", h, m)
+			}
+
+			warmProb := cloneProblem(base)
+			warmProb.Cache = c
+			warm := solveCells(t, warmProb)
+			if h, m := warmProb.CacheCounts(); h == 0 || m != 0 {
+				t.Fatalf("warm build counts = (%d, %d), want (>0, 0)", h, m)
+			}
+
+			for i := range plain {
+				if plain[i] != cold[i] {
+					t.Fatalf("cell %d: cacheless %+v != cold %+v", i, plain[i], cold[i])
+				}
+				if plain[i] != warm[i] {
+					t.Fatalf("cell %d: cacheless %+v != warm %+v", i, plain[i], warm[i])
+				}
+			}
+
+			// The allocations a heuristic derives from the tables agree
+			// exactly too.
+			alPlain, err := Greedy{}.Allocate(cloneProblem(base))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cachedBase := cloneProblem(base)
+			cachedBase.Cache = c
+			alWarm, err := Greedy{}.Allocate(cachedBase)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if alPlain.String() != alWarm.String() {
+				t.Errorf("allocations diverge: %s vs %s", alPlain, alWarm)
+			}
+		})
+	}
+}
+
+// TestDeltaSolveReusesWarmTable pins the delta-solve path: a problem
+// differing only in deadline re-derives its cells from the warm
+// distributions (warm hit) and the derived cells are bit-identical to
+// a from-scratch build at the new deadline.
+func TestDeltaSolveReusesWarmTable(t *testing.T) {
+	base := smallProblem()
+	c := cache.New(cache.Options{})
+
+	first := cloneProblem(base)
+	first.Cache = c
+	solveCells(t, first)
+	if h, m := first.CacheCounts(); h != 0 || m == 0 {
+		t.Fatalf("first build counts = (%d, %d)", h, m)
+	}
+
+	// Same instance, different deadline: warm hit under the sparse
+	// backend (distributions are deadline-invariant).
+	delta := cloneProblem(base)
+	delta.Deadline = base.Deadline * 1.5
+	delta.Cache = c
+	got := solveCells(t, delta)
+	if h, m := delta.CacheCounts(); h == 0 || m != 0 {
+		t.Fatalf("delta build counts = (%d, %d), want (>0, 0)", h, m)
+	}
+
+	fresh := cloneProblem(base)
+	fresh.Deadline = base.Deadline * 1.5
+	want := solveCells(t, fresh)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("cell %d: delta-solved %+v != fresh %+v", i, got[i], want[i])
+		}
+	}
+
+	// A changed instance must NOT hit the warm entry.
+	other := randomProblem(3, 2)
+	other.Cache = c
+	solveCells(t, other)
+	if h, _ := other.CacheCounts(); h != 0 {
+		t.Error("different instance warm-hit the cached table")
+	}
+}
+
+// TestGridDeltaDeadlineIsWarmMiss pins the grid caveat: the lattice
+// step is deadline/1024, so a deadline change re-quantizes and must
+// not reuse the cached grid cells.
+func TestGridDeltaDeadlineIsWarmMiss(t *testing.T) {
+	base := smallProblem()
+	base.Backend = pmf.BackendGrid
+	c := cache.New(cache.Options{})
+
+	first := cloneProblem(base)
+	first.Cache = c
+	solveCells(t, first)
+
+	delta := cloneProblem(base)
+	delta.Deadline = base.Deadline * 2
+	delta.Cache = c
+	got := solveCells(t, delta)
+	if h, m := delta.CacheCounts(); h != 0 || m == 0 {
+		t.Fatalf("grid delta counts = (%d, %d), want (0, >0)", h, m)
+	}
+	// And the rebuilt cells match a cacheless build exactly.
+	fresh := cloneProblem(base)
+	fresh.Deadline = base.Deadline * 2
+	want := solveCells(t, fresh)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("cell %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	// Same deadline again: now it hits.
+	again := cloneProblem(base)
+	again.Deadline = base.Deadline * 2
+	again.Cache = c
+	solveCells(t, again)
+	if h, m := again.CacheCounts(); h == 0 || m != 0 {
+		t.Fatalf("repeat grid counts = (%d, %d), want (>0, 0)", h, m)
+	}
+}
+
+// TestWarmTableSharedAcrossGoroutines precomputes many Problems
+// against one cache concurrently (meaningful under -race: cached
+// distributions are shared, so any mutation of them would be flagged).
+func TestWarmTableSharedAcrossGoroutines(t *testing.T) {
+	base := smallProblem()
+	c := cache.New(cache.Options{})
+	seed := cloneProblem(base)
+	seed.Cache = c
+	want := solveCells(t, seed)
+
+	const n = 8
+	cells := make([][]memoVal, n)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for g := 0; g < n; g++ {
+		go func(g int) {
+			p := cloneProblem(base)
+			p.Cache = c
+			errs[g] = p.Precompute(2)
+			if errs[g] == nil {
+				cells[g] = p.table.cells
+			}
+			done <- g
+		}(g)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for g := 0; g < n; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		for i := range want {
+			if cells[g][i] != want[i] {
+				t.Fatalf("goroutine %d cell %d: %+v != %+v", g, i, cells[g][i], want[i])
+			}
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"sort"
 	"strings"
 
+	"cdsf/internal/cache"
 	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
 	"cdsf/internal/sysmodel"
@@ -80,6 +81,18 @@ type Problem struct {
 	// tracing on or off.
 	Tracer *tracing.Tracer
 
+	// Cache optionally shares warm evaluation-table distributions
+	// across Problems. On a warm hit, Precompute derives every cell's
+	// (Pr(T <= Delta), E[T]) pair from the cached completion-time
+	// distribution — one cached-CDF PrLE read per cell — instead of
+	// rebuilding the completion PMFs; the distributions are
+	// deadline-invariant (under the sparse backend), so Problems that
+	// differ only in deadline, heuristic, or runtime availability cases
+	// share one warm entry. Cell values are bit-identical with the
+	// cache enabled, disabled, warm, or cold. Nil disables sharing.
+	// Set it before Precompute, like every other field.
+	Cache *cache.Cache
+
 	// table is the eagerly built (application x type x log2(count))
 	// evaluation table; see Precompute in table.go. The search
 	// heuristics evaluate the same cell many times (the exhaustive
@@ -93,6 +106,20 @@ type Problem struct {
 	// path; the fields are nil (no-op) when metrics are disabled. It is
 	// populated by Precompute alongside the table.
 	instr instr
+
+	// warmHits/warmMisses count the evaluation-table cells derived from
+	// the warm cache vs computed from scratch. Written once by
+	// Precompute before the table is published (same happens-before
+	// edge as the table itself), read via CacheCounts.
+	warmHits, warmMisses int64
+}
+
+// CacheCounts reports how many evaluation-table cells were derived
+// from a warm cache entry and how many were computed from scratch
+// during Precompute. Both are zero before Precompute or when no Cache
+// is attached; a fully warm build has warmMisses == 0.
+func (p *Problem) CacheCounts() (warmHits, warmMisses int64) {
+	return p.warmHits, p.warmMisses
 }
 
 // instr holds the cached per-Problem metric primitives.

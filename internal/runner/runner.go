@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"cdsf/internal/cache"
 	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
 	"cdsf/internal/tracing"
@@ -104,11 +105,15 @@ type Flags struct {
 	// run on either (sparse is the exact default; grid trades a
 	// bounded quantization error for faster kernels).
 	PMF pmf.Backend
+	// CacheSpec is -cache: "" disables the content-addressed solve
+	// cache, "on" enables it with the default bound, and a size like
+	// "256MiB" or "1GiB" sets the byte bound.
+	CacheSpec string
 }
 
 // RegisterFlags installs the shared observability and runtime flags
-// (-metrics, -trace, -debug-addr, -timeout, -pmf) on fs and returns
-// the struct their values land in.
+// (-metrics, -trace, -debug-addr, -timeout, -pmf, -cache) on fs and
+// returns the struct their values land in.
 func RegisterFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{PMF: pmf.BackendSparse}
 	fs.StringVar(&f.MetricsDest, "metrics", "", `collect runtime metrics and write them to this destination: "-" or "json" for JSON on stdout, "csv" for CSV on stdout, or a file path (.csv for CSV, JSON otherwise)`)
@@ -116,6 +121,7 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.DebugAddr, "debug-addr", "", `serve live debug endpoints (/debug/pprof/*, /metrics, /progress, /trace) on this address, e.g. ":6060"`)
 	fs.DurationVar(&f.Timeout, "timeout", 0, `abort the run after this wall-clock duration (e.g. 30s, 5m); the partial run still flushes -metrics and -trace (0: no limit)`)
 	fs.TextVar(&f.PMF, "pmf", pmf.BackendSparse, `PMF backend for the Stage-I engines: "sparse" (exact pulses, bit-identical to earlier releases) or "grid" (dense fixed-step lattice: faster kernels within the documented quantization-error bound)`)
+	fs.StringVar(&f.CacheSpec, "cache", "", `content-addressed solve cache: "on" for the default 256MiB bound, or a size like "64MiB"/"1GiB"; repeated identical work is replayed bit-identically from cache (empty: disabled)`)
 	return f
 }
 
@@ -146,6 +152,11 @@ type Session struct {
 	// Tracer is the span collector, non-nil when -trace or -debug-addr
 	// was given.
 	Tracer *tracing.Tracer
+	// Cache is the content-addressed solve cache, non-nil when -cache
+	// was given. Bodies thread it into ra.Problem.Cache,
+	// core.StageIIConfig.Cache, or server.Options.Cache; seeded results
+	// are bit-identical with it on or off.
+	Cache *cache.Cache
 }
 
 // Run executes body inside an observability session derived from the
@@ -182,6 +193,13 @@ func (f *Flags) Run(ctx context.Context, name string, stderr io.Writer, body fun
 		s.Tracer = tracing.NewSized(0, s.Metrics)
 		tracing.SetDefault(s.Tracer)
 		defer tracing.SetDefault(nil)
+	}
+	if f.CacheSpec != "" {
+		c, err := f.buildCache(s.Metrics)
+		if err != nil {
+			return err
+		}
+		s.Cache = c
 	}
 	var srv *tracing.DebugServer
 	var srvErr error
@@ -220,4 +238,21 @@ func (f *Flags) Run(ctx context.Context, name string, stderr io.Writer, body fun
 		cancel()
 	}
 	return errors.Join(srvErr, bodyErr, flushErr, downErr)
+}
+
+// buildCache resolves the -cache spec into a cache wired to the
+// session's metrics registry (which may be nil).
+func (f *Flags) buildCache(reg *metrics.Registry) (*cache.Cache, error) {
+	opts := cache.Options{Metrics: reg}
+	switch f.CacheSpec {
+	case "on", "default":
+		// Default bounds.
+	default:
+		n, err := cache.ParseSize(f.CacheSpec)
+		if err != nil {
+			return nil, fmt.Errorf("-cache: %w", err)
+		}
+		opts.MaxBytes = n
+	}
+	return cache.New(opts), nil
 }

@@ -142,10 +142,40 @@ func TestRunBareSession(t *testing.T) {
 		if s.Metrics != nil || s.Tracer != nil {
 			t.Errorf("unexpected collectors: %+v", s)
 		}
+		if s.Cache != nil {
+			t.Error("cache present without -cache")
+		}
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// -cache builds a session cache from the size spec and rejects garbage
+// before the body runs.
+func TestRunCacheFlag(t *testing.T) {
+	for _, spec := range []string{"on", "default", "64MiB", "1g"} {
+		f := &Flags{CacheSpec: spec}
+		ran := false
+		err := f.Run(context.Background(), "t", io.Discard, func(ctx context.Context, s *Session) error {
+			ran = true
+			if s.Cache == nil {
+				t.Errorf("-cache %s: session cache missing", spec)
+			}
+			return nil
+		})
+		if err != nil || !ran {
+			t.Fatalf("-cache %s: err %v, ran %v", spec, err, ran)
+		}
+	}
+	f := &Flags{CacheSpec: "not-a-size"}
+	err := f.Run(context.Background(), "t", io.Discard, func(ctx context.Context, s *Session) error {
+		t.Error("body ran despite a bad -cache spec")
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "-cache") {
+		t.Fatalf("bad spec error = %v", err)
 	}
 }
 

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"cdsf/internal/api"
+	"cdsf/internal/cache"
 	"cdsf/internal/config"
 	"cdsf/internal/core"
 	"cdsf/internal/dls"
@@ -83,18 +85,47 @@ func decode[T any](w http.ResponseWriter, r *http.Request) (*T, bool) {
 
 // accept enqueues a validated job and writes the admission response:
 // 202 with the envelope and a Location header, 429 + Retry-After when
-// the queue is full, 503 while draining.
-func (s *Server) accept(w http.ResponseWriter, kind api.JobKind, withProgress bool, run func(ctx context.Context, prog *tracing.Progress) (any, error)) {
-	j, err := s.enqueue(kind, withProgress, run)
+// the queue is full, 503 while draining. The Retry-After estimate is
+// queue depth x the rolling mean of recent job wall times (floor 1s),
+// so a deep backlog of slow jobs pushes clients back further than a
+// shallow one. key/info carry the job's cache identity (zero/nil when
+// caching is off).
+func (s *Server) accept(w http.ResponseWriter, kind api.JobKind, withProgress bool, key cache.Key, info *api.CacheInfo, run func(ctx context.Context, prog *tracing.Progress) (any, error)) {
+	j, err := s.enqueue(kind, withProgress, key, info, run)
 	switch {
 	case errors.Is(err, errDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err.Error())
 	default:
 		w.Header().Set("Location", "/"+api.Version+"/jobs/"+j.ID)
 		writeJSON(w, http.StatusAccepted, j)
+	}
+}
+
+// acceptCached answers a request whose result document is already in
+// the cache: an already-done job is registered and returned with the
+// usual 202 + Location, so clients observe the same protocol either
+// way — just terminally faster.
+func (s *Server) acceptCached(w http.ResponseWriter, kind api.JobKind, key cache.Key, doc []byte) {
+	j, err := s.admitCached(kind, key, doc)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	w.Header().Set("Location", "/"+api.Version+"/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+// instanceField folds the request's problem identity into a result
+// key: the canonical instance bytes, or a fixed marker for the
+// embedded paper example (which has no canonical echo).
+func instanceField(h *cache.Hasher, p *problem) {
+	if p.echo != nil {
+		h.String("instance").Bytes(p.echo)
+	} else {
+		h.String("paper-example")
 	}
 }
 
@@ -235,10 +266,30 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	label := h.Name()
-	s.accept(w, api.KindSolve, false, func(ctx context.Context, _ *tracing.Progress) (any, error) {
+	var key cache.Key
+	var info *api.CacheInfo
+	if s.opts.Cache != nil {
+		// Everything the result document depends on; Workers is
+		// deliberately excluded (results are identical for any count).
+		hk := cache.NewHasher("cdsf-result-v1")
+		hk.String(string(api.KindSolve))
+		instanceField(hk, p)
+		hk.String(label).Float64(deadline).Uint64(req.Seed).String(backend.String())
+		key = hk.Sum()
+		if doc, ok := s.opts.Cache.GetResult(key); ok {
+			s.acceptCached(w, api.KindSolve, key, doc)
+			return
+		}
+		info = &api.CacheInfo{Key: key.String()}
+		prob.Cache = s.opts.Cache
+	}
+	s.accept(w, api.KindSolve, false, key, info, func(ctx context.Context, _ *tracing.Progress) (any, error) {
 		al, err := ra.SolveContext(ctx, h, prob)
 		if err != nil {
 			return nil, err
+		}
+		if info != nil {
+			info.WarmHits, info.WarmMisses = prob.CacheCounts()
 		}
 		st, err := robustness.EvaluateStageI(p.sys, p.batch, al, deadline)
 		if err != nil {
@@ -313,7 +364,30 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		cfg.TimeSteps = req.TimeSteps
 	}
 	f := &core.Framework{Sys: p.sys, Batch: p.batch, Deadline: p.deadline}
-	s.accept(w, api.KindSimulate, true, func(ctx context.Context, prog *tracing.Progress) (any, error) {
+	var key cache.Key
+	var info *api.CacheInfo
+	if s.opts.Cache != nil {
+		hk := cache.NewHasher("cdsf-result-v1")
+		hk.String(string(api.KindSimulate))
+		instanceField(hk, p)
+		for _, as := range alloc {
+			hk.Int(as.Type).Int(as.Procs)
+		}
+		for _, t := range techs {
+			hk.String(t.Name)
+		}
+		hk.String(c.Name).Int(cfg.Reps).Uint64(req.Seed)
+		hk.Float64(cfg.Overhead).Float64(cfg.IterCV).Int(cfg.TimeSteps)
+		hk.String(backend.String())
+		key = hk.Sum()
+		if doc, ok := s.opts.Cache.GetResult(key); ok {
+			s.acceptCached(w, api.KindSimulate, key, doc)
+			return
+		}
+		info = &api.CacheInfo{Key: key.String()}
+		cfg.Cache = s.opts.Cache
+	}
+	s.accept(w, api.KindSimulate, true, key, info, func(ctx context.Context, prog *tracing.Progress) (any, error) {
 		run := cfg
 		run.Progress = prog
 		cr, err := f.RunCaseContext(ctx, alloc, techs, c, run)
@@ -359,12 +433,34 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	cfg := s.stageII(p.deadline, req.Seed, req.Reps)
 	cfg.PMFBackend = backend
 	cases := p.cases
-	s.accept(w, api.KindScenario, true, func(ctx context.Context, prog *tracing.Progress) (any, error) {
+	var key cache.Key
+	var info *api.CacheInfo
+	if s.opts.Cache != nil {
+		// sc.Name encodes the resolved scenario: the paper scenarios
+		// have unique labels and custom ones embed the IM and technique
+		// names, so two requests resolving differently can never share
+		// a key.
+		hk := cache.NewHasher("cdsf-result-v1")
+		hk.String(string(api.KindScenario))
+		instanceField(hk, p)
+		hk.String(sc.Name).Int(cfg.Reps).Uint64(req.Seed).String(backend.String())
+		key = hk.Sum()
+		if doc, ok := s.opts.Cache.GetResult(key); ok {
+			s.acceptCached(w, api.KindScenario, key, doc)
+			return
+		}
+		info = &api.CacheInfo{Key: key.String()}
+		cfg.Cache = s.opts.Cache
+	}
+	s.accept(w, api.KindScenario, true, key, info, func(ctx context.Context, prog *tracing.Progress) (any, error) {
 		run := cfg
 		run.Progress = prog
 		res, err := f.RunScenarioContext(ctx, sc, cases, run)
 		if err != nil {
 			return nil, err
+		}
+		if info != nil {
+			info.WarmHits, info.WarmMisses = res.WarmHits, res.WarmMisses
 		}
 		wire := api.FromScenarioResult(res)
 		wire.Instance = p.echo

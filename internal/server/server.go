@@ -24,12 +24,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"cdsf/internal/api"
+	"cdsf/internal/cache"
 	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
 	"cdsf/internal/tracing"
@@ -63,6 +65,14 @@ type Options struct {
 	// Tracer is threaded into every job's engine configuration; nil
 	// disables tracing.
 	Tracer *tracing.Tracer
+	// Cache is the content-addressed solve cache. When set, a repeat of
+	// a byte-identical request is answered straight from the result
+	// tier at admission time — an already-done job, no queue trip — and
+	// solve/scenario jobs share warm Stage-I evaluation tables across
+	// deadlines, heuristics, and availability cases. Envelopes gain a
+	// "cache" block with the job's key and hit counts. Nil disables
+	// caching; envelopes and behaviour are then unchanged.
+	Cache *cache.Cache
 }
 
 // Server owns the job table, the bounded queue, and the executor pool.
@@ -85,7 +95,18 @@ type Server struct {
 	jobs  map[string]*job
 	order []string
 	seq   int
+
+	// wallMu guards the ring of recent job wall times feeding the
+	// Retry-After estimate (separate from mu: admission reads it while
+	// holding no job state).
+	wallMu     sync.Mutex
+	recentWall [wallWindow]time.Duration
+	wallCount  int // total recorded; ring index is wallCount % wallWindow
 }
+
+// wallWindow is the size of the rolling window of job wall times
+// behind the Retry-After estimate.
+const wallWindow = 32
 
 // job pairs the wire envelope with the server-side control state. The
 // envelope is mutated only under Server.mu.
@@ -94,6 +115,15 @@ type job struct {
 	progress *tracing.Progress
 	run      func(ctx context.Context, prog *tracing.Progress) (any, error)
 	cancel   context.CancelFunc
+
+	// cacheKey is the job's result-tier content address (zero when
+	// caching is off for this job); cacheInfo is the envelope block
+	// attached once the job reaches done. The run closure may write
+	// cacheInfo's warm counts while running — it is published into the
+	// envelope only under mu after run returns, so snapshots never see
+	// it mid-write.
+	cacheKey  cache.Key
+	cacheInfo *api.CacheInfo
 }
 
 // Sentinel admission errors; the HTTP layer maps them to 503 and 429.
@@ -136,8 +166,10 @@ func New(opts Options) *Server {
 
 // enqueue admits a job: it allocates an id, tries the bounded queue,
 // and registers the job for lookup. run receives the job's context and
-// its progress board (nil for kinds without Stage-II fan-out).
-func (s *Server) enqueue(kind api.JobKind, withProgress bool, run func(ctx context.Context, prog *tracing.Progress) (any, error)) (api.Job, error) {
+// its progress board (nil for kinds without Stage-II fan-out). A
+// non-nil info carries the job's cache identity: the finished result
+// is stored under key and the block is attached to the done envelope.
+func (s *Server) enqueue(kind api.JobKind, withProgress bool, key cache.Key, info *api.CacheInfo, run func(ctx context.Context, prog *tracing.Progress) (any, error)) (api.Job, error) {
 	if s.draining.Load() {
 		return api.Job{}, errDraining
 	}
@@ -147,8 +179,10 @@ func (s *Server) enqueue(kind api.JobKind, withProgress bool, run func(ctx conte
 	s.mu.Unlock()
 
 	j := &job{
-		env: api.Job{ID: id, Kind: kind, State: api.JobQueued, Created: time.Now().UTC()},
-		run: run,
+		env:       api.Job{ID: id, Kind: kind, State: api.JobQueued, Created: time.Now().UTC()},
+		run:       run,
+		cacheKey:  key,
+		cacheInfo: info,
 	}
 	if withProgress {
 		j.progress = tracing.NewProgress()
@@ -164,6 +198,33 @@ func (s *Server) enqueue(kind api.JobKind, withProgress bool, run func(ctx conte
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 	s.opts.Metrics.Counter("server.jobs_submitted").Inc()
+	return s.snapshot(j), nil
+}
+
+// admitCached registers an already-done job answering a request whose
+// result document was found in the cache: the envelope is terminal on
+// arrival, never touches the queue (so cached repeats are immune to
+// backpressure), and is served by the job endpoints like any other.
+func (s *Server) admitCached(kind api.JobKind, key cache.Key, doc []byte) (api.Job, error) {
+	if s.draining.Load() {
+		return api.Job{}, errDraining
+	}
+	now := time.Now().UTC()
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("job-%06d", s.seq)
+	j := &job{env: api.Job{
+		ID: id, Kind: kind, State: api.JobDone,
+		Created: now, Started: &now, Finished: &now,
+		Result: doc,
+		Cache:  &api.CacheInfo{Key: key.String(), ResultHit: true},
+	}}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.opts.Metrics.Counter("server.jobs_submitted").Inc()
+	s.opts.Metrics.Counter("server.jobs_cached").Inc()
+	s.opts.Metrics.Counter("server.jobs_done").Inc()
 	return s.snapshot(j), nil
 }
 
@@ -215,6 +276,14 @@ func (s *Server) runJob(j *job) {
 		}
 		j.env.State = api.JobDone
 		j.env.Result = raw
+		if j.cacheInfo != nil {
+			// Store the exact marshaled bytes, so a later hit replays
+			// them bit-identically, and publish the cache block (the run
+			// closure filled its warm counts before returning).
+			s.opts.Cache.PutResult(j.cacheKey, raw)
+			j.env.Cache = j.cacheInfo
+		}
+		s.recordWall(done.Sub(*j.env.Started))
 		s.opts.Metrics.Counter("server.jobs_done").Inc()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.env.State = api.JobCancelled
@@ -225,6 +294,50 @@ func (s *Server) runJob(j *job) {
 		j.env.Error = err.Error()
 		s.opts.Metrics.Counter("server.jobs_failed").Inc()
 	}
+}
+
+// recordWall folds one finished job's wall time into the rolling
+// window behind the Retry-After estimate.
+func (s *Server) recordWall(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	s.wallMu.Lock()
+	s.recentWall[s.wallCount%wallWindow] = d
+	s.wallCount++
+	s.wallMu.Unlock()
+}
+
+// meanWall returns the rolling mean of recent job wall times (0 with
+// no history yet).
+func (s *Server) meanWall() time.Duration {
+	s.wallMu.Lock()
+	defer s.wallMu.Unlock()
+	n := s.wallCount
+	if n > wallWindow {
+		n = wallWindow
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += s.recentWall[i]
+	}
+	return sum / time.Duration(n)
+}
+
+// retryAfterSeconds estimates when a rejected client should retry:
+// the current queue depth times the rolling mean job wall time,
+// rounded up, with a 1-second floor (which is also the answer before
+// any job has finished — the old hardcoded behaviour).
+func (s *Server) retryAfterSeconds() int {
+	mean := s.meanWall()
+	secs := int(math.Ceil(float64(len(s.queue)) * mean.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // snapshot copies a job's envelope, attaching the current progress

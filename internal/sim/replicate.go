@@ -35,9 +35,21 @@ type Sample struct {
 }
 
 // Invalidate drops the cached sort order used by Quantile and PrLE.
-// Appending to Makespans invalidates automatically (the length
-// changes); only in-place edits of existing entries need this.
+// Use Append to add makespans — it invalidates internally; direct
+// writes to Makespans (in-place edits, or a truncate-and-refill that
+// lands on the same length, which the stale-length heuristic below
+// cannot see) must call Invalidate afterwards.
 func (s *Sample) Invalidate() { s.sorted = nil }
+
+// Append adds makespans to the sample and invalidates the cached sort
+// order. Prefer it over appending to Makespans directly: a direct
+// append that restores a previous length (truncate, then refill)
+// leaves the cache stale, and Quantile/PrLE silently answer over the
+// old values.
+func (s *Sample) Append(makespans ...float64) {
+	s.Makespans = append(s.Makespans, makespans...)
+	s.sorted = nil
+}
 
 // sortedMakespans returns the makespans in ascending order, sorting at
 // most once per change in length.
@@ -225,7 +237,7 @@ func RunManyContext(ctx context.Context, cfg Config, reps int) (*Sample, error) 
 			return nil, errs[i]
 		}
 		r := results[i]
-		out.Makespans = append(out.Makespans, r.Makespan)
+		out.Append(r.Makespan)
 		sumChunks += float64(r.NumChunks)
 		sumImb += r.Imbalance
 	}

@@ -135,6 +135,36 @@ func TestQuantileCache(t *testing.T) {
 	}
 }
 
+// TestAppendInvalidatesAfterTruncateRefill is the regression test for
+// the stale-cache footgun: a truncate followed by refilling to the SAME
+// length defeats the length-change heuristic, so quantiles silently
+// answered over the old values. Append invalidates internally, which
+// makes the pattern safe; this test fails against the pre-Append code
+// (where the refill had to go through a direct append).
+func TestAppendInvalidatesAfterTruncateRefill(t *testing.T) {
+	s := &Sample{}
+	s.Append(100, 200, 300)
+	// Warm the sort cache over the original values.
+	if got := s.Quantile(1); got != 300 {
+		t.Fatalf("max = %v", got)
+	}
+	// Truncate and refill to the same length through Append.
+	s.Makespans = s.Makespans[:0]
+	s.Append(1, 2, 3)
+	if got := s.Quantile(1); got != 3 {
+		t.Errorf("max after truncate+refill = %v, want 3 (stale cache)", got)
+	}
+	if got := s.PrLE(150); got != 1 {
+		t.Errorf("PrLE(150) after truncate+refill = %v, want 1 (stale cache)", got)
+	}
+	// Same hazard, same length, new high outlier: Quantile must see it.
+	s.Makespans = s.Makespans[:0]
+	s.Append(7, 8, 9000)
+	if got := s.Quantile(0.5); got != 8 {
+		t.Errorf("median after second refill = %v, want 8", got)
+	}
+}
+
 // wrappedModel hides an inner model behind a decorator that only
 // exposes it via Unwrap — the shape that defeated the old anonymous
 // interface assertion in RunMany.
