@@ -7,8 +7,9 @@
 #   make race    run the full test suite under the race detector
 #   make cover   enforce the coverage floor on the observability and
 #                service packages (internal/tracing, internal/trace,
-#                internal/api, internal/server), the PMF kernels
-#                (internal/pmf), and the solve cache (internal/cache)
+#                internal/api, internal/server, internal/log,
+#                internal/events), the PMF kernels (internal/pmf), and
+#                the solve cache (internal/cache)
 #   make bench   run the benchmark suite with allocation stats
 #   make bench-pmf  refresh the PMF backend comparison behind
 #                BENCH_PMF2.json (sparse vs grid kernels, solve)
@@ -17,6 +18,8 @@
 #                delta-solve)
 #   make fuzz    run each pmf fuzz target briefly
 #   make serve   build and run the cdsfd scheduling service locally
+#   make smoke-sse  end-to-end smoke: a real cdsfd subprocess streams a
+#                seeded solve job's full event journal over SSE
 
 GO ?= go
 
@@ -24,12 +27,12 @@ GO ?= go
 COVER_FLOOR ?= 85
 
 # Packages held to the coverage floor.
-COVER_PKGS ?= ./internal/tracing ./internal/trace ./internal/api ./internal/server ./internal/pmf ./internal/cache
+COVER_PKGS ?= ./internal/tracing ./internal/trace ./internal/api ./internal/server ./internal/pmf ./internal/cache ./internal/log ./internal/events
 
 # Listen address for `make serve`.
 SERVE_ADDR ?= 127.0.0.1:8080
 
-.PHONY: check build vet test race cover bench bench-pmf bench-cache fuzz serve
+.PHONY: check build vet test race cover bench bench-pmf bench-cache fuzz serve smoke-sse
 
 check: build vet test race cover
 
@@ -77,3 +80,6 @@ fuzz:
 
 serve:
 	$(GO) run ./cmd/cdsfd -addr $(SERVE_ADDR)
+
+smoke-sse:
+	$(GO) test -run TestSmokeSSE -count=1 -v ./cmd/cdsfd

@@ -11,8 +11,14 @@
 // Submit work with POST /v1/solve, /v1/simulate, or /v1/scenario (202
 // plus a job envelope; 429 with Retry-After when the queue is full),
 // poll GET /v1/jobs/{id}, cancel with DELETE /v1/jobs/{id}, and list
-// with GET /v1/jobs?state=queued,running. The debug endpoints every
-// CLI exposes behind -debug-addr (/metrics, /progress, /trace,
+// with GET /v1/jobs?state=queued,running. Every job keeps an
+// append-only event journal: GET /v1/jobs/{id}/events returns it as
+// JSON, ?follow=1 streams it live as Server-Sent Events (reconnect
+// with Last-Event-ID to resume), and GET /debug/events is the
+// cross-job flight recorder. GET /v1/healthz reports queue depth,
+// inflight jobs, drain state, and cache counters. With -log, the
+// service also writes structured JSON-lines logs. The debug endpoints
+// every CLI exposes behind -debug-addr (/metrics, /progress, /trace,
 // /debug/pprof/*) are mounted on the same address.
 //
 // SIGINT/SIGTERM (and -timeout) drain the service: admission stops
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"cdsf/internal/api"
+	"cdsf/internal/events"
 	"cdsf/internal/runner"
 	"cdsf/internal/server"
 )
@@ -58,6 +65,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			Metrics:    s.Metrics,
 			Tracer:     s.Tracer,
 			Cache:      s.Cache,
+			Events:     events.NewLog(events.Options{Metrics: s.Metrics}),
+			Logger:     s.Log,
 		})
 		ln, err := net.Listen("tcp", *addr)
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -220,5 +221,87 @@ func TestSigtermDrainsAndFlushesMetrics(t *testing.T) {
 	}
 	if snap.Counters["server.jobs_cancelled"] < 1 {
 		t.Errorf("running job not recorded as cancelled: %+v", snap.Counters)
+	}
+}
+
+// TestSmokeSSE is the end-to-end smoke for the event journal: a real
+// daemon subprocess (with -log) serves a seeded solve job's complete
+// lifecycle as an SSE stream, with ascending sequence ids ending at
+// the terminal event. Run on its own with `make smoke-sse`.
+func TestSmokeSSE(t *testing.T) {
+	dir := t.TempDir()
+	lpath := dir + "/cdsfd.log"
+	cmd, base, _ := startDaemon(t, "-log", lpath, "-log-level", "debug")
+
+	id := submitJob(t, base, "/v1/solve", api.SolveRequest{Heuristic: "greedy"})
+
+	// Follow from the start: replay whatever already happened, then
+	// stream live until the journal closes at the terminal event.
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("follow content type %q", ct)
+	}
+	var ids []int64
+	var types []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			n, err := strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64)
+			if err != nil {
+				t.Fatalf("bad id line %q: %v", line, err)
+			}
+			ids = append(ids, n)
+		case strings.HasPrefix(line, "event: "):
+			types = append(types, strings.TrimPrefix(line, "event: "))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	if len(ids) == 0 || len(ids) != len(types) {
+		t.Fatalf("stream had %d ids and %d event types", len(ids), len(types))
+	}
+	for i, n := range ids {
+		if n != int64(i)+1 {
+			t.Fatalf("SSE ids %v, want 1..%d ascending", ids, len(ids))
+		}
+	}
+	for i, want := range []string{"accepted", "queued", "started"} {
+		if types[i] != want {
+			t.Fatalf("stream opens %v, want accepted/queued/started", types[:3])
+		}
+	}
+	if last := types[len(types)-1]; last != "done" {
+		t.Fatalf("stream ended on %q, want done (all types: %v)", last, types)
+	}
+	if pollState(t, base, id) != api.JobDone {
+		t.Error("job not done after its SSE stream finished")
+	}
+
+	// Clean shutdown, then the -log file must exist with JSON lines
+	// covering the job lifecycle.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+	data, err := os.ReadFile(lpath)
+	if err != nil {
+		t.Fatalf("-log file not written: %v", err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("log line is not valid JSON: %q", line)
+		}
+	}
+	for _, want := range []string{"job accepted", "job started", "job done"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("log missing %q:\n%s", want, data)
+		}
 	}
 }

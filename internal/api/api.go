@@ -128,6 +128,49 @@ type Error struct {
 	Error string `json:"error"`
 }
 
+// Health is the GET /v1/healthz response: a structured liveness
+// document instead of a bare OK, so orchestrators and load balancers
+// can key on saturation and drain state without scraping /metrics.
+type Health struct {
+	// Status is "ok" while admitting and "draining" once shutdown has
+	// begun (Draining carries the same fact as a bool).
+	Status   string `json:"status"`
+	Version  string `json:"version"`
+	Draining bool   `json:"draining"`
+	// QueueDepth is the number of jobs waiting for an executor right
+	// now, out of QueueCapacity; Inflight is the number currently
+	// holding one of the Executors.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	Inflight      int `json:"inflight"`
+	Executors     int `json:"executors"`
+	// Jobs are the process-lifetime job counters.
+	Jobs HealthJobs `json:"jobs"`
+	// Cache carries the solve-cache hit counters; absent when the
+	// server runs without a cache.
+	Cache *HealthCache `json:"cache,omitempty"`
+}
+
+// HealthJobs are the lifetime job counts by outcome (submitted counts
+// admissions, including cache-replayed ones; rejected counts 429s).
+type HealthJobs struct {
+	Submitted int64 `json:"submitted"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	Rejected  int64 `json:"rejected"`
+}
+
+// HealthCache are the solve-cache hit counters: the result tier
+// (whole documents replayed at admission) and the warm table tier
+// (Stage-I evaluation tables reused across jobs).
+type HealthCache struct {
+	ResultHits   int64 `json:"result_hits"`
+	ResultMisses int64 `json:"result_misses"`
+	TableHits    int64 `json:"table_hits"`
+	TableMisses  int64 `json:"table_misses"`
+}
+
 // SolveRequest submits a Stage-I resource allocation search
 // (POST /v1/solve).
 type SolveRequest struct {

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"cdsf/internal/cache"
+	"cdsf/internal/log"
 	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
 	"cdsf/internal/tracing"
@@ -109,6 +110,13 @@ type Flags struct {
 	// cache, "on" enables it with the default bound, and a size like
 	// "256MiB" or "1GiB" sets the byte bound.
 	CacheSpec string
+	// LogDest is -log: where the structured JSON-lines log goes. "-"
+	// means stderr (never stdout — result documents own stdout), any
+	// other value is a file path. Empty disables logging.
+	LogDest string
+	// LogLevel is -log-level: the minimum severity emitted (debug,
+	// info, warn, error). Ignored without -log.
+	LogLevel string
 }
 
 // RegisterFlags installs the shared observability and runtime flags
@@ -122,6 +130,8 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.Timeout, "timeout", 0, `abort the run after this wall-clock duration (e.g. 30s, 5m); the partial run still flushes -metrics and -trace (0: no limit)`)
 	fs.TextVar(&f.PMF, "pmf", pmf.BackendSparse, `PMF backend for the Stage-I engines: "sparse" (exact pulses, bit-identical to earlier releases) or "grid" (dense fixed-step lattice: faster kernels within the documented quantization-error bound)`)
 	fs.StringVar(&f.CacheSpec, "cache", "", `content-addressed solve cache: "on" for the default 256MiB bound, or a size like "64MiB"/"1GiB"; repeated identical work is replayed bit-identically from cache (empty: disabled)`)
+	fs.StringVar(&f.LogDest, "log", "", `write structured JSON-lines logs to this destination: "-" for stderr or a file path; flushed unconditionally, even when the run fails or is cancelled (empty: disabled — stdout is never touched)`)
+	fs.StringVar(&f.LogLevel, "log-level", "info", `minimum severity for -log records: "debug", "info", "warn", or "error"`)
 	return f
 }
 
@@ -157,6 +167,12 @@ type Session struct {
 	// core.StageIIConfig.Cache, or server.Options.Cache; seeded results
 	// are bit-identical with it on or off.
 	Cache *cache.Cache
+	// Log is the structured logger, non-nil when -log was given. Bodies
+	// thread it into server.Options.Logger (or log directly); it is
+	// also installed as the process default. The sink is stderr or a
+	// file, never stdout, so result documents are byte-identical with
+	// logging on or off.
+	Log *log.Logger
 }
 
 // Run executes body inside an observability session derived from the
@@ -170,11 +186,15 @@ type Session struct {
 //     are started (readiness is announced on stderr);
 //   - with -timeout, ctx is bounded by context.WithTimeout.
 //
-// The -metrics and -trace outputs are ALWAYS written — body failing or
-// being cancelled does not lose the observability of the partial run —
-// and the debug server is shut down gracefully (bounded by
-// shutdownGrace). The returned error joins the body's error with any
-// flush or shutdown error.
+// With -log, a structured JSON-lines logger is created (sink: stderr
+// for "-", else the named file), installed as the process default, and
+// exposed as Session.Log.
+//
+// The -metrics, -trace, and -log outputs are ALWAYS written — body
+// failing or being cancelled does not lose the observability of the
+// partial run — and the debug server is shut down gracefully (bounded
+// by shutdownGrace). The returned error joins the body's error with
+// any flush or shutdown error.
 func (f *Flags) Run(ctx context.Context, name string, stderr io.Writer, body func(ctx context.Context, s *Session) error) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -201,6 +221,26 @@ func (f *Flags) Run(ctx context.Context, name string, stderr io.Writer, body fun
 		}
 		s.Cache = c
 	}
+	var logFile *os.File
+	if f.LogDest != "" {
+		lvl, err := log.ParseLevel(f.LogLevel)
+		if err != nil {
+			return fmt.Errorf("-log-level: %w", err)
+		}
+		sink := io.Writer(stderr)
+		if f.LogDest != "-" {
+			file, err := os.Create(f.LogDest)
+			if err != nil {
+				return fmt.Errorf("-log: %w", err)
+			}
+			logFile = file
+			sink = file
+		}
+		s.Log = log.New(sink, log.Options{Level: lvl})
+		log.SetDefault(s.Log)
+		defer log.SetDefault(nil)
+		s.Log.Info("run starting", log.F("name", name))
+	}
 	var srv *tracing.DebugServer
 	var srvErr error
 	if f.DebugAddr != "" {
@@ -225,10 +265,23 @@ func (f *Flags) Run(ctx context.Context, name string, stderr io.Writer, body fun
 	}
 
 	// Flush observability unconditionally: a failed or cancelled run's
-	// partial metrics and trace are exactly what a postmortem needs.
+	// partial metrics, trace, and log are exactly what a postmortem
+	// needs.
+	if s.Log != nil {
+		if bodyErr != nil {
+			s.Log.Error("run failed", log.F("name", name), log.F("error", bodyErr.Error()))
+		} else {
+			s.Log.Info("run finished", log.F("name", name))
+		}
+	}
+	var logErr error
+	if logFile != nil {
+		logErr = logFile.Close()
+	}
 	flushErr := errors.Join(
 		metrics.WriteTo(s.Metrics, f.MetricsDest),
 		tracing.WriteTo(s.Tracer, f.TraceDest),
+		logErr,
 	)
 
 	var downErr error

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"cdsf/internal/events"
+)
+
+// This file serves the job-event journal over HTTP:
+//
+//	GET /v1/jobs/{id}/events           the journal as a JSON array
+//	GET /v1/jobs/{id}/events?follow=1  Server-Sent Events: replay then
+//	                                   live, id: = sequence number,
+//	                                   Last-Event-ID resumes
+//	GET /debug/events                  the cross-job flight-recorder
+//	                                   ring, newest RingBound events
+//
+// The SSE resume contract: every frame carries the journal sequence
+// number as its SSE id, so a client that reconnects with the standard
+// Last-Event-ID header (what EventSource does automatically, and what
+// a curl loop can pass by hand) first replays the retained journal
+// past that sequence and then goes live. If the bounded journal
+// trimmed past the client's cursor, the replay starts at the oldest
+// retained event and the client observes the gap in the seq numbers —
+// bounded memory is chosen over unbounded replay. The stream ends when
+// the job's journal closes (the job reached a terminal state, whose
+// event is always the last frame).
+
+// handleJobEvents serves one job's journal, as JSON or as SSE.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.lookup(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
+		return
+	}
+	if s.opts.Events == nil {
+		writeError(w, http.StatusNotFound, "event journal disabled on this server")
+		return
+	}
+	// The journal exists for every registered job when events are on;
+	// Lookup (not Journal) so a disabled-then-enabled server can never
+	// invent an empty journal for a pre-enablement job.
+	journal := s.opts.Events.Lookup(id)
+	if journal == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no event journal for job %q", id))
+		return
+	}
+	switch q := r.URL.Query().Get("follow"); q {
+	case "", "0", "false":
+		evs := journal.Snapshot()
+		if evs == nil {
+			evs = []events.Event{}
+		}
+		writeJSON(w, http.StatusOK, evs)
+	case "1", "true":
+		s.followJournal(w, r, journal)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("follow=%q (want 0 or 1)", q))
+	}
+}
+
+// followJournal streams a journal as SSE until the journal closes or
+// the client disconnects.
+func (s *Server) followJournal(w http.ResponseWriter, r *http.Request, journal *events.Journal) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")
+		return
+	}
+	// Resume cursor: the standard Last-Event-ID header (sent by
+	// EventSource on reconnect) wins; ?after= is the curl-friendly
+	// spelling of the same thing.
+	after := events.ParseLastEventID(r.Header.Get("Last-Event-ID"))
+	if after == 0 {
+		after = events.ParseLastEventID(r.URL.Query().Get("after"))
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// Snapshot-then-subscribe is atomic in the journal, so nothing
+	// recorded between replay and live delivery is lost or duplicated.
+	replay, sub := journal.Subscribe(after)
+	defer journal.Unsubscribe(sub)
+
+	last := after
+	send := func(ev events.Event) bool {
+		if err := events.WriteSSE(w, ev); err != nil {
+			return false
+		}
+		fl.Flush()
+		last = ev.Seq
+		return true
+	}
+	for _, ev := range replay {
+		if !send(ev) {
+			return
+		}
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-sub.C:
+			if !ok {
+				// Journal closed. Backfill whatever the buffer missed at
+				// the end (the terminal event is always retained), then
+				// finish the stream.
+				for _, e := range journal.Since(last) {
+					if !send(e) {
+						return
+					}
+				}
+				return
+			}
+			switch {
+			case ev.Seq <= last:
+				// Already sent during replay.
+			case ev.Seq == last+1:
+				if !send(ev) {
+					return
+				}
+			default:
+				// The subscription dropped events (stalled reader):
+				// backfill the gap from the journal, which includes ev.
+				for _, e := range journal.Since(last) {
+					if !send(e) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// handleDebugEvents serves the cross-job flight recorder.
+func (s *Server) handleDebugEvents(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.Events == nil {
+		writeError(w, http.StatusNotFound, "event journal disabled on this server")
+		return
+	}
+	ring := s.opts.Events.Ring()
+	if ring == nil {
+		ring = []events.Event{}
+	}
+	writeJSON(w, http.StatusOK, ring)
+}

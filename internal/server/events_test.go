@@ -1,0 +1,377 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"cdsf/internal/api"
+	"cdsf/internal/cache"
+	"cdsf/internal/events"
+	"cdsf/internal/log"
+	"cdsf/internal/metrics"
+)
+
+// The helpers below keep the SSE tests readable: a frame is one
+// (id, event, data) triple off the wire.
+
+type sseFrame struct {
+	ID    int64
+	Event string
+	Data  events.Event
+}
+
+// readFrames reads SSE frames from r until EOF (journal closed) or n
+// frames have been read (n <= 0: until EOF).
+func readFrames(t *testing.T, r *bufio.Reader, n int) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	var cur sseFrame
+	for n <= 0 || len(frames) < n {
+		line, err := r.ReadString('\n')
+		if err == io.EOF {
+			return frames
+		}
+		if err != nil {
+			t.Fatalf("reading SSE stream: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			frames = append(frames, cur)
+			cur = sseFrame{}
+		case strings.HasPrefix(line, "id: "):
+			cur.ID = events.ParseLastEventID(strings.TrimPrefix(line, "id: "))
+		case strings.HasPrefix(line, "event: "):
+			cur.Event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.Data); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	return frames
+}
+
+func getEvents(t *testing.T, base, id string) []events.Event {
+	t.Helper()
+	var evs []events.Event
+	resp := getInto(t, base+"/v1/jobs/"+id+"/events", &evs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events for %s: status %d", id, resp.StatusCode)
+	}
+	return evs
+}
+
+func eventTypes(evs []events.Event) []events.Type {
+	types := make([]events.Type, len(evs))
+	for i, ev := range evs {
+		types[i] = ev.Type
+	}
+	return types
+}
+
+func TestJobEventsLifecycleJSON(t *testing.T) {
+	_, ts := newTestServer(t, Options{Events: events.NewLog(events.Options{})})
+	var j api.Job
+	post(t, ts.URL+"/v1/solve", api.SolveRequest{Heuristic: "greedy"}, &j)
+	waitState(t, ts.URL, j.ID, api.JobDone)
+
+	evs := getEvents(t, ts.URL, j.ID)
+	if len(evs) < 4 {
+		t.Fatalf("journal has %d events (%v), want at least accepted/queued/started/done", len(evs), eventTypes(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != int64(i)+1 {
+			t.Fatalf("event %d has seq %d, want %d (journal %v)", i, ev.Seq, i+1, evs)
+		}
+		if ev.Job != j.ID {
+			t.Errorf("event %d carries job %q, want %q", i, ev.Job, j.ID)
+		}
+	}
+	if evs[0].Type != events.TypeAccepted || evs[1].Type != events.TypeQueued || evs[2].Type != events.TypeStarted {
+		t.Errorf("journal starts %v, want accepted/queued/started", eventTypes(evs[:3]))
+	}
+	if evs[0].Detail != string(api.KindSolve) {
+		t.Errorf("accepted detail %q, want job kind", evs[0].Detail)
+	}
+	last := evs[len(evs)-1]
+	if last.Type != events.TypeDone || !last.Type.Terminal() {
+		t.Errorf("journal ends with %s, want done", last.Type)
+	}
+
+	// Bad follow values and unknown jobs are rejected.
+	if resp := getInto(t, ts.URL+"/v1/jobs/"+j.ID+"/events?follow=2", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("follow=2 status %d, want 400", resp.StatusCode)
+	}
+	if resp := getInto(t, ts.URL+"/v1/jobs/job-999999/events", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job events status %d, want 404", resp.StatusCode)
+	}
+
+	// The flight recorder holds the same events, tagged per job.
+	var ring []events.Event
+	if resp := getInto(t, ts.URL+"/debug/events", &ring); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/events status %d", resp.StatusCode)
+	}
+	if len(ring) != len(evs) {
+		t.Errorf("ring has %d events, journal %d", len(ring), len(evs))
+	}
+}
+
+func TestJobEventsDisabledByDefault(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var j api.Job
+	post(t, ts.URL+"/v1/solve", api.SolveRequest{Heuristic: "greedy"}, &j)
+	waitState(t, ts.URL, j.ID, api.JobDone)
+	for _, path := range []string{"/v1/jobs/" + j.ID + "/events", "/debug/events"} {
+		resp := getInto(t, ts.URL+path, nil)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without events: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestJobEventsCachedReplay(t *testing.T) {
+	reg := metrics.NewRegistry()
+	_, ts := newTestServer(t, Options{
+		Metrics: reg,
+		Cache:   cache.New(cache.Options{Metrics: reg}),
+		Events:  events.NewLog(events.Options{Metrics: reg}),
+	})
+	var a, b api.Job
+	post(t, ts.URL+"/v1/solve", api.SolveRequest{Heuristic: "greedy"}, &a)
+	waitState(t, ts.URL, a.ID, api.JobDone)
+	post(t, ts.URL+"/v1/solve", api.SolveRequest{Heuristic: "greedy"}, &b)
+	waitState(t, ts.URL, b.ID, api.JobDone)
+
+	types := eventTypes(getEvents(t, ts.URL, b.ID))
+	want := []events.Type{events.TypeAccepted, events.TypeCacheResultHit, events.TypeDone}
+	if len(types) != len(want) {
+		t.Fatalf("cached job journal %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("cached job journal %v, want %v", types, want)
+		}
+	}
+}
+
+func TestJobEventsSSETermination(t *testing.T) {
+	_, ts := newTestServer(t, Options{Events: events.NewLog(events.Options{})})
+	var j api.Job
+	post(t, ts.URL+"/v1/solve", api.SolveRequest{Heuristic: "greedy"}, &j)
+	waitState(t, ts.URL, j.ID, api.JobDone)
+
+	// The job is terminal, so its journal is closed: a follow stream
+	// replays everything and then ends on its own.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/events?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("follow content type %q", ct)
+	}
+	frames := readFrames(t, bufio.NewReader(resp.Body), 0)
+
+	evs := getEvents(t, ts.URL, j.ID)
+	if len(frames) != len(evs) {
+		t.Fatalf("SSE replayed %d frames, journal has %d events", len(frames), len(evs))
+	}
+	for i, f := range frames {
+		if f.ID != evs[i].Seq || f.Event != string(evs[i].Type) || f.Data.Seq != evs[i].Seq {
+			t.Errorf("frame %d = id %d event %s, journal seq %d type %s", i, f.ID, f.Event, evs[i].Seq, evs[i].Type)
+		}
+	}
+	if last := frames[len(frames)-1]; !events.Type(last.Event).Terminal() {
+		t.Errorf("stream ended on %s, want a terminal event", last.Event)
+	}
+}
+
+func TestJobEventsSSEResume(t *testing.T) {
+	s, ts := newTestServer(t, Options{Queue: 4, Executors: 1, Events: events.NewLog(events.Options{})})
+	var j api.Job
+	post(t, ts.URL+"/v1/simulate", longSimulate(), &j)
+	waitState(t, ts.URL, j.ID, api.JobRunning)
+
+	// First connection: read through the started event, then drop.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/events?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := readFrames(t, bufio.NewReader(resp.Body), 3)
+	resp.Body.Close()
+	if len(first) != 3 || first[2].Event != string(events.TypeStarted) {
+		t.Fatalf("first connection read %+v, want accepted/queued/started", first)
+	}
+	cursor := first[len(first)-1].ID
+
+	// Finish the job while disconnected, then reconnect with the
+	// standard Last-Event-ID header: the stream resumes at cursor+1 and
+	// ends at the terminal event, with no duplicates and no gaps.
+	cancelJob(t, ts.URL, j.ID)
+	waitState(t, ts.URL, j.ID, api.JobCancelled)
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/jobs/"+j.ID+"/events?follow=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", strconv.FormatInt(cursor, 10))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	rest := readFrames(t, bufio.NewReader(resp2.Body), 0)
+	if len(rest) == 0 {
+		t.Fatal("resumed stream was empty")
+	}
+	if rest[0].ID != cursor+1 {
+		t.Errorf("resumed stream starts at seq %d, want %d", rest[0].ID, cursor+1)
+	}
+	if last := rest[len(rest)-1]; last.Event != string(events.TypeCancelled) {
+		t.Errorf("resumed stream ends on %s, want cancelled", last.Event)
+	}
+
+	// The two connections together replay the journal exactly.
+	evs := getEvents(t, ts.URL, j.ID)
+	combined := append(first, rest...)
+	if len(combined) != len(evs) {
+		t.Fatalf("combined stream has %d frames, journal %d events", len(combined), len(evs))
+	}
+	for i, f := range combined {
+		if f.ID != evs[i].Seq {
+			t.Errorf("combined frame %d has seq %d, journal %d", i, f.ID, evs[i].Seq)
+		}
+	}
+	_ = s
+}
+
+// cancelJob issues DELETE /v1/jobs/{id}.
+func cancelJob(t *testing.T, base, id string) {
+	t.Helper()
+	req, err := http.NewRequest("DELETE", base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// 200 for queued jobs (cancelled synchronously), 202 for running
+	// jobs (cancellation requested, context cancelled).
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE job %s: status %d", id, resp.StatusCode)
+	}
+}
+
+func TestRequestMetricsMiddleware(t *testing.T) {
+	reg := metrics.NewRegistry()
+	_, ts := newTestServer(t, Options{Metrics: reg})
+	var j api.Job
+	post(t, ts.URL+"/v1/solve", api.SolveRequest{Heuristic: "greedy"}, &j)
+	waitState(t, ts.URL, j.ID, api.JobDone)
+	getInto(t, ts.URL+"/v1/jobs", nil)
+	getInto(t, ts.URL+"/v1/healthz", nil)
+	getInto(t, ts.URL+"/v1/jobs/job-999999", nil)
+
+	snap := reg.Snapshot()
+	for counter, min := range map[string]int64{
+		"http.requests.solve.202":   1,
+		"http.requests.jobs.200":    1,
+		"http.requests.job.200":     1, // waitState polls
+		"http.requests.job.404":     1,
+		"http.requests.healthz.200": 1,
+	} {
+		if got := snap.Counters[counter]; got < min {
+			t.Errorf("counter %s = %d, want >= %d", counter, got, min)
+		}
+	}
+	hist, ok := snap.Histograms["http.latency_seconds.solve"]
+	if !ok || hist.Count < 1 {
+		t.Fatalf("no latency histogram for the solve route: %+v", snap.Histograms)
+	}
+	var total int64
+	for _, b := range hist.Buckets {
+		total += b.Count
+	}
+	if total != hist.Count {
+		t.Errorf("latency buckets sum to %d, histogram count %d", total, hist.Count)
+	}
+
+	// The Prometheus rendering exposes the same data as cumulative
+	// le-labeled buckets.
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prom := buf.String()
+	for _, want := range []string{
+		"http_requests_solve_202 ",
+		`http_latency_seconds_solve_bucket{le="`,
+		`http_latency_seconds_solve_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
+// TestEventsDeterminism pins the central observability guarantee: the
+// seeded solve result document is byte-identical whether the event
+// journal and structured logging are on or off.
+func TestEventsDeterminism(t *testing.T) {
+	var logBuf syncBuffer
+	run := func(opts Options) json.RawMessage {
+		_, ts := newTestServer(t, opts)
+		var j api.Job
+		post(t, ts.URL+"/v1/solve", api.SolveRequest{Heuristic: "exhaustive"}, &j)
+		return waitState(t, ts.URL, j.ID, api.JobDone).Result
+	}
+	plain := run(Options{})
+	observed := run(Options{
+		Events: events.NewLog(events.Options{}),
+		Logger: log.New(&logBuf, log.Options{Level: log.LevelDebug}),
+	})
+	if !bytes.Equal(plain, observed) {
+		t.Errorf("result documents differ with observability on:\nplain:    %s\nobserved: %s", plain, observed)
+	}
+	out := logBuf.String()
+	if out == "" {
+		t.Fatal("no log output despite a debug-level logger")
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("log line is not valid JSON: %q", line)
+		}
+	}
+}
+
+// syncBuffer makes a bytes.Buffer safe to read while the server's
+// handler goroutines may still be logging (the middleware logs after
+// the response bytes have reached the client).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -30,27 +30,37 @@ const maxRequestBytes = 16 << 20
 
 // Handler returns the service's HTTP surface:
 //
-//	POST   /v1/solve      submit a Stage-I search        -> 202 + Job
-//	POST   /v1/simulate   submit a Stage-II Monte Carlo  -> 202 + Job
-//	POST   /v1/scenario   submit a full framework run    -> 202 + Job
-//	GET    /v1/jobs       list jobs (?state=a,b filters)
-//	GET    /v1/jobs/{id}  poll one job
-//	DELETE /v1/jobs/{id}  cancel one job
-//	GET    /v1/healthz    liveness + draining flag
+//	POST   /v1/solve             submit a Stage-I search        -> 202 + Job
+//	POST   /v1/simulate          submit a Stage-II Monte Carlo  -> 202 + Job
+//	POST   /v1/scenario          submit a full framework run    -> 202 + Job
+//	GET    /v1/jobs              list jobs (?state=a,b filters)
+//	GET    /v1/jobs/{id}         poll one job
+//	DELETE /v1/jobs/{id}         cancel one job
+//	GET    /v1/jobs/{id}/events  the job's event journal (JSON;
+//	                             ?follow=1 streams SSE with
+//	                             Last-Event-ID resume)
+//	GET    /v1/healthz           liveness: queue depth, inflight,
+//	                             drain state, cache counters
 //
 // plus the debug endpoints every CLI exposes behind -debug-addr
-// (/metrics, /progress, /trace, /debug/pprof/*), mounted on the same
-// mux with the server's registry and the aggregate of every job's
-// progress board.
+// (/metrics, /progress, /trace, /debug/pprof/*) and the cross-job
+// event ring (/debug/events), mounted on the same mux with the
+// server's registry and the aggregate of every job's progress board.
+//
+// Every route above is wrapped in the RED middleware (middleware.go):
+// per-route/status counters, latency histograms, and inflight gauges
+// land in the same registry the /metrics endpoint serves.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/solve", s.handleSolve)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/scenario", s.handleScenario)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/solve", s.instrument("solve", s.handleSolve))
+	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("POST /v1/scenario", s.instrument("scenario", s.handleScenario))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("jobs", s.handleJobs))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("cancel", s.handleCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("job_events", s.handleJobEvents))
+	mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /debug/events", s.instrument("debug_events", s.handleDebugEvents))
 	tracing.Mount(mux, s.opts.Metrics, s.progressSnapshot, s.opts.Tracer)
 	return mux
 }
@@ -518,11 +528,39 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, env)
 }
 
-// handleHealth reports liveness and whether the server is draining.
+// handleHealth reports liveness as a structured document: drain state,
+// queue and executor saturation, lifetime job counts, and — when the
+// server runs with a solve cache — the cache hit counters. "ok" flips
+// to "draining" once admission has stopped, so a load balancer keying
+// on the status string stops routing during shutdown.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status   string `json:"status"`
-		Version  string `json:"version"`
-		Draining bool   `json:"draining"`
-	}{Status: "ok", Version: api.Version, Draining: s.Draining()})
+	reg := s.opts.Metrics
+	h := api.Health{
+		Status:        "ok",
+		Version:       api.Version,
+		Draining:      s.Draining(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Inflight:      int(s.inflight.Load()),
+		Executors:     s.opts.Executors,
+		Jobs: api.HealthJobs{
+			Submitted: reg.Counter("server.jobs_submitted").Value(),
+			Done:      reg.Counter("server.jobs_done").Value(),
+			Failed:    reg.Counter("server.jobs_failed").Value(),
+			Cancelled: reg.Counter("server.jobs_cancelled").Value(),
+			Rejected:  reg.Counter("server.jobs_rejected").Value(),
+		},
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	if s.opts.Cache != nil {
+		h.Cache = &api.HealthCache{
+			ResultHits:   reg.Counter("cache.result_hits").Value(),
+			ResultMisses: reg.Counter("cache.result_misses").Value(),
+			TableHits:    reg.Counter("cache.table_hits").Value(),
+			TableMisses:  reg.Counter("cache.table_misses").Value(),
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }

@@ -32,6 +32,8 @@ import (
 
 	"cdsf/internal/api"
 	"cdsf/internal/cache"
+	"cdsf/internal/events"
+	"cdsf/internal/log"
 	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
 	"cdsf/internal/tracing"
@@ -73,6 +75,24 @@ type Options struct {
 	// "cache" block with the job's key and hit counts. Nil disables
 	// caching; envelopes and behaviour are then unchanged.
 	Cache *cache.Cache
+	// Events is the job-event journal: every job records its lifecycle
+	// (accepted, queued, started, sampled progress, cache hits,
+	// terminal state) into a per-job journal served by
+	// GET /v1/jobs/{id}/events (JSON and SSE) and a cross-job ring on
+	// /debug/events. Nil disables event recording (the nil-no-op
+	// default; the event endpoints then answer 404) — cdsfd wires one
+	// in unconditionally, since journals are bounded in-memory state
+	// that never touches result documents.
+	Events *events.Log
+	// Logger emits structured JSON-lines service logs: job lifecycle
+	// transitions at info, per-request lines at debug, failures at
+	// warn/error. Nil disables logging; results and response bodies are
+	// byte-identical either way.
+	Logger *log.Logger
+	// ProgressInterval is how often a running job's progress board is
+	// sampled into its event journal (only when Events is set and the
+	// job tracks progress). Non-positive means 250ms.
+	ProgressInterval time.Duration
 }
 
 // Server owns the job table, the bounded queue, and the executor pool.
@@ -90,6 +110,15 @@ type Server struct {
 	// hammer.
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+
+	// inflight counts jobs currently holding an executor and
+	// httpInflight counts requests currently in a handler; queueDepth
+	// mirrors len(queue) into the metrics registry for the RED gauges
+	// and /v1/healthz.
+	inflight     atomic.Int64
+	httpInflight atomic.Int64
+	queueDepth   *metrics.Gauge
+	inflightG    *metrics.Gauge
 
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -113,6 +142,7 @@ const wallWindow = 32
 type job struct {
 	env      api.Job
 	progress *tracing.Progress
+	journal  *events.Journal
 	run      func(ctx context.Context, prog *tracing.Progress) (any, error)
 	cancel   context.CancelFunc
 
@@ -148,6 +178,9 @@ func New(opts Options) *Server {
 	if opts.Metrics == nil {
 		opts.Metrics = metrics.NewRegistry()
 	}
+	if opts.ProgressInterval <= 0 {
+		opts.ProgressInterval = 250 * time.Millisecond
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:       opts,
@@ -156,6 +189,8 @@ func New(opts Options) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*job{},
+		queueDepth: opts.Metrics.Gauge("server.queue_depth"),
+		inflightG:  opts.Metrics.Gauge("server.jobs_inflight"),
 	}
 	s.wg.Add(opts.Executors)
 	for i := 0; i < opts.Executors; i++ {
@@ -191,13 +226,22 @@ func (s *Server) enqueue(kind api.JobKind, withProgress bool, key cache.Key, inf
 	case s.queue <- j:
 	default:
 		s.opts.Metrics.Counter("server.jobs_rejected").Inc()
+		s.opts.Logger.Warn("job rejected: queue full",
+			log.F("kind", string(kind)), log.F("queue_depth", len(s.queue)))
 		return api.Job{}, errQueueFull
 	}
+	depth := len(s.queue)
+	s.queueDepth.Set(float64(depth))
+	j.journal = s.opts.Events.Journal(id)
+	j.journal.Record(events.Event{Type: events.TypeAccepted, Detail: string(kind)})
+	j.journal.Record(events.Event{Type: events.TypeQueued})
 	s.mu.Lock()
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 	s.opts.Metrics.Counter("server.jobs_submitted").Inc()
+	s.opts.Logger.Info("job accepted", log.F("job", id),
+		log.F("kind", string(kind)), log.F("queue_depth", depth))
 	return s.snapshot(j), nil
 }
 
@@ -222,9 +266,18 @@ func (s *Server) admitCached(kind api.JobKind, key cache.Key, doc []byte) (api.J
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.mu.Unlock()
+	// The whole lifecycle collapses into one admission: the journal
+	// still tells the full story, including where the result came from.
+	j.journal = s.opts.Events.Journal(id)
+	j.journal.Record(events.Event{Type: events.TypeAccepted, Detail: string(kind)})
+	j.journal.Record(events.Event{Type: events.TypeCacheResultHit, Detail: key.String()})
+	j.journal.Record(events.Event{Type: events.TypeDone, Detail: "replayed from cache"})
+	j.journal.Close()
 	s.opts.Metrics.Counter("server.jobs_submitted").Inc()
 	s.opts.Metrics.Counter("server.jobs_cached").Inc()
 	s.opts.Metrics.Counter("server.jobs_done").Inc()
+	s.opts.Logger.Info("job answered from cache", log.F("job", id),
+		log.F("kind", string(kind)), log.F("key", key.String()))
 	return s.snapshot(j), nil
 }
 
@@ -258,13 +311,31 @@ func (s *Server) runJob(j *job) {
 	j.env.Started = &now
 	s.mu.Unlock()
 
+	s.inflight.Add(1)
+	s.inflightG.Set(float64(s.inflight.Load()))
+	s.queueDepth.Set(float64(len(s.queue)))
+	j.journal.Record(events.Event{Type: events.TypeStarted})
+	s.opts.Logger.Info("job started", log.F("job", j.env.ID), log.F("kind", string(j.env.Kind)))
+	stopSampler := s.startProgressSampler(j)
+
 	res, err := j.run(ctx, j.progress)
 	cancel()
+	// Stop sampling before the terminal event so progress ticks never
+	// follow it in the journal.
+	stopSampler()
+	defer func() {
+		s.inflight.Add(-1)
+		s.inflightG.Set(float64(s.inflight.Load()))
+	}()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	done := time.Now().UTC()
 	j.env.Finished = &done
+	wall := done.Sub(*j.env.Started)
+	jl := s.opts.Logger.With(log.F("job", j.env.ID), log.F("kind", string(j.env.Kind)),
+		log.F("wall_seconds", wall.Seconds()))
+	defer j.journal.Close()
 	switch {
 	case err == nil:
 		raw, mErr := json.Marshal(res)
@@ -272,6 +343,8 @@ func (s *Server) runJob(j *job) {
 			j.env.State = api.JobFailed
 			j.env.Error = fmt.Sprintf("encoding result: %v", mErr)
 			s.opts.Metrics.Counter("server.jobs_failed").Inc()
+			j.journal.Record(events.Event{Type: events.TypeFailed, Detail: j.env.Error})
+			jl.Error("job failed", log.F("error", j.env.Error))
 			return
 		}
 		j.env.State = api.JobDone
@@ -282,17 +355,81 @@ func (s *Server) runJob(j *job) {
 			// closure filled its warm counts before returning).
 			s.opts.Cache.PutResult(j.cacheKey, raw)
 			j.env.Cache = j.cacheInfo
+			if j.cacheInfo.WarmHits > 0 || j.cacheInfo.WarmMisses > 0 {
+				j.journal.Record(events.Event{Type: events.TypeCacheWarm,
+					WarmHits: j.cacheInfo.WarmHits, WarmMisses: j.cacheInfo.WarmMisses})
+			}
 		}
-		s.recordWall(done.Sub(*j.env.Started))
+		s.recordWall(wall)
 		s.opts.Metrics.Counter("server.jobs_done").Inc()
+		j.journal.Record(events.Event{Type: events.TypeDone})
+		jl.Info("job done")
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.env.State = api.JobCancelled
 		j.env.Error = err.Error()
 		s.opts.Metrics.Counter("server.jobs_cancelled").Inc()
+		// Distinguish a drain (server shutdown) from a client cancel in
+		// the journal: clients watching the stream learn whether to
+		// resubmit elsewhere or accept the DELETE they asked for.
+		typ := events.TypeCancelled
+		if s.draining.Load() {
+			typ = events.TypeDrained
+		}
+		j.journal.Record(events.Event{Type: typ, Detail: j.env.Error})
+		jl.Info("job cancelled", log.F("error", j.env.Error), log.F("draining", s.draining.Load()))
 	default:
 		j.env.State = api.JobFailed
 		j.env.Error = err.Error()
 		s.opts.Metrics.Counter("server.jobs_failed").Inc()
+		j.journal.Record(events.Event{Type: events.TypeFailed, Detail: j.env.Error})
+		jl.Error("job failed", log.F("error", j.env.Error))
+	}
+}
+
+// startProgressSampler launches a goroutine mirroring the job's
+// progress board into its event journal every ProgressInterval (only
+// when a snapshot changed). The returned stop function halts sampling,
+// records one final changed snapshot, and only then returns — so the
+// terminal event always follows the last progress tick. It is a no-op
+// (returning a no-op stop) when the job has no board or no journal.
+func (s *Server) startProgressSampler(j *job) (stop func()) {
+	if j.progress == nil || j.journal == nil {
+		return func() {}
+	}
+	halt := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(s.opts.ProgressInterval)
+		defer tick.Stop()
+		var last events.ProgressCounts
+		emit := func() {
+			p := j.progress.Snapshot()
+			cur := events.ProgressCounts{
+				Scenarios:    events.Counts(p.Scenarios),
+				Cases:        events.Counts(p.Cases),
+				Replications: events.Counts(p.Replications),
+			}
+			if cur == last {
+				return
+			}
+			last = cur
+			snap := cur
+			j.journal.Record(events.Event{Type: events.TypeProgress, Progress: &snap})
+		}
+		for {
+			select {
+			case <-halt:
+				emit()
+				return
+			case <-tick.C:
+				emit()
+			}
+		}
+	}()
+	return func() {
+		close(halt)
+		<-done
 	}
 }
 
@@ -397,9 +534,10 @@ func (s *Server) cancelJob(id string) (api.Job, bool) {
 	s.mu.Lock()
 	switch j.env.State {
 	case api.JobQueued:
-		s.markCancelledLocked(j, "cancelled while queued")
+		s.markCancelledLocked(j, "cancelled while queued", events.TypeCancelled)
 	case api.JobRunning:
 		cancel = j.cancel
+		s.opts.Logger.Info("job cancel requested", log.F("job", id))
 	}
 	s.mu.Unlock()
 	if cancel != nil {
@@ -408,14 +546,18 @@ func (s *Server) cancelJob(id string) (api.Job, bool) {
 	return s.snapshot(j), true
 }
 
-// markCancelledLocked finalizes a not-yet-running job as cancelled.
-// Callers hold s.mu.
-func (s *Server) markCancelledLocked(j *job, why string) {
+// markCancelledLocked finalizes a not-yet-running job as cancelled,
+// recording typ (cancelled for client DELETEs, drained for shutdown)
+// as the journal's terminal event. Callers hold s.mu.
+func (s *Server) markCancelledLocked(j *job, why string, typ events.Type) {
 	now := time.Now().UTC()
 	j.env.State = api.JobCancelled
 	j.env.Finished = &now
 	j.env.Error = why
 	s.opts.Metrics.Counter("server.jobs_cancelled").Inc()
+	j.journal.Record(events.Event{Type: typ, Detail: why})
+	j.journal.Close()
+	s.opts.Logger.Info("job cancelled before start", log.F("job", j.env.ID), log.F("error", why))
 }
 
 // Draining reports whether the server has stopped admitting jobs.
@@ -429,7 +571,11 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // returns once every executor has exited.
 func (s *Server) Drain(timeout time.Duration) {
 	s.draining.Store(true)
-	s.stopOnce.Do(func() { close(s.stop) })
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.opts.Logger.Info("draining", log.F("timeout_seconds", timeout.Seconds()),
+			log.F("queue_depth", len(s.queue)), log.F("inflight", s.inflight.Load()))
+	})
 	s.drainQueued()
 
 	done := make(chan struct{})
@@ -464,7 +610,7 @@ func (s *Server) drainQueued() {
 		case j := <-s.queue:
 			s.mu.Lock()
 			if j.env.State == api.JobQueued {
-				s.markCancelledLocked(j, "cancelled before start: server draining")
+				s.markCancelledLocked(j, "cancelled before start: server draining", events.TypeDrained)
 			}
 			s.mu.Unlock()
 		default:

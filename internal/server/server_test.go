@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cdsf/internal/api"
+	"cdsf/internal/cache"
 	"cdsf/internal/config"
 	"cdsf/internal/core"
 	"cdsf/internal/experiments"
@@ -429,9 +430,18 @@ func TestListJobsAndFilters(t *testing.T) {
 	if len(both.Jobs) != 2 {
 		t.Errorf("state=done,running filter returned %d jobs", len(both.Jobs))
 	}
-	resp = getInto(t, ts.URL+"/v1/jobs?state=bogus", nil)
+	resp, err := http.Get(ts.URL + "/v1/jobs?state=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiErr api.Error
+	_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bogus state filter status %d, want 400", resp.StatusCode)
+	}
+	if apiErr.Error == "" {
+		t.Error("bogus state filter returned no error body")
 	}
 }
 
@@ -568,17 +578,41 @@ func TestDebugEndpointsMounted(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	s, ts := newTestServer(t, Options{})
-	var h struct {
-		Status   string `json:"status"`
-		Version  string `json:"version"`
-		Draining bool   `json:"draining"`
-	}
+	reg := metrics.NewRegistry()
+	s, ts := newTestServer(t, Options{Queue: 4, Executors: 2, Metrics: reg, Cache: cache.New(cache.Options{Metrics: reg})})
+	var h api.Health
 	resp := getInto(t, ts.URL+"/v1/healthz", &h)
 	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.Version != api.Version || h.Draining {
-		t.Errorf("healthz: status %d body %+v", resp.StatusCode, h)
+		t.Fatalf("healthz: status %d body %+v", resp.StatusCode, h)
 	}
-	_ = s
+	if h.QueueCapacity != 4 || h.Executors != 2 {
+		t.Errorf("healthz capacity/executors = %d/%d, want 4/2", h.QueueCapacity, h.Executors)
+	}
+	if h.Cache == nil {
+		t.Fatal("healthz: no cache block despite a configured cache")
+	}
+
+	// Run the same solve twice: the second replays from cache, and the
+	// job and cache tallies show up in the health document.
+	var a, b api.Job
+	post(t, ts.URL+"/v1/solve", api.SolveRequest{Heuristic: "greedy"}, &a)
+	waitState(t, ts.URL, a.ID, api.JobDone)
+	post(t, ts.URL+"/v1/solve", api.SolveRequest{Heuristic: "greedy"}, &b)
+	waitState(t, ts.URL, b.ID, api.JobDone)
+	getInto(t, ts.URL+"/v1/healthz", &h)
+	if h.Jobs.Submitted != 2 || h.Jobs.Done != 2 {
+		t.Errorf("healthz jobs = %+v, want 2 submitted / 2 done", h.Jobs)
+	}
+	if h.Cache.ResultHits != 1 || h.Cache.ResultMisses != 1 {
+		t.Errorf("healthz cache = %+v, want 1 hit / 1 miss", *h.Cache)
+	}
+
+	// Draining flips the status.
+	s.Drain(0)
+	getInto(t, ts.URL+"/v1/healthz", &h)
+	if h.Status != "draining" || !h.Draining {
+		t.Errorf("healthz while draining: %+v", h)
+	}
 }
 
 // getInto GETs a URL and decodes the body into out when non-nil.
