@@ -8,8 +8,8 @@
 #   make cover   enforce the coverage floor on the observability and
 #                service packages (internal/tracing, internal/trace,
 #                internal/api, internal/server, internal/log,
-#                internal/events), the PMF kernels (internal/pmf), and
-#                the solve cache (internal/cache)
+#                internal/events, internal/store), the PMF kernels
+#                (internal/pmf), and the solve cache (internal/cache)
 #   make bench   run the benchmark suite with allocation stats
 #   make bench-pmf  refresh the PMF backend comparison behind
 #                BENCH_PMF2.json (sparse vs grid kernels, solve)
@@ -20,6 +20,9 @@
 #   make serve   build and run the cdsfd scheduling service locally
 #   make smoke-sse  end-to-end smoke: a real cdsfd subprocess streams a
 #                seeded solve job's full event journal over SSE
+#   make smoke-cluster  end-to-end smoke: a coordinator and two worker
+#                subprocesses solve a seeded batch byte-identically to
+#                a single process and survive a worker kill -9
 
 GO ?= go
 
@@ -27,14 +30,14 @@ GO ?= go
 COVER_FLOOR ?= 85
 
 # Packages held to the coverage floor.
-COVER_PKGS ?= ./internal/tracing ./internal/trace ./internal/api ./internal/server ./internal/pmf ./internal/cache ./internal/log ./internal/events
+COVER_PKGS ?= ./internal/tracing ./internal/trace ./internal/api ./internal/server ./internal/pmf ./internal/cache ./internal/log ./internal/events ./internal/store
 
 # Listen address for `make serve`.
 SERVE_ADDR ?= 127.0.0.1:8080
 
-.PHONY: check build vet test race cover bench bench-pmf bench-cache fuzz serve smoke-sse
+.PHONY: check build vet test race cover bench bench-pmf bench-cache fuzz serve smoke-sse smoke-cluster
 
-check: build vet test race cover
+check: build vet test race cover smoke-cluster
 
 build:
 	$(GO) build ./...
@@ -83,3 +86,6 @@ serve:
 
 smoke-sse:
 	$(GO) test -run TestSmokeSSE -count=1 -v ./cmd/cdsfd
+
+smoke-cluster:
+	$(GO) test -run TestSmokeCluster -count=1 -v ./cmd/cdsfd

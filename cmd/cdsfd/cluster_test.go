@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+
+	"cdsf/internal/api"
+)
+
+// This file holds the multi-process acceptance tests for the WAL store
+// and worker mode: kill -9 crash recovery with bit-identical replayed
+// results, and a coordinator + 2 workers cluster that solves a seeded
+// batch byte-identically to a single process and absorbs a killed
+// worker's leased jobs. TestSmokeCluster doubles as the
+// `make smoke-cluster` target.
+
+// getJSON fetches a URL and decodes the body.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pollJob fetches one job's full envelope.
+func pollJob(t *testing.T, base, id string) api.Job {
+	t.Helper()
+	var j api.Job
+	getJSON(t, base+"/v1/jobs/"+id, &j)
+	return j
+}
+
+// waitJob polls until the job reaches want, failing fast on any other
+// terminal state.
+func waitJob(t *testing.T, base, id string, want api.JobState, timeout time.Duration) api.Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		j := pollJob(t, base, id)
+		if j.State == want {
+			return j
+		}
+		if j.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, j.State, j.Error, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s within %s", id, want, timeout)
+	return api.Job{}
+}
+
+// seededSimulate is a deterministic Stage-II job slow enough (~seconds)
+// to be caught mid-run by a kill.
+func seededSimulate(reps int) api.SimulateRequest {
+	return api.SimulateRequest{
+		Allocation: []api.Assignment{{Type: 0, Procs: 4}, {Type: 1, Procs: 4}, {Type: 1, Procs: 4}},
+		Techniques: []string{"STATIC"},
+		Reps:       reps,
+		Seed:       42,
+	}
+}
+
+func TestWorkerFlagRequiresCoordinator(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-worker", "w1"}, &stdout, &stderr); err == nil {
+		t.Error("-worker without -coordinator accepted")
+	}
+}
+
+// TestCrashRecoveryBitIdentical is the kill -9 acceptance test: a
+// SIGKILL mid-job loses no accepted work, and the restarted daemon
+// replays the journal and re-runs the seeded job to exactly the bytes
+// an uninterrupted run produces.
+func TestCrashRecoveryBitIdentical(t *testing.T) {
+	storeDir := t.TempDir()
+	req := seededSimulate(30_000)
+
+	// First life: accept the job, catch it mid-run, kill -9.
+	cmdA, baseA, _ := startDaemon(t, "-store", storeDir, "-executors", "1")
+	id := submitJob(t, baseA, "/v1/simulate", req)
+	waitJob(t, baseA, id, api.JobRunning, 30*time.Second)
+	if err := cmdA.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmdA.Wait()
+
+	// Second life: the journal replays, the interrupted job re-enqueues
+	// under its own id and runs to completion.
+	_, baseB, _ := startDaemon(t, "-store", storeDir)
+	recovered := waitJob(t, baseB, id, api.JobDone, 120*time.Second)
+
+	var h api.Health
+	getJSON(t, baseB+"/v1/healthz", &h)
+	if h.Store == nil || h.Store.Backend != "wal" || h.Store.RecoveredJobs != 1 {
+		t.Errorf("restarted healthz store block: %+v", h.Store)
+	}
+	var l api.JobList
+	getJSON(t, baseB+"/v1/jobs", &l)
+	if l.Total != 1 {
+		t.Errorf("restarted daemon lists %d jobs, want the 1 accepted before the kill", l.Total)
+	}
+
+	// Uninterrupted baseline on a fresh storeless daemon: the replayed
+	// result must match byte for byte.
+	_, baseC, _ := startDaemon(t)
+	refID := submitJob(t, baseC, "/v1/simulate", req)
+	ref := waitJob(t, baseC, refID, api.JobDone, 120*time.Second)
+	if string(recovered.Result) != string(ref.Result) {
+		t.Errorf("recovered result differs from uninterrupted run (%d vs %d bytes)",
+			len(recovered.Result), len(ref.Result))
+	}
+}
+
+// TestSmokeCluster is the end-to-end worker-mode smoke (run on its own
+// with `make smoke-cluster`): a coordinator and two worker daemons
+// solve a seeded batch byte-identically to a single process, and the
+// surviving worker absorbs a job leased to a worker that is SIGKILLed
+// mid-run.
+func TestSmokeCluster(t *testing.T) {
+	_, coordBase, _ := startDaemon(t)
+	w1Cmd, _, _ := startDaemon(t, "-worker", "w1", "-coordinator", coordBase, "-heartbeat", "300ms")
+	w2Cmd, _, _ := startDaemon(t, "-worker", "w2", "-coordinator", coordBase, "-heartbeat", "300ms")
+	workers := map[string]interface{ Kill() error }{
+		"w1": w1Cmd.Process, "w2": w2Cmd.Process,
+	}
+
+	// Wait for both workers to register.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var wl api.WorkerList
+		getJSON(t, coordBase+"/v1/workers", &wl)
+		alive := 0
+		for _, w := range wl.Workers {
+			if w.Alive {
+				alive++
+			}
+		}
+		if alive == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never formed: %+v", wl)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// A seeded batch through the cluster: every job runs on a worker.
+	batch := []api.SolveRequest{
+		{Heuristic: "greedy", Seed: 1},
+		{Heuristic: "genetic", Seed: 7},
+		{Heuristic: "greedy", Seed: 5},
+	}
+	results := make([]api.Job, len(batch))
+	for i, req := range batch {
+		id := submitJob(t, coordBase, "/v1/solve", req)
+		results[i] = waitJob(t, coordBase, id, api.JobDone, 60*time.Second)
+		if results[i].Node != "w1" && results[i].Node != "w2" {
+			t.Errorf("batch job %d ran on %q, want a worker", i, results[i].Node)
+		}
+	}
+
+	// Byte-identity against single-process mode.
+	_, soloBase, _ := startDaemon(t)
+	for i, req := range batch {
+		id := submitJob(t, soloBase, "/v1/solve", req)
+		solo := waitJob(t, soloBase, id, api.JobDone, 60*time.Second)
+		if string(results[i].Result) != string(solo.Result) {
+			t.Errorf("batch job %d: cluster result differs from single-process run", i)
+		}
+	}
+
+	// Kill the worker holding a long job's lease: the survivor absorbs
+	// it and still produces the single-process bytes.
+	req := seededSimulate(30_000)
+	id := submitJob(t, coordBase, "/v1/simulate", req)
+	var victim string
+	deadline = time.Now().Add(30 * time.Second)
+	for victim == "" {
+		if j := pollJob(t, coordBase, id); j.Node != "" {
+			victim = j.Node
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("long job never dispatched to a worker")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := workers[victim].Kill(); err != nil {
+		t.Fatal(err)
+	}
+	survivor := "w1"
+	if victim == "w1" {
+		survivor = "w2"
+	}
+	absorbed := waitJob(t, coordBase, id, api.JobDone, 120*time.Second)
+	if absorbed.Node != survivor {
+		t.Errorf("job finished on %q after killing %q, want survivor %q", absorbed.Node, victim, survivor)
+	}
+
+	soloID := submitJob(t, soloBase, "/v1/simulate", req)
+	solo := waitJob(t, soloBase, soloID, api.JobDone, 120*time.Second)
+	if string(absorbed.Result) != string(solo.Result) {
+		t.Error("absorbed job's result differs from single-process run")
+	}
+
+	var h api.Health
+	getJSON(t, coordBase+"/v1/healthz", &h)
+	if len(h.Workers) != 2 {
+		t.Errorf("coordinator healthz lists %d workers, want 2", len(h.Workers))
+	}
+	fmt.Println("smoke-cluster: batch of", len(batch), "solves + 1 reassigned simulate, all byte-identical")
+}

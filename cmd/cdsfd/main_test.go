@@ -21,7 +21,9 @@ import (
 
 // helperEnv re-executes this test binary as the real cdsfd daemon, so
 // the signal tests exercise the full runner.Exec path in a child
-// process.
+// process. startDaemon/submitJob below are shared with the crash-
+// recovery and cluster tests in cluster_test.go, which kill -9 these
+// child daemons.
 const helperEnv = "CDSFD_TEST_MAIN"
 
 func TestMain(m *testing.M) {

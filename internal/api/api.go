@@ -116,11 +116,53 @@ type Job struct {
 	Result   json.RawMessage `json:"result,omitempty"`
 	Error    string          `json:"error,omitempty"`
 	Cache    *CacheInfo      `json:"cache,omitempty"`
+	// Node is the worker peer the coordinator leased the job to;
+	// empty for jobs executed in-process.
+	Node string `json:"node,omitempty"`
 }
 
-// JobList is the GET /v1/jobs response, in submission order.
+// JobList is the GET /v1/jobs response, in submission order. The list
+// is paginated with ?limit=N&after=<id>: Total counts every job
+// matching the filter across all pages, and Next (set only when a
+// limit truncated the page) is the ?after= cursor for the next one.
 type JobList struct {
-	Jobs []Job `json:"jobs"`
+	Jobs  []Job  `json:"jobs"`
+	Total int    `json:"total"`
+	Next  string `json:"next,omitempty"`
+}
+
+// WorkerRegistration is the body of POST /v1/workers: a worker peer
+// announcing itself (and, periodically, re-announcing itself as a
+// heartbeat). Addr is the base URL the coordinator dispatches jobs
+// to.
+type WorkerRegistration struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// WorkerStatus is one registered worker peer as the coordinator sees
+// it: GET /v1/workers and the healthz workers block.
+type WorkerStatus struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+	// Alive is false once the worker has missed enough heartbeats to
+	// be considered dead; its leases are reassigned.
+	Alive bool `json:"alive"`
+	// LastHeartbeatSeconds is the silence since the worker's latest
+	// registration.
+	LastHeartbeatSeconds float64 `json:"last_heartbeat_seconds"`
+	// Leased is the number of jobs the worker currently holds;
+	// Dispatched and Completed are lifetime counts.
+	Leased     int   `json:"leased"`
+	Dispatched int64 `json:"dispatched"`
+	Completed  int64 `json:"completed"`
+}
+
+// WorkerList is the GET /v1/workers response (and the registration
+// acknowledgement, so a worker learns the cluster size from its own
+// heartbeat).
+type WorkerList struct {
+	Workers []WorkerStatus `json:"workers"`
 }
 
 // Error is the body of every non-2xx response.
@@ -149,6 +191,26 @@ type Health struct {
 	// Cache carries the solve-cache hit counters; absent when the
 	// server runs without a cache.
 	Cache *HealthCache `json:"cache,omitempty"`
+	// Store describes the job-store backend: memory or WAL, journal
+	// size, and what the last startup replay recovered.
+	Store *HealthStore `json:"store,omitempty"`
+	// Workers lists the registered worker peers with liveness; absent
+	// when none ever registered.
+	Workers []WorkerStatus `json:"workers,omitempty"`
+}
+
+// HealthStore is the healthz view of the job store (mirrors
+// store.Stats; api cannot import internal/store, which imports api).
+type HealthStore struct {
+	Backend         string `json:"backend"`
+	Jobs            int    `json:"jobs"`
+	Records         int64  `json:"records"`
+	WALBytes        int64  `json:"wal_bytes,omitempty"`
+	Fsyncs          int64  `json:"fsyncs,omitempty"`
+	ReplayedRecords int64  `json:"replayed_records,omitempty"`
+	ReplayedJobs    int64  `json:"replayed_jobs,omitempty"`
+	RecoveredJobs   int64  `json:"recovered_jobs,omitempty"`
+	TruncatedBytes  int64  `json:"truncated_bytes,omitempty"`
 }
 
 // HealthJobs are the lifetime job counts by outcome (submitted counts

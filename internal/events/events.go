@@ -41,6 +41,10 @@ const (
 	TypeQueued Type = "queued"
 	// TypeStarted: an executor picked the job up.
 	TypeStarted Type = "started"
+	// TypeAssigned: the coordinator leased the job to a worker peer
+	// (Detail carries the worker name; an empty name releases the
+	// lease back to the local pool).
+	TypeAssigned Type = "assigned"
 	// TypeProgress: a sampled snapshot of the job's progress board.
 	TypeProgress Type = "progress"
 	// TypeCacheResultHit: the job was answered from the result tier of

@@ -1,24 +1,16 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"cdsf/internal/api"
-	"cdsf/internal/cache"
-	"cdsf/internal/config"
-	"cdsf/internal/core"
-	"cdsf/internal/dls"
-	"cdsf/internal/experiments"
-	"cdsf/internal/pmf"
-	"cdsf/internal/ra"
-	"cdsf/internal/robustness"
-	"cdsf/internal/sysmodel"
 	"cdsf/internal/tracing"
 )
 
@@ -33,14 +25,20 @@ const maxRequestBytes = 16 << 20
 //	POST   /v1/solve             submit a Stage-I search        -> 202 + Job
 //	POST   /v1/simulate          submit a Stage-II Monte Carlo  -> 202 + Job
 //	POST   /v1/scenario          submit a full framework run    -> 202 + Job
-//	GET    /v1/jobs              list jobs (?state=a,b filters)
+//	GET    /v1/jobs              list jobs (?state=a,b filters;
+//	                             ?limit=n&after=id paginates)
 //	GET    /v1/jobs/{id}         poll one job
 //	DELETE /v1/jobs/{id}         cancel one job
 //	GET    /v1/jobs/{id}/events  the job's event journal (JSON;
 //	                             ?follow=1 streams SSE with
 //	                             Last-Event-ID resume)
 //	GET    /v1/healthz           liveness: queue depth, inflight,
-//	                             drain state, cache counters
+//	                             drain state, cache counters, job
+//	                             store stats, worker liveness
+//	POST   /v1/workers           register a worker peer (repeat as
+//	                             heartbeat)
+//	GET    /v1/workers           list worker peers and liveness
+//	DELETE /v1/workers/{name}    deregister a worker peer
 //
 // plus the debug endpoints every CLI exposes behind -debug-addr
 // (/metrics, /progress, /trace, /debug/pprof/*) and the cross-job
@@ -60,6 +58,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("cancel", s.handleCancel))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("job_events", s.handleJobEvents))
 	mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("POST /v1/workers", s.instrument("worker_register", s.handleWorkerRegister))
+	mux.HandleFunc("GET /v1/workers", s.instrument("workers", s.handleWorkers))
+	mux.HandleFunc("DELETE /v1/workers/{name}", s.instrument("worker_deregister", s.handleWorkerDeregister))
 	mux.HandleFunc("GET /debug/events", s.instrument("debug_events", s.handleDebugEvents))
 	tracing.Mount(mux, s.opts.Metrics, s.progressSnapshot, s.opts.Tracer)
 	return mux
@@ -93,395 +94,89 @@ func decode[T any](w http.ResponseWriter, r *http.Request) (*T, bool) {
 	return req, true
 }
 
-// accept enqueues a validated job and writes the admission response:
-// 202 with the envelope and a Location header, 429 + Retry-After when
-// the queue is full, 503 while draining. The Retry-After estimate is
-// queue depth x the rolling mean of recent job wall times (floor 1s),
-// so a deep backlog of slow jobs pushes clients back further than a
-// shallow one. key/info carry the job's cache identity (zero/nil when
-// caching is off).
-func (s *Server) accept(w http.ResponseWriter, kind api.JobKind, withProgress bool, key cache.Key, info *api.CacheInfo, run func(ctx context.Context, prog *tracing.Progress) (any, error)) {
-	j, err := s.enqueue(kind, withProgress, key, info, run)
+// accept admits a prepared job and writes the admission response: 202
+// with the envelope and a Location header (whether the job was
+// enqueued or answered terminally from the cache), 429 + Retry-After
+// when the queue is full, 503 while draining. The Retry-After estimate
+// is the backlog's drain time: queue depth x the rolling mean of
+// recent job wall times / the executor-pool width (floor 1s).
+func (s *Server) accept(w http.ResponseWriter, spec *jobSpec) {
+	var j api.Job
+	var err error
+	if spec.cached != nil {
+		j, err = s.admitCached(spec)
+	} else {
+		j, err = s.enqueue(spec)
+	}
 	switch {
 	case errors.Is(err, errDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err.Error())
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
 	default:
 		w.Header().Set("Location", "/"+api.Version+"/jobs/"+j.ID)
 		writeJSON(w, http.StatusAccepted, j)
 	}
 }
 
-// acceptCached answers a request whose result document is already in
-// the cache: an already-done job is registered and returned with the
-// usual 202 + Location, so clients observe the same protocol either
-// way — just terminally faster.
-func (s *Server) acceptCached(w http.ResponseWriter, kind api.JobKind, key cache.Key, doc []byte) {
-	j, err := s.admitCached(kind, key, doc)
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err.Error())
-		return
-	}
-	w.Header().Set("Location", "/"+api.Version+"/jobs/"+j.ID)
-	writeJSON(w, http.StatusAccepted, j)
-}
-
-// instanceField folds the request's problem identity into a result
-// key: the canonical instance bytes, or a fixed marker for the
-// embedded paper example (which has no canonical echo).
-func instanceField(h *cache.Hasher, p *problem) {
-	if p.echo != nil {
-		h.String("instance").Bytes(p.echo)
-	} else {
-		h.String("paper-example")
-	}
-}
-
-// problem is a resolved problem document: the model objects, the
-// availability cases to evaluate, and the canonical echo of the
-// submitted instance (nil for the embedded paper example).
-type problem struct {
-	sys      *sysmodel.System
-	batch    sysmodel.Batch
-	deadline float64
-	cases    []core.Case
-	echo     json.RawMessage
-}
-
-// resolveProblem builds the model objects for a request. A nil instance
-// means the embedded paper example with the paper's four availability
-// cases; an instance without declared cases gets core.FallbackCases,
-// exactly like the cdsf CLI.
-func resolveProblem(inst *config.Instance) (*problem, error) {
-	if inst == nil {
-		f := experiments.Framework()
-		return &problem{sys: f.Sys, batch: f.Batch, deadline: f.Deadline, cases: experiments.Cases()}, nil
-	}
-	sys, batch, deadline, err := config.Build(inst)
-	if err != nil {
-		return nil, err
-	}
-	named, err := config.BuildCases(inst)
-	if err != nil {
-		return nil, err
-	}
-	cases := make([]core.Case, 0, len(named))
-	for _, na := range named {
-		cases = append(cases, core.Case{Name: na.Name, Avail: na.Avail})
-	}
-	if len(cases) == 0 {
-		cases = core.FallbackCases(sys)
-	}
-	echo, err := config.Marshal(inst)
-	if err != nil {
-		return nil, err
-	}
-	return &problem{sys: sys, batch: batch, deadline: deadline, cases: cases, echo: echo}, nil
-}
-
-// resolveCase picks the availability case a simulate request names:
-// empty or "reference" means the reference availability, anything else
-// must match one of the instance's cases.
-func (p *problem) resolveCase(name string) (core.Case, error) {
-	if name == "" || strings.EqualFold(name, "reference") {
-		ref := make([]pmf.PMF, len(p.sys.Types))
-		for j, t := range p.sys.Types {
-			ref[j] = t.Avail
-		}
-		return core.Case{Name: "reference", Avail: ref}, nil
-	}
-	for _, c := range p.cases {
-		if strings.EqualFold(c.Name, name) {
-			return c, nil
-		}
-	}
-	names := make([]string, len(p.cases))
-	for i, c := range p.cases {
-		names[i] = c.Name
-	}
-	return core.Case{}, fmt.Errorf("unknown case %q (have reference, %s)", name, strings.Join(names, ", "))
-}
-
-// workersFor resolves a request's worker count against the server
-// default.
-func (s *Server) workersFor(requested int) int {
-	if requested > 0 {
-		return requested
-	}
-	return s.opts.Workers
-}
-
-// backendFor resolves a request's pmf_backend against the server
-// default; an unknown name is the client's fault.
-func (s *Server) backendFor(requested string) (pmf.Backend, error) {
-	if requested == "" {
-		return s.opts.PMFBackend, nil
-	}
-	return pmf.ParseBackend(requested)
-}
-
-// stageII builds the Stage-II configuration for a request from the
-// paper defaults, threading in the server's instrumentation.
-func (s *Server) stageII(deadline float64, seed uint64, reps int) core.StageIIConfig {
-	cfg := core.DefaultStageII(deadline, seed)
-	if reps > 0 {
-		cfg.Reps = reps
-	}
-	cfg.Metrics = s.opts.Metrics
-	cfg.Tracer = s.opts.Tracer
-	return cfg
-}
-
 // handleSolve validates a Stage-I request eagerly (bad instances and
 // unknown heuristic names are the client's fault and answer 400) and
-// enqueues the search.
+// admits the search.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	req, ok := decode[api.SolveRequest](w, r)
 	if !ok {
 		return
 	}
-	p, err := resolveProblem(req.Instance)
+	spec, err := s.prepareSolve(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	deadline := p.deadline
-	if req.Deadline > 0 {
-		deadline = req.Deadline
-	}
-	name := req.Heuristic
-	if name == "" {
-		name = "exhaustive"
-	}
-	h, err := ra.ByName(name)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	ra.SetWorkers(h, s.workersFor(req.Workers))
-	if req.Seed != 0 {
-		ra.SetSeed(h, req.Seed)
-	}
-	backend, err := s.backendFor(req.PMFBackend)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	prob := &ra.Problem{Sys: p.sys, Batch: p.batch, Deadline: deadline,
-		Backend: backend, Metrics: s.opts.Metrics, Tracer: s.opts.Tracer}
-	if err := prob.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	label := h.Name()
-	var key cache.Key
-	var info *api.CacheInfo
-	if s.opts.Cache != nil {
-		// Everything the result document depends on; Workers is
-		// deliberately excluded (results are identical for any count).
-		hk := cache.NewHasher("cdsf-result-v1")
-		hk.String(string(api.KindSolve))
-		instanceField(hk, p)
-		hk.String(label).Float64(deadline).Uint64(req.Seed).String(backend.String())
-		key = hk.Sum()
-		if doc, ok := s.opts.Cache.GetResult(key); ok {
-			s.acceptCached(w, api.KindSolve, key, doc)
-			return
-		}
-		info = &api.CacheInfo{Key: key.String()}
-		prob.Cache = s.opts.Cache
-	}
-	s.accept(w, api.KindSolve, false, key, info, func(ctx context.Context, _ *tracing.Progress) (any, error) {
-		al, err := ra.SolveContext(ctx, h, prob)
-		if err != nil {
-			return nil, err
-		}
-		if info != nil {
-			info.WarmHits, info.WarmMisses = prob.CacheCounts()
-		}
-		st, err := robustness.EvaluateStageI(p.sys, p.batch, al, deadline)
-		if err != nil {
-			return nil, err
-		}
-		wire := api.FromStageI(st)
-		return api.SolveResult{
-			Heuristic:     label,
-			Allocation:    wire.Allocation,
-			Phi1:          wire.Phi1,
-			PerApp:        wire.PerApp,
-			ExpectedTimes: wire.ExpectedTimes,
-			Instance:      p.echo,
-		}, nil
-	})
+	s.accept(w, spec)
 }
 
-// handleSimulate validates a Stage-II request eagerly and enqueues the
+// handleSimulate validates a Stage-II request eagerly and admits the
 // Monte-Carlo evaluation of the fixed allocation under one case.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	req, ok := decode[api.SimulateRequest](w, r)
 	if !ok {
 		return
 	}
-	p, err := resolveProblem(req.Instance)
+	spec, err := s.prepareSimulate(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if len(req.Allocation) == 0 {
-		writeError(w, http.StatusBadRequest, "allocation is required")
-		return
-	}
-	alloc := api.ToAllocation(req.Allocation)
-	if err := alloc.Validate(p.sys, p.batch); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	var techs []dls.Technique
-	if len(req.Techniques) == 0 {
-		techs = core.RobustRAS()
-	} else {
-		for _, name := range req.Techniques {
-			t, ok := dls.Get(strings.TrimSpace(name))
-			if !ok {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown technique %q (have %s)",
-					name, strings.Join(dls.Names(), ", ")))
-				return
-			}
-			techs = append(techs, t)
-		}
-	}
-	c, err := p.resolveCase(req.Case)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	backend, err := s.backendFor(req.PMFBackend)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	cfg := s.stageII(p.deadline, req.Seed, req.Reps)
-	cfg.PMFBackend = backend
-	if req.Overhead != nil {
-		cfg.Overhead = *req.Overhead
-	}
-	if req.IterCV != nil {
-		cfg.IterCV = *req.IterCV
-	}
-	if req.TimeSteps > 0 {
-		cfg.TimeSteps = req.TimeSteps
-	}
-	f := &core.Framework{Sys: p.sys, Batch: p.batch, Deadline: p.deadline}
-	var key cache.Key
-	var info *api.CacheInfo
-	if s.opts.Cache != nil {
-		hk := cache.NewHasher("cdsf-result-v1")
-		hk.String(string(api.KindSimulate))
-		instanceField(hk, p)
-		for _, as := range alloc {
-			hk.Int(as.Type).Int(as.Procs)
-		}
-		for _, t := range techs {
-			hk.String(t.Name)
-		}
-		hk.String(c.Name).Int(cfg.Reps).Uint64(req.Seed)
-		hk.Float64(cfg.Overhead).Float64(cfg.IterCV).Int(cfg.TimeSteps)
-		hk.String(backend.String())
-		key = hk.Sum()
-		if doc, ok := s.opts.Cache.GetResult(key); ok {
-			s.acceptCached(w, api.KindSimulate, key, doc)
-			return
-		}
-		info = &api.CacheInfo{Key: key.String()}
-		cfg.Cache = s.opts.Cache
-	}
-	s.accept(w, api.KindSimulate, true, key, info, func(ctx context.Context, prog *tracing.Progress) (any, error) {
-		run := cfg
-		run.Progress = prog
-		cr, err := f.RunCaseContext(ctx, alloc, techs, c, run)
-		if err != nil {
-			return nil, err
-		}
-		return api.SimulateResult{CaseResult: api.FromCaseResult(cr), Instance: p.echo}, nil
-	})
+	s.accept(w, spec)
 }
 
-// handleScenario validates a full framework request eagerly and
-// enqueues the dual-stage run over every availability case.
+// handleScenario validates a full framework request eagerly and admits
+// the dual-stage run over every availability case.
 func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	req, ok := decode[api.ScenarioRequest](w, r)
 	if !ok {
 		return
 	}
-	p, err := resolveProblem(req.Instance)
+	spec, err := s.prepareScenario(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	scenario := req.Scenario
-	if scenario == 0 {
-		scenario = 4
-	}
-	sc, err := core.BuildScenario(scenario, req.IM, req.RAS)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	ra.SetWorkers(sc.IM, s.workersFor(req.Workers))
-	backend, err := s.backendFor(req.PMFBackend)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	f := &core.Framework{Sys: p.sys, Batch: p.batch, Deadline: p.deadline}
-	if err := f.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	cfg := s.stageII(p.deadline, req.Seed, req.Reps)
-	cfg.PMFBackend = backend
-	cases := p.cases
-	var key cache.Key
-	var info *api.CacheInfo
-	if s.opts.Cache != nil {
-		// sc.Name encodes the resolved scenario: the paper scenarios
-		// have unique labels and custom ones embed the IM and technique
-		// names, so two requests resolving differently can never share
-		// a key.
-		hk := cache.NewHasher("cdsf-result-v1")
-		hk.String(string(api.KindScenario))
-		instanceField(hk, p)
-		hk.String(sc.Name).Int(cfg.Reps).Uint64(req.Seed).String(backend.String())
-		key = hk.Sum()
-		if doc, ok := s.opts.Cache.GetResult(key); ok {
-			s.acceptCached(w, api.KindScenario, key, doc)
-			return
-		}
-		info = &api.CacheInfo{Key: key.String()}
-		cfg.Cache = s.opts.Cache
-	}
-	s.accept(w, api.KindScenario, true, key, info, func(ctx context.Context, prog *tracing.Progress) (any, error) {
-		run := cfg
-		run.Progress = prog
-		res, err := f.RunScenarioContext(ctx, sc, cases, run)
-		if err != nil {
-			return nil, err
-		}
-		if info != nil {
-			info.WarmHits, info.WarmMisses = res.WarmHits, res.WarmMisses
-		}
-		wire := api.FromScenarioResult(res)
-		wire.Instance = p.echo
-		return wire, nil
-	})
+	s.accept(w, spec)
 }
 
-// handleJobs lists jobs, optionally filtered by ?state=queued,running.
+// handleJobs lists jobs, optionally filtered by ?state=queued,running
+// and paginated with ?limit=n (page size) and ?after=id (exclusive
+// cursor — the id the previous page's "next" reported). The response's
+// total counts every match, so clients can size progress bars without
+// walking all pages.
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	var states map[api.JobState]bool
-	if vals, ok := r.URL.Query()["state"]; ok {
+	if vals, ok := q["state"]; ok {
 		states = map[api.JobState]bool{}
 		for _, v := range vals {
 			for _, part := range strings.Split(v, ",") {
@@ -496,18 +191,31 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, api.JobList{Jobs: s.list(states)})
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("limit must be a positive integer, got %q", v))
+			return
+		}
+		limit = n
+	}
+	jobs, total, next, err := s.list(states, q.Get("after"), limit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, api.JobList{Jobs: jobs, Total: total, Next: next})
 }
 
 // handleJob polls one job.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	j, ok := s.lookup(id)
-	if !ok {
+	if _, ok := s.lookup(id); !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.snapshot(j))
+	writeJSON(w, http.StatusOK, s.snapshot(id))
 }
 
 // handleCancel cancels one job. A job cancelled while queued (or
@@ -528,11 +236,57 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, env)
 }
 
+// handleWorkerRegister registers (or heartbeats) a worker peer: a
+// cdsfd process running with -coordinator pointed here. Re-posting the
+// same registration is the heartbeat; a changed address re-routes the
+// peer's ring slots. The response lists every registered peer, so a
+// worker sees its cohort.
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining.Error())
+		return
+	}
+	reg, ok := decode[api.WorkerRegistration](w, r)
+	if !ok {
+		return
+	}
+	if reg.Name == "" {
+		writeError(w, http.StatusBadRequest, "worker name is required")
+		return
+	}
+	u, err := url.Parse(reg.Addr)
+	if err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("worker addr must be an http(s) base URL, got %q", reg.Addr))
+		return
+	}
+	s.peers.register(reg.Name, strings.TrimRight(reg.Addr, "/"))
+	writeJSON(w, http.StatusOK, api.WorkerList{Workers: s.peers.statuses(time.Now())})
+}
+
+// handleWorkers lists the registered worker peers with liveness and
+// lease counts.
+func (s *Server) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.WorkerList{Workers: s.peers.statuses(time.Now())})
+}
+
+// handleWorkerDeregister removes a worker peer from the registry. Jobs
+// it still holds are reassigned by the executors exactly as if the
+// worker had died.
+func (s *Server) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.peers.remove(name) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no worker %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.WorkerList{Workers: s.peers.statuses(time.Now())})
+}
+
 // handleHealth reports liveness as a structured document: drain state,
-// queue and executor saturation, lifetime job counts, and — when the
-// server runs with a solve cache — the cache hit counters. "ok" flips
-// to "draining" once admission has stopped, so a load balancer keying
-// on the status string stops routing during shutdown.
+// queue and executor saturation, lifetime job counts, the job store's
+// backend and journal/replay stats, and — when present — the cache
+// counters and per-worker liveness. "ok" flips to "draining" once
+// admission has stopped, so a load balancer keying on the status
+// string stops routing during shutdown.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	reg := s.opts.Metrics
 	h := api.Health{
@@ -540,7 +294,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Version:       api.Version,
 		Draining:      s.Draining(),
 		QueueDepth:    len(s.queue),
-		QueueCapacity: cap(s.queue),
+		QueueCapacity: s.opts.Queue,
 		Inflight:      int(s.inflight.Load()),
 		Executors:     s.opts.Executors,
 		Jobs: api.HealthJobs{
@@ -554,6 +308,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if h.Draining {
 		h.Status = "draining"
 	}
+	st := s.store.Stats()
+	h.Store = &api.HealthStore{
+		Backend:         st.Backend,
+		Jobs:            st.Jobs,
+		Records:         st.Records,
+		WALBytes:        st.WALBytes,
+		Fsyncs:          st.Fsyncs,
+		ReplayedRecords: st.ReplayedRecords,
+		ReplayedJobs:    st.ReplayedJobs,
+		RecoveredJobs:   st.RecoveredJobs,
+		TruncatedBytes:  st.TruncatedBytes,
+	}
 	if s.opts.Cache != nil {
 		h.Cache = &api.HealthCache{
 			ResultHits:   reg.Counter("cache.result_hits").Value(),
@@ -561,6 +327,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			TableHits:    reg.Counter("cache.table_hits").Value(),
 			TableMisses:  reg.Counter("cache.table_misses").Value(),
 		}
+	}
+	if ws := s.peers.statuses(time.Now()); len(ws) > 0 {
+		h.Workers = ws
 	}
 	writeJSON(w, http.StatusOK, h)
 }

@@ -14,9 +14,19 @@
 // worker pools and returns an error wrapping context.Canceled, which
 // the server maps to the cancelled state.
 //
-// The server deliberately has no persistence: jobs live in memory for
-// the lifetime of the process, which is what the reproduction needs
-// and keeps the package dependency-free (net/http only).
+// Job state lives in a pluggable store.JobStore: every lifecycle
+// transition is expressed as a store record, and the envelopes the API
+// serves are materialized from those records. The default memory store
+// reproduces the original in-process behaviour exactly (jobs die with
+// the process); the WAL store journals each transition durably, and New
+// replays interrupted jobs from the journal after a crash — seeded jobs
+// re-run to bit-identical result bytes (DESIGN.md §12).
+//
+// When worker peers register (POST /v1/workers), the executor pool
+// additionally acts as a coordinator: jobs are placed on live workers
+// by consistent hashing over their request bytes and run remotely over
+// the same v1 API, with leases reassigned when a worker dies
+// (worker.go).
 package server
 
 import (
@@ -36,6 +46,7 @@ import (
 	"cdsf/internal/log"
 	"cdsf/internal/metrics"
 	"cdsf/internal/pmf"
+	"cdsf/internal/store"
 	"cdsf/internal/tracing"
 )
 
@@ -93,18 +104,36 @@ type Options struct {
 	// sampled into its event journal (only when Events is set and the
 	// job tracks progress). Non-positive means 250ms.
 	ProgressInterval time.Duration
+	// Store is the job store behind the lifecycle: every transition is
+	// appended to it and envelopes are read back from it. Nil means a
+	// fresh in-memory store (the original non-durable behaviour); cdsfd
+	// -store wires in the WAL store, whose interrupted jobs New
+	// re-enqueues before the executor pool starts. The server owns the
+	// store from here on and closes it at the end of Drain.
+	Store store.JobStore
+	// HeartbeatTimeout is how long a registered worker peer may stay
+	// silent before it is considered dead: placement skips it and its
+	// leased jobs are reassigned. Non-positive means 10s.
+	HeartbeatTimeout time.Duration
 }
 
-// Server owns the job table, the bounded queue, and the executor pool.
-// Create one with New and expose it with Handler; stop it with Drain.
+// Server owns the job queue, the executor pool, and the worker-peer
+// registry; job state lives in the store. Create one with New and
+// expose it with Handler; stop it with Drain.
 type Server struct {
-	opts Options
+	opts  Options
+	store store.JobStore
+	peers *peerSet
 
 	queue    chan *job
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 	draining atomic.Bool
+
+	// closeStore guards the single store close at the end of Drain
+	// (Drain itself is idempotent).
+	closeStore sync.Once
 
 	// baseCtx parents every job context; baseCancel is the drain
 	// hammer.
@@ -120,10 +149,16 @@ type Server struct {
 	queueDepth   *metrics.Gauge
 	inflightG    *metrics.Gauge
 
-	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string
-	seq   int
+	// admitMu serializes admissions: the queue-capacity check, the
+	// durable accepted append, and the queue push happen as one unit,
+	// so a 202 means the job is journaled AND has a queue slot.
+	admitMu sync.Mutex
+
+	// mu guards the runtime job map and serializes lifecycle decisions
+	// (the check-then-append sequences); the store serializes its own
+	// state internally.
+	mu   sync.Mutex
+	jobs map[string]*job
 
 	// wallMu guards the ring of recent job wall times feeding the
 	// Retry-After estimate (separate from mu: admission reads it while
@@ -137,10 +172,13 @@ type Server struct {
 // behind the Retry-After estimate.
 const wallWindow = 32
 
-// job pairs the wire envelope with the server-side control state. The
-// envelope is mutated only under Server.mu.
+// job is the server-side control state of one admitted job; the wire
+// envelope it serves is materialized by the store from the appended
+// lifecycle records.
 type job struct {
-	env      api.Job
+	id       string
+	kind     api.JobKind
+	request  json.RawMessage
 	progress *tracing.Progress
 	journal  *events.Journal
 	run      func(ctx context.Context, prog *tracing.Progress) (any, error)
@@ -150,8 +188,8 @@ type job struct {
 	// caching is off for this job); cacheInfo is the envelope block
 	// attached once the job reaches done. The run closure may write
 	// cacheInfo's warm counts while running — it is published into the
-	// envelope only under mu after run returns, so snapshots never see
-	// it mid-write.
+	// done record only under mu after run returns, so snapshots never
+	// see it mid-write.
 	cacheKey  cache.Key
 	cacheInfo *api.CacheInfo
 }
@@ -162,7 +200,8 @@ var (
 	errQueueFull = errors.New("server: job queue full")
 )
 
-// New starts a server: the executor pool is running and Handler can be
+// New starts a server: the store's interrupted jobs (if any) are
+// re-enqueued, the executor pool is running, and Handler can be
 // mounted immediately. Callers must eventually call Drain (or Close)
 // to stop the pool.
 func New(opts Options) *Server {
@@ -181,10 +220,20 @@ func New(opts Options) *Server {
 	if opts.ProgressInterval <= 0 {
 		opts.ProgressInterval = 250 * time.Millisecond
 	}
+	if opts.Store == nil {
+		opts.Store = store.NewMemory()
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 10 * time.Second
+	}
 	ctx, cancel := context.WithCancel(context.Background())
+	interrupted := opts.Store.Interrupted()
 	s := &Server{
-		opts:       opts,
-		queue:      make(chan *job, opts.Queue),
+		opts:  opts,
+		store: opts.Store,
+		// The queue is oversized by the recovery backlog so replayed
+		// jobs always fit; admission still enforces opts.Queue.
+		queue:      make(chan *job, opts.Queue+len(interrupted)),
 		stop:       make(chan struct{}),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -192,6 +241,11 @@ func New(opts Options) *Server {
 		queueDepth: opts.Metrics.Gauge("server.queue_depth"),
 		inflightG:  opts.Metrics.Gauge("server.jobs_inflight"),
 	}
+	s.peers = newPeerSet(opts.HeartbeatTimeout, opts.Metrics, opts.Logger)
+	for _, rec := range interrupted {
+		s.recoverJob(rec)
+	}
+	s.queueDepth.Set(float64(len(s.queue)))
 	s.wg.Add(opts.Executors)
 	for i := 0; i < opts.Executors; i++ {
 		go s.executor()
@@ -199,86 +253,137 @@ func New(opts Options) *Server {
 	return s
 }
 
-// enqueue admits a job: it allocates an id, tries the bounded queue,
-// and registers the job for lookup. run receives the job's context and
-// its progress board (nil for kinds without Stage-II fan-out). A
-// non-nil info carries the job's cache identity: the finished result
-// is stored under key and the block is attached to the done envelope.
-func (s *Server) enqueue(kind api.JobKind, withProgress bool, key cache.Key, info *api.CacheInfo, run func(ctx context.Context, prog *tracing.Progress) (any, error)) (api.Job, error) {
+// recoverJob re-enqueues one interrupted job from its journaled
+// request: the request is re-validated through the same dispatch layer
+// HTTP submissions use and the job re-runs under its original id.
+// Deterministic (seeded) jobs reproduce their result bytes exactly. A
+// request that no longer validates fails the job instead of dropping
+// it, so the crash leaves an explanation rather than a hole.
+func (s *Server) recoverJob(rec store.Job) {
+	id := rec.Env.ID
+	spec, err := s.prepare(rec.Env.Kind, rec.Request)
+	if err != nil {
+		_ = s.store.Append(store.Record{Job: id, Type: events.TypeFailed,
+			Detail: fmt.Sprintf("recovery: %v", err)})
+		s.opts.Metrics.Counter("server.jobs_failed").Inc()
+		s.opts.Logger.Error("recovered job failed re-validation",
+			log.F("job", id), log.F("error", err.Error()))
+		return
+	}
+	j := &job{id: id, kind: spec.kind, request: rec.Request,
+		run: spec.run, cacheKey: spec.key, cacheInfo: spec.info}
+	if spec.withProgress {
+		j.progress = tracing.NewProgress()
+	}
+	j.journal = s.opts.Events.Journal(id)
+	j.journal.Record(events.Event{Type: events.TypeAccepted, Detail: string(spec.kind)})
+	if spec.cached != nil {
+		// The result tier already holds this job's bytes (an identical
+		// job finished before the crash): complete it at recovery.
+		_ = s.store.Append(store.Record{Job: id, Type: events.TypeDone, Result: spec.cached,
+			Cache: &api.CacheInfo{Key: spec.key.String(), ResultHit: true}})
+		j.journal.Record(events.Event{Type: events.TypeCacheResultHit, Detail: spec.key.String()})
+		j.journal.Record(events.Event{Type: events.TypeDone, Detail: "replayed from cache"})
+		j.journal.Close()
+		s.opts.Metrics.Counter("server.jobs_done").Inc()
+		return
+	}
+	_ = s.store.Append(store.Record{Job: id, Type: events.TypeQueued, Detail: "recovered after restart"})
+	j.journal.Record(events.Event{Type: events.TypeQueued, Detail: "recovered after restart"})
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.mu.Unlock()
+	s.queue <- j
+	s.opts.Metrics.Counter("server.jobs_recovered").Inc()
+	s.opts.Logger.Info("job recovered from journal", log.F("job", id), log.F("kind", string(spec.kind)))
+}
+
+// enqueue admits a prepared job: it allocates an id, durably journals
+// acceptance, and registers the job for lookup — all under the
+// admission lock, so a 202 means the accepted record hit the store
+// (fsynced, on the WAL backend) and the job holds a queue slot.
+func (s *Server) enqueue(spec *jobSpec) (api.Job, error) {
 	if s.draining.Load() {
 		return api.Job{}, errDraining
 	}
-	s.mu.Lock()
-	s.seq++
-	id := fmt.Sprintf("job-%06d", s.seq)
-	s.mu.Unlock()
-
-	j := &job{
-		env:       api.Job{ID: id, Kind: kind, State: api.JobQueued, Created: time.Now().UTC()},
-		run:       run,
-		cacheKey:  key,
-		cacheInfo: info,
-	}
-	if withProgress {
+	id := s.store.NextID()
+	j := &job{id: id, kind: spec.kind, request: spec.request,
+		run: spec.run, cacheKey: spec.key, cacheInfo: spec.info}
+	if spec.withProgress {
 		j.progress = tracing.NewProgress()
 	}
-	select {
-	case s.queue <- j:
-	default:
+
+	s.admitMu.Lock()
+	// Backpressure against the configured bound, not the (possibly
+	// recovery-oversized) channel capacity.
+	if len(s.queue) >= s.opts.Queue {
+		s.admitMu.Unlock()
 		s.opts.Metrics.Counter("server.jobs_rejected").Inc()
 		s.opts.Logger.Warn("job rejected: queue full",
-			log.F("kind", string(kind)), log.F("queue_depth", len(s.queue)))
+			log.F("kind", string(spec.kind)), log.F("queue_depth", len(s.queue)))
 		return api.Job{}, errQueueFull
 	}
-	depth := len(s.queue)
-	s.queueDepth.Set(float64(depth))
+	if err := s.store.Append(store.Record{Job: id, Type: events.TypeAccepted,
+		Kind: spec.kind, Request: spec.request}); err != nil {
+		s.admitMu.Unlock()
+		s.opts.Logger.Error("job store append failed", log.F("job", id), log.F("error", err.Error()))
+		return api.Job{}, fmt.Errorf("job store: %w", err)
+	}
+	_ = s.store.Append(store.Record{Job: id, Type: events.TypeQueued})
 	j.journal = s.opts.Events.Journal(id)
-	j.journal.Record(events.Event{Type: events.TypeAccepted, Detail: string(kind)})
+	j.journal.Record(events.Event{Type: events.TypeAccepted, Detail: string(spec.kind)})
 	j.journal.Record(events.Event{Type: events.TypeQueued})
 	s.mu.Lock()
 	s.jobs[id] = j
-	s.order = append(s.order, id)
 	s.mu.Unlock()
+	// The capacity check above held: only admitters (serialized here)
+	// fill the channel and executors only drain it, so this never
+	// blocks.
+	s.queue <- j
+	depth := len(s.queue)
+	s.admitMu.Unlock()
+
+	s.queueDepth.Set(float64(depth))
 	s.opts.Metrics.Counter("server.jobs_submitted").Inc()
 	s.opts.Logger.Info("job accepted", log.F("job", id),
-		log.F("kind", string(kind)), log.F("queue_depth", depth))
-	return s.snapshot(j), nil
+		log.F("kind", string(spec.kind)), log.F("queue_depth", depth))
+	return s.snapshot(id), nil
 }
 
 // admitCached registers an already-done job answering a request whose
 // result document was found in the cache: the envelope is terminal on
 // arrival, never touches the queue (so cached repeats are immune to
 // backpressure), and is served by the job endpoints like any other.
-func (s *Server) admitCached(kind api.JobKind, key cache.Key, doc []byte) (api.Job, error) {
+func (s *Server) admitCached(spec *jobSpec) (api.Job, error) {
 	if s.draining.Load() {
 		return api.Job{}, errDraining
 	}
-	now := time.Now().UTC()
-	s.mu.Lock()
-	s.seq++
-	id := fmt.Sprintf("job-%06d", s.seq)
-	j := &job{env: api.Job{
-		ID: id, Kind: kind, State: api.JobDone,
-		Created: now, Started: &now, Finished: &now,
-		Result: doc,
-		Cache:  &api.CacheInfo{Key: key.String(), ResultHit: true},
-	}}
-	s.jobs[id] = j
-	s.order = append(s.order, id)
-	s.mu.Unlock()
+	id := s.store.NextID()
+	s.admitMu.Lock()
+	err := s.store.Append(store.Record{Job: id, Type: events.TypeAccepted,
+		Kind: spec.kind, Request: spec.request})
+	if err == nil {
+		err = s.store.Append(store.Record{Job: id, Type: events.TypeDone, Result: spec.cached,
+			Cache: &api.CacheInfo{Key: spec.key.String(), ResultHit: true}})
+	}
+	s.admitMu.Unlock()
+	if err != nil {
+		s.opts.Logger.Error("job store append failed", log.F("job", id), log.F("error", err.Error()))
+		return api.Job{}, fmt.Errorf("job store: %w", err)
+	}
 	// The whole lifecycle collapses into one admission: the journal
 	// still tells the full story, including where the result came from.
-	j.journal = s.opts.Events.Journal(id)
-	j.journal.Record(events.Event{Type: events.TypeAccepted, Detail: string(kind)})
-	j.journal.Record(events.Event{Type: events.TypeCacheResultHit, Detail: key.String()})
-	j.journal.Record(events.Event{Type: events.TypeDone, Detail: "replayed from cache"})
-	j.journal.Close()
+	journal := s.opts.Events.Journal(id)
+	journal.Record(events.Event{Type: events.TypeAccepted, Detail: string(spec.kind)})
+	journal.Record(events.Event{Type: events.TypeCacheResultHit, Detail: spec.key.String()})
+	journal.Record(events.Event{Type: events.TypeDone, Detail: "replayed from cache"})
+	journal.Close()
 	s.opts.Metrics.Counter("server.jobs_submitted").Inc()
 	s.opts.Metrics.Counter("server.jobs_cached").Inc()
 	s.opts.Metrics.Counter("server.jobs_done").Inc()
 	s.opts.Logger.Info("job answered from cache", log.F("job", id),
-		log.F("kind", string(kind)), log.F("key", key.String()))
-	return s.snapshot(j), nil
+		log.F("kind", string(spec.kind)), log.F("key", spec.key.String()))
+	return s.snapshot(id), nil
 }
 
 // executor pulls jobs off the queue until the server stops. A closed
@@ -296,29 +401,40 @@ func (s *Server) executor() {
 	}
 }
 
-// runJob drives one job through running to a terminal state.
+// runJob drives one job through running to a terminal state, executing
+// locally or — when live worker peers are registered — remotely on the
+// peer the job's request hashes to.
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
-	if j.env.State != api.JobQueued {
+	if rec, ok := s.store.Get(j.id); !ok || rec.Env.State != api.JobQueued {
 		// Cancelled while waiting in the queue.
 		s.mu.Unlock()
 		return
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j.cancel = cancel
-	now := time.Now().UTC()
-	j.env.State = api.JobRunning
-	j.env.Started = &now
+	started := time.Now().UTC()
+	_ = s.store.Append(store.Record{Job: j.id, Type: events.TypeStarted, Time: started})
 	s.mu.Unlock()
 
 	s.inflight.Add(1)
 	s.inflightG.Set(float64(s.inflight.Load()))
 	s.queueDepth.Set(float64(len(s.queue)))
 	j.journal.Record(events.Event{Type: events.TypeStarted})
-	s.opts.Logger.Info("job started", log.F("job", j.env.ID), log.F("kind", string(j.env.Kind)))
+	s.opts.Logger.Info("job started", log.F("job", j.id), log.F("kind", string(j.kind)))
 	stopSampler := s.startProgressSampler(j)
 
-	res, err := j.run(ctx, j.progress)
+	raw, node, ran, err := s.runRemote(ctx, j)
+	if !ran {
+		var res any
+		res, err = j.run(ctx, j.progress)
+		if err == nil {
+			raw, err = json.Marshal(res)
+			if err != nil {
+				err = fmt.Errorf("encoding result: %v", err)
+			}
+		}
+	}
 	cancel()
 	// Stop sampling before the terminal event so progress ticks never
 	// follow it in the journal.
@@ -331,43 +447,33 @@ func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	done := time.Now().UTC()
-	j.env.Finished = &done
-	wall := done.Sub(*j.env.Started)
-	jl := s.opts.Logger.With(log.F("job", j.env.ID), log.F("kind", string(j.env.Kind)),
+	wall := done.Sub(started)
+	jl := s.opts.Logger.With(log.F("job", j.id), log.F("kind", string(j.kind)),
 		log.F("wall_seconds", wall.Seconds()))
+	if node != "" {
+		jl = jl.With(log.F("node", node))
+	}
 	defer j.journal.Close()
 	switch {
 	case err == nil:
-		raw, mErr := json.Marshal(res)
-		if mErr != nil {
-			j.env.State = api.JobFailed
-			j.env.Error = fmt.Sprintf("encoding result: %v", mErr)
-			s.opts.Metrics.Counter("server.jobs_failed").Inc()
-			j.journal.Record(events.Event{Type: events.TypeFailed, Detail: j.env.Error})
-			jl.Error("job failed", log.F("error", j.env.Error))
-			return
-		}
-		j.env.State = api.JobDone
-		j.env.Result = raw
+		rec := store.Record{Job: j.id, Type: events.TypeDone, Result: raw, Time: done}
 		if j.cacheInfo != nil {
 			// Store the exact marshaled bytes, so a later hit replays
 			// them bit-identically, and publish the cache block (the run
 			// closure filled its warm counts before returning).
 			s.opts.Cache.PutResult(j.cacheKey, raw)
-			j.env.Cache = j.cacheInfo
+			rec.Cache = j.cacheInfo
 			if j.cacheInfo.WarmHits > 0 || j.cacheInfo.WarmMisses > 0 {
 				j.journal.Record(events.Event{Type: events.TypeCacheWarm,
 					WarmHits: j.cacheInfo.WarmHits, WarmMisses: j.cacheInfo.WarmMisses})
 			}
 		}
+		_ = s.store.Append(rec)
 		s.recordWall(wall)
 		s.opts.Metrics.Counter("server.jobs_done").Inc()
 		j.journal.Record(events.Event{Type: events.TypeDone})
 		jl.Info("job done")
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		j.env.State = api.JobCancelled
-		j.env.Error = err.Error()
-		s.opts.Metrics.Counter("server.jobs_cancelled").Inc()
 		// Distinguish a drain (server shutdown) from a client cancel in
 		// the journal: clients watching the stream learn whether to
 		// resubmit elsewhere or accept the DELETE they asked for.
@@ -375,25 +481,27 @@ func (s *Server) runJob(j *job) {
 		if s.draining.Load() {
 			typ = events.TypeDrained
 		}
-		j.journal.Record(events.Event{Type: typ, Detail: j.env.Error})
-		jl.Info("job cancelled", log.F("error", j.env.Error), log.F("draining", s.draining.Load()))
+		_ = s.store.Append(store.Record{Job: j.id, Type: typ, Detail: err.Error(), Time: done})
+		s.opts.Metrics.Counter("server.jobs_cancelled").Inc()
+		j.journal.Record(events.Event{Type: typ, Detail: err.Error()})
+		jl.Info("job cancelled", log.F("error", err.Error()), log.F("draining", s.draining.Load()))
 	default:
-		j.env.State = api.JobFailed
-		j.env.Error = err.Error()
+		_ = s.store.Append(store.Record{Job: j.id, Type: events.TypeFailed, Detail: err.Error(), Time: done})
 		s.opts.Metrics.Counter("server.jobs_failed").Inc()
-		j.journal.Record(events.Event{Type: events.TypeFailed, Detail: j.env.Error})
-		jl.Error("job failed", log.F("error", j.env.Error))
+		j.journal.Record(events.Event{Type: events.TypeFailed, Detail: err.Error()})
+		jl.Error("job failed", log.F("error", err.Error()))
 	}
 }
 
 // startProgressSampler launches a goroutine mirroring the job's
-// progress board into its event journal every ProgressInterval (only
-// when a snapshot changed). The returned stop function halts sampling,
-// records one final changed snapshot, and only then returns — so the
-// terminal event always follows the last progress tick. It is a no-op
-// (returning a no-op stop) when the job has no board or no journal.
+// progress board into its event journal and the store every
+// ProgressInterval (only when a snapshot changed). The returned stop
+// function halts sampling, records one final changed snapshot, and
+// only then returns — so the terminal event always follows the last
+// progress tick. It is a no-op (returning a no-op stop) when the job
+// has no board.
 func (s *Server) startProgressSampler(j *job) (stop func()) {
-	if j.progress == nil || j.journal == nil {
+	if j.progress == nil {
 		return func() {}
 	}
 	halt := make(chan struct{})
@@ -416,6 +524,12 @@ func (s *Server) startProgressSampler(j *job) (stop func()) {
 			last = cur
 			snap := cur
 			j.journal.Record(events.Event{Type: events.TypeProgress, Progress: &snap})
+			_ = s.store.Append(store.Record{Job: j.id, Type: events.TypeProgress,
+				Progress: &api.Progress{
+					Scenarios:    api.Counts(p.Scenarios),
+					Cases:        api.Counts(p.Cases),
+					Replications: api.Counts(p.Replications),
+				}})
 		}
 		for {
 			select {
@@ -464,26 +578,35 @@ func (s *Server) meanWall() time.Duration {
 	return sum / time.Duration(n)
 }
 
-// retryAfterSeconds estimates when a rejected client should retry:
-// the current queue depth times the rolling mean job wall time,
-// rounded up, with a 1-second floor (which is also the answer before
-// any job has finished — the old hardcoded behaviour).
+// retryAfterSeconds estimates when a rejected client should retry: the
+// backlog's expected drain time — queue depth times the rolling mean
+// job wall time, divided by the executor-pool width since that many
+// jobs drain concurrently — rounded up, with a 1-second floor (which
+// is also the answer before any job has finished).
 func (s *Server) retryAfterSeconds() int {
 	mean := s.meanWall()
-	secs := int(math.Ceil(float64(len(s.queue)) * mean.Seconds()))
+	secs := int(math.Ceil(float64(len(s.queue)) * mean.Seconds() / float64(s.opts.Executors)))
 	if secs < 1 {
 		secs = 1
 	}
 	return secs
 }
 
-// snapshot copies a job's envelope, attaching the current progress
-// counts for jobs that track them.
-func (s *Server) snapshot(j *job) api.Job {
+// snapshot materializes a job's wire envelope from the store,
+// overlaying the live progress board for jobs that track one.
+func (s *Server) snapshot(id string) api.Job {
+	rec, _ := s.store.Get(id)
+	return s.decorate(rec.Env)
+}
+
+// decorate overlays the live progress counts onto a stored envelope:
+// the board is sampled into the store only periodically, so the
+// in-process counts are fresher whenever the job is local.
+func (s *Server) decorate(env api.Job) api.Job {
 	s.mu.Lock()
-	env := j.env
+	j := s.jobs[env.ID]
 	s.mu.Unlock()
-	if j.progress != nil {
+	if j != nil && j.progress != nil {
 		p := j.progress.Snapshot()
 		env.Progress = &api.Progress{
 			Scenarios:    api.Counts(p.Scenarios),
@@ -494,31 +617,52 @@ func (s *Server) snapshot(j *job) api.Job {
 	return env
 }
 
-// lookup returns the job with the given id.
-func (s *Server) lookup(id string) (*job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	return j, ok
+// lookup reports whether the store knows the job.
+func (s *Server) lookup(id string) (store.Job, bool) {
+	return s.store.Get(id)
 }
 
 // list returns envelope snapshots in submission order, keeping only
-// the given states (nil keeps everything).
-func (s *Server) list(states map[api.JobState]bool) []api.Job {
-	s.mu.Lock()
-	js := make([]*job, 0, len(s.order))
-	for _, id := range s.order {
-		js = append(js, s.jobs[id])
-	}
-	s.mu.Unlock()
-	out := make([]api.Job, 0, len(js))
-	for _, j := range js {
-		env := s.snapshot(j)
-		if states == nil || states[env.State] {
-			out = append(out, env)
+// the given states (nil keeps everything), starting after the job id
+// `after` (empty starts at the beginning; an unknown id is an error),
+// and returning at most limit envelopes (non-positive means all).
+// total counts every match regardless of the page, and next is the
+// cursor for the following page ("" on the last one).
+func (s *Server) list(states map[api.JobState]bool, after string, limit int) (jobs []api.Job, total int, next string, err error) {
+	recs := s.store.List()
+	start := 0
+	if after != "" {
+		found := false
+		for i, rec := range recs {
+			if rec.Env.ID == after {
+				start, found = i+1, true
+				break
+			}
+		}
+		if !found {
+			return nil, 0, "", fmt.Errorf("unknown cursor %q", after)
 		}
 	}
-	return out
+	jobs = []api.Job{}
+	truncated := false
+	for i, rec := range recs {
+		if states != nil && !states[rec.Env.State] {
+			continue
+		}
+		total++
+		if i < start {
+			continue
+		}
+		if limit > 0 && len(jobs) >= limit {
+			truncated = true
+			continue
+		}
+		jobs = append(jobs, s.decorate(rec.Env))
+	}
+	if truncated && len(jobs) > 0 {
+		next = jobs[len(jobs)-1].ID
+	}
+	return jobs, total, next, nil
 }
 
 // cancelJob requests cancellation of a job. Queued jobs cancel
@@ -526,16 +670,20 @@ func (s *Server) list(states map[api.JobState]bool) []api.Job {
 // cancelled state when the engine drains (the caller polls); terminal
 // jobs are left untouched. The bool reports whether the job exists.
 func (s *Server) cancelJob(id string) (api.Job, bool) {
-	j, ok := s.lookup(id)
+	rec, ok := s.store.Get(id)
 	if !ok {
 		return api.Job{}, false
 	}
 	var cancel context.CancelFunc
 	s.mu.Lock()
-	switch j.env.State {
-	case api.JobQueued:
-		s.markCancelledLocked(j, "cancelled while queued", events.TypeCancelled)
-	case api.JobRunning:
+	j := s.jobs[id]
+	rec, _ = s.store.Get(id)
+	switch {
+	case j == nil:
+		// Terminal on arrival (cache-answered): nothing to cancel.
+	case rec.Env.State == api.JobQueued:
+		s.finalizeCancelledLocked(j, "cancelled while queued", events.TypeCancelled)
+	case rec.Env.State == api.JobRunning:
 		cancel = j.cancel
 		s.opts.Logger.Info("job cancel requested", log.F("job", id))
 	}
@@ -543,21 +691,18 @@ func (s *Server) cancelJob(id string) (api.Job, bool) {
 	if cancel != nil {
 		cancel()
 	}
-	return s.snapshot(j), true
+	return s.snapshot(id), true
 }
 
-// markCancelledLocked finalizes a not-yet-running job as cancelled,
-// recording typ (cancelled for client DELETEs, drained for shutdown)
-// as the journal's terminal event. Callers hold s.mu.
-func (s *Server) markCancelledLocked(j *job, why string, typ events.Type) {
-	now := time.Now().UTC()
-	j.env.State = api.JobCancelled
-	j.env.Finished = &now
-	j.env.Error = why
+// finalizeCancelledLocked finalizes a not-yet-running job as
+// cancelled, recording typ (cancelled for client DELETEs, drained for
+// shutdown) as the terminal transition. Callers hold s.mu.
+func (s *Server) finalizeCancelledLocked(j *job, why string, typ events.Type) {
+	_ = s.store.Append(store.Record{Job: j.id, Type: typ, Detail: why})
 	s.opts.Metrics.Counter("server.jobs_cancelled").Inc()
 	j.journal.Record(events.Event{Type: typ, Detail: why})
 	j.journal.Close()
-	s.opts.Logger.Info("job cancelled before start", log.F("job", j.env.ID), log.F("error", why))
+	s.opts.Logger.Info("job cancelled before start", log.F("job", j.id), log.F("error", why))
 }
 
 // Draining reports whether the server has stopped admitting jobs.
@@ -567,8 +712,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // the ones still waiting in the queue, gives running jobs up to
 // timeout to finish on their own, then cancels their contexts and
 // waits for the engines to drain their worker pools. A non-positive
-// timeout cancels running jobs immediately. Drain is idempotent and
-// returns once every executor has exited.
+// timeout cancels running jobs immediately. The job store is closed
+// once everything has settled. Drain is idempotent and returns once
+// every executor has exited.
 func (s *Server) Drain(timeout time.Duration) {
 	s.draining.Store(true)
 	s.stopOnce.Do(func() {
@@ -597,6 +743,11 @@ func (s *Server) Drain(timeout time.Duration) {
 	// the queue after the first sweep; with the executors gone this
 	// sweep is final.
 	s.drainQueued()
+	s.closeStore.Do(func() {
+		if err := s.store.Close(); err != nil {
+			s.opts.Logger.Error("closing job store", log.F("error", err.Error()))
+		}
+	})
 }
 
 // Close is Drain with immediate cancellation.
@@ -609,8 +760,8 @@ func (s *Server) drainQueued() {
 		select {
 		case j := <-s.queue:
 			s.mu.Lock()
-			if j.env.State == api.JobQueued {
-				s.markCancelledLocked(j, "cancelled before start: server draining", events.TypeDrained)
+			if rec, ok := s.store.Get(j.id); ok && rec.Env.State == api.JobQueued {
+				s.finalizeCancelledLocked(j, "cancelled before start: server draining", events.TypeDrained)
 			}
 			s.mu.Unlock()
 		default:
@@ -623,9 +774,9 @@ func (s *Server) drainQueued() {
 // /progress debug endpoint's view of the whole server.
 func (s *Server) progressSnapshot() tracing.ProgressSnapshot {
 	s.mu.Lock()
-	boards := make([]*tracing.Progress, 0, len(s.order))
-	for _, id := range s.order {
-		if j := s.jobs[id]; j.progress != nil {
+	boards := make([]*tracing.Progress, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if j.progress != nil {
 			boards = append(boards, j.progress)
 		}
 	}

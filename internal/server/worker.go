@@ -1,0 +1,415 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cdsf/internal/api"
+	"cdsf/internal/events"
+	"cdsf/internal/log"
+	"cdsf/internal/metrics"
+	"cdsf/internal/store"
+)
+
+// This file is the coordinator half of worker mode: a registry of
+// worker peers (cdsfd processes that POST /v1/workers here and re-post
+// as heartbeats) and the remote execution path the executors take when
+// live peers exist.
+//
+// Placement is consistent hashing: each peer owns ringReplicas virtual
+// points on a 64-bit ring and a job lands on the first live point at
+// or after the hash of its kind+request bytes. Adding or removing one
+// worker therefore only moves the jobs that hashed to it, and a
+// byte-identical request always lands on the same worker while the
+// cohort is stable — which keeps that worker's solve cache warm for it.
+//
+// Liveness is lazy (DESIGN.md §12): a peer is alive while its last
+// heartbeat is younger than the timeout; there is no sweeper goroutine.
+// Placement skips dead peers, and an executor polling a dead peer
+// reassigns the lease inline: the job never left the executor, so
+// reassignment is a new `assigned` record and a dispatch to the next
+// live point on the ring — no re-queue, no second executor.
+//
+// The protocol is the ordinary v1 API: the coordinator POSTs the job's
+// retained request document to the worker, polls GET /v1/jobs/{id},
+// and DELETEs on cancellation. Workers are plain cdsfd servers; they
+// do not know they are workers.
+
+// ringReplicas is the number of virtual ring points per peer: enough
+// to spread load evenly across a handful of workers, cheap to rebuild.
+const ringReplicas = 64
+
+// remotePollInterval is how often the coordinator polls a worker for a
+// dispatched job's state.
+const remotePollInterval = 100 * time.Millisecond
+
+// remoteFailures is how many consecutive poll failures it takes to
+// declare the worker lost (transient blips survive; a dead process
+// does not).
+const remoteFailures = 3
+
+// errWorkerLost marks dispatch errors that mean the worker, not the
+// job, failed: the lease is reassigned to another peer.
+var errWorkerLost = errors.New("worker lost")
+
+// peer is one registered worker.
+type peer struct {
+	name       string
+	addr       string
+	lastBeat   time.Time
+	leased     map[string]bool
+	dispatched int64
+	completed  int64
+}
+
+// ringPoint is one virtual node: a hash position owned by a peer.
+type ringPoint struct {
+	h    uint64
+	name string
+}
+
+// peerSet is the worker registry plus its consistent-hash ring.
+type peerSet struct {
+	timeout time.Duration
+	metrics *metrics.Registry
+	logger  *log.Logger
+
+	mu    sync.Mutex
+	peers map[string]*peer
+	ring  []ringPoint
+}
+
+func newPeerSet(timeout time.Duration, reg *metrics.Registry, logger *log.Logger) *peerSet {
+	return &peerSet{timeout: timeout, metrics: reg, logger: logger, peers: map[string]*peer{}}
+}
+
+// register adds or heartbeats a peer; a new peer or a changed address
+// rebuilds the ring.
+func (ps *peerSet) register(name, addr string) {
+	now := time.Now()
+	ps.mu.Lock()
+	p, ok := ps.peers[name]
+	if !ok {
+		p = &peer{name: name, leased: map[string]bool{}}
+		ps.peers[name] = p
+	}
+	rebuild := !ok || p.addr != addr
+	p.addr = addr
+	p.lastBeat = now
+	if rebuild {
+		ps.rebuildLocked()
+	}
+	ps.mu.Unlock()
+	ps.metrics.Counter("worker.heartbeats").Inc()
+	if rebuild {
+		ps.logger.Info("worker registered", log.F("worker", name), log.F("addr", addr))
+	}
+}
+
+// remove deregisters a peer; false if it was never registered.
+func (ps *peerSet) remove(name string) bool {
+	ps.mu.Lock()
+	_, ok := ps.peers[name]
+	if ok {
+		delete(ps.peers, name)
+		ps.rebuildLocked()
+	}
+	ps.mu.Unlock()
+	if ok {
+		ps.logger.Info("worker deregistered", log.F("worker", name))
+	}
+	return ok
+}
+
+// rebuildLocked recomputes the virtual-node ring. Callers hold ps.mu.
+func (ps *peerSet) rebuildLocked() {
+	ps.ring = ps.ring[:0]
+	for name := range ps.peers {
+		for i := 0; i < ringReplicas; i++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", name, i)
+			ps.ring = append(ps.ring, ringPoint{h: h.Sum64(), name: name})
+		}
+	}
+	sort.Slice(ps.ring, func(i, j int) bool { return ps.ring[i].h < ps.ring[j].h })
+}
+
+// aliveLocked reports whether a peer's heartbeat is fresh.
+func (ps *peerSet) aliveLocked(p *peer, now time.Time) bool {
+	return now.Sub(p.lastBeat) <= ps.timeout
+}
+
+// alive reports whether the named peer is registered and heartbeating.
+func (ps *peerSet) alive(name string) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	p, ok := ps.peers[name]
+	return ok && ps.aliveLocked(p, time.Now())
+}
+
+// pick walks the ring from the key's position and returns the first
+// live, not-excluded peer (name and address snapshot), or ok=false
+// when no such peer exists — the caller then runs the job locally.
+func (ps *peerSet) pick(key uint64, exclude map[string]bool) (name, addr string, ok bool) {
+	now := time.Now()
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if len(ps.ring) == 0 {
+		return "", "", false
+	}
+	start := sort.Search(len(ps.ring), func(i int) bool { return ps.ring[i].h >= key })
+	seen := map[string]bool{}
+	for i := 0; i < len(ps.ring); i++ {
+		pt := ps.ring[(start+i)%len(ps.ring)]
+		if seen[pt.name] {
+			continue
+		}
+		seen[pt.name] = true
+		if exclude[pt.name] {
+			continue
+		}
+		p := ps.peers[pt.name]
+		if p == nil || !ps.aliveLocked(p, now) {
+			continue
+		}
+		return p.name, p.addr, true
+	}
+	return "", "", false
+}
+
+// lease/complete/release track which jobs a peer currently holds.
+func (ps *peerSet) lease(name, jobID string) {
+	ps.mu.Lock()
+	if p := ps.peers[name]; p != nil {
+		p.leased[jobID] = true
+		p.dispatched++
+	}
+	ps.mu.Unlock()
+}
+
+func (ps *peerSet) complete(name, jobID string) {
+	ps.mu.Lock()
+	if p := ps.peers[name]; p != nil {
+		delete(p.leased, jobID)
+		p.completed++
+	}
+	ps.mu.Unlock()
+}
+
+func (ps *peerSet) release(name, jobID string) {
+	ps.mu.Lock()
+	if p := ps.peers[name]; p != nil {
+		delete(p.leased, jobID)
+	}
+	ps.mu.Unlock()
+}
+
+// statuses snapshots every peer for /v1/workers and /v1/healthz,
+// sorted by name.
+func (ps *peerSet) statuses(now time.Time) []api.WorkerStatus {
+	ps.mu.Lock()
+	out := make([]api.WorkerStatus, 0, len(ps.peers))
+	for _, p := range ps.peers {
+		out = append(out, api.WorkerStatus{
+			Name:                 p.name,
+			Addr:                 p.addr,
+			Alive:                ps.aliveLocked(p, now),
+			LastHeartbeatSeconds: now.Sub(p.lastBeat).Seconds(),
+			Leased:               len(p.leased),
+			Dispatched:           p.dispatched,
+			Completed:            p.completed,
+		})
+	}
+	ps.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// placementKey hashes a job's identity — kind plus the canonical
+// request bytes — onto the ring, so byte-identical requests always
+// land on the same worker.
+func placementKey(kind api.JobKind, request []byte) uint64 {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(request)
+	sum := h.Sum(nil)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// remoteClient is the HTTP client for coordinator->worker calls: the
+// per-request timeout covers submissions and polls (jobs themselves
+// may run far longer — they are polled, not awaited).
+var remoteClient = &http.Client{Timeout: 15 * time.Second}
+
+// runRemote runs a job on a worker peer when one is live. ran=false
+// means no peer took the job (none registered, none alive, or all
+// excluded after failures) and the caller runs it locally. When
+// ran=true the job finished remotely: raw holds the compacted result
+// bytes on success, and err carries a cancellation or the remote
+// failure otherwise.
+//
+// Worker death — detected by failed polls, a lost job id, or a missed
+// heartbeat — reassigns the lease inline: an `assigned` record with an
+// empty node releases the lease in the store, the dead peer is
+// excluded, and the ring yields the next candidate.
+func (s *Server) runRemote(ctx context.Context, j *job) (raw []byte, node string, ran bool, err error) {
+	if j.request == nil {
+		return nil, "", false, nil
+	}
+	exclude := map[string]bool{}
+	key := placementKey(j.kind, j.request)
+	for {
+		name, addr, ok := s.peers.pick(key, exclude)
+		if !ok {
+			return nil, "", false, nil
+		}
+		s.peers.lease(name, j.id)
+		_ = s.store.Append(store.Record{Job: j.id, Type: events.TypeAssigned, Node: name})
+		j.journal.Record(events.Event{Type: events.TypeAssigned, Detail: name})
+		s.opts.Metrics.Counter("worker.dispatched").Inc()
+		s.opts.Logger.Info("job dispatched to worker", log.F("job", j.id), log.F("worker", name))
+
+		raw, err := s.dispatchOnce(ctx, j, name, addr)
+		if errors.Is(err, errWorkerLost) {
+			s.peers.release(name, j.id)
+			_ = s.store.Append(store.Record{Job: j.id, Type: events.TypeAssigned, Node: "",
+				Detail: fmt.Sprintf("lease reassigned from %s: %v", name, err)})
+			j.journal.Record(events.Event{Type: events.TypeAssigned,
+				Detail: fmt.Sprintf("lease reassigned from %s", name)})
+			s.opts.Metrics.Counter("worker.reassigned").Inc()
+			s.opts.Logger.Warn("worker lost, reassigning lease",
+				log.F("job", j.id), log.F("worker", name), log.F("error", err.Error()))
+			exclude[name] = true
+			continue
+		}
+		if err == nil {
+			s.peers.complete(name, j.id)
+			s.opts.Metrics.Counter("worker.completed").Inc()
+		} else {
+			s.peers.release(name, j.id)
+		}
+		return raw, name, true, err
+	}
+}
+
+// dispatchOnce submits a job to one worker and polls it to a terminal
+// state. Errors wrapping errWorkerLost mean the worker failed and the
+// job should move; any other error is the job's own outcome.
+func (s *Server) dispatchOnce(ctx context.Context, j *job, name, addr string) ([]byte, error) {
+	var path string
+	switch j.kind {
+	case api.KindSolve:
+		path = "/v1/solve"
+	case api.KindSimulate:
+		path = "/v1/simulate"
+	case api.KindScenario:
+		path = "/v1/scenario"
+	default:
+		return nil, fmt.Errorf("unknown job kind %q", j.kind)
+	}
+	var sub api.Job
+	status, err := s.remoteCall(ctx, http.MethodPost, addr+path, j.request, &sub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: submitting to %s: %v", errWorkerLost, name, err)
+	}
+	if status != http.StatusAccepted {
+		// 429/503/5xx: the worker is full, draining, or broken — move
+		// the job. A 400 would be a coordinator bug (the request was
+		// validated here first) and is reported as such either way.
+		return nil, fmt.Errorf("%w: %s answered %d", errWorkerLost, name, status)
+	}
+
+	jobURL := addr + "/v1/jobs/" + sub.ID
+	failures := 0
+	for {
+		select {
+		case <-ctx.Done():
+			// Best-effort remote cancel, then propagate the local
+			// cancellation (drain or client DELETE).
+			cancelCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_, _ = s.remoteCall(cancelCtx, http.MethodDelete, jobURL, nil, nil)
+			cancel()
+			return nil, ctx.Err()
+		case <-time.After(remotePollInterval):
+		}
+		if !s.peers.alive(name) {
+			return nil, fmt.Errorf("%w: %s stopped heartbeating", errWorkerLost, name)
+		}
+		var env api.Job
+		status, err := s.remoteCall(ctx, http.MethodGet, jobURL, nil, &env)
+		if err != nil || status == http.StatusNotFound {
+			// A 404 means the worker restarted and lost the job.
+			failures++
+			if failures >= remoteFailures {
+				return nil, fmt.Errorf("%w: polling %s: status %d, %v", errWorkerLost, name, status, err)
+			}
+			continue
+		}
+		failures = 0
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("%w: %s answered %d to a poll", errWorkerLost, name, status)
+		}
+		switch env.State {
+		case api.JobDone:
+			// Compact the (indent-formatted) response body back to the
+			// canonical marshaled bytes, so a remote result is
+			// bit-identical to a local run of the same request.
+			var buf bytes.Buffer
+			if err := json.Compact(&buf, env.Result); err != nil {
+				return nil, fmt.Errorf("%w: %s returned an unparsable result: %v", errWorkerLost, name, err)
+			}
+			return buf.Bytes(), nil
+		case api.JobFailed:
+			// The job itself failed (deterministically — it would fail
+			// anywhere): this is the job's outcome, not the worker's.
+			return nil, errors.New(env.Error)
+		case api.JobCancelled:
+			// The worker drained or something cancelled the job there;
+			// nothing was lost, so run it elsewhere.
+			return nil, fmt.Errorf("%w: %s cancelled the job (draining?)", errWorkerLost, name)
+		}
+	}
+}
+
+// remoteCall performs one coordinator->worker HTTP exchange, decoding
+// the response into out when it is non-nil and the body is JSON.
+func (s *Server) remoteCall(ctx context.Context, method, url string, body []byte, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := remoteClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}
