@@ -9,7 +9,9 @@
 #                service packages (internal/tracing, internal/trace,
 #                internal/api, internal/server, internal/log,
 #                internal/events, internal/store), the PMF kernels
-#                (internal/pmf), and the solve cache (internal/cache)
+#                (internal/pmf), the solve cache (internal/cache), and
+#                the DAG code paths (internal/sysmodel, internal/ra,
+#                internal/robustness)
 #   make bench   run the benchmark suite with allocation stats
 #   make bench-pmf  refresh the PMF backend comparison behind
 #                BENCH_PMF2.json (sparse vs grid kernels, solve)
@@ -23,6 +25,9 @@
 #   make smoke-cluster  end-to-end smoke: a coordinator and two worker
 #                subprocesses solve a seeded batch byte-identically to
 #                a single process and survive a worker kill -9
+#   make smoke-dag  end-to-end smoke: a real cdsfd subprocess solves a
+#                seeded fork-join DAG with heft and the result matches
+#                the direct library computation bit for bit
 
 GO ?= go
 
@@ -30,14 +35,14 @@ GO ?= go
 COVER_FLOOR ?= 85
 
 # Packages held to the coverage floor.
-COVER_PKGS ?= ./internal/tracing ./internal/trace ./internal/api ./internal/server ./internal/pmf ./internal/cache ./internal/log ./internal/events ./internal/store
+COVER_PKGS ?= ./internal/tracing ./internal/trace ./internal/api ./internal/server ./internal/pmf ./internal/cache ./internal/log ./internal/events ./internal/store ./internal/sysmodel ./internal/ra ./internal/robustness
 
 # Listen address for `make serve`.
 SERVE_ADDR ?= 127.0.0.1:8080
 
-.PHONY: check build vet test race cover bench bench-pmf bench-cache fuzz serve smoke-sse smoke-cluster
+.PHONY: check build vet test race cover bench bench-pmf bench-cache fuzz serve smoke-sse smoke-cluster smoke-dag
 
-check: build vet test race cover smoke-cluster
+check: build vet test race cover smoke-cluster smoke-dag
 
 build:
 	$(GO) build ./...
@@ -80,6 +85,7 @@ fuzz:
 	$(GO) test -run=xxx -fuzz=FuzzCombineMerge -fuzztime=10s ./internal/pmf
 	$(GO) test -run=xxx -fuzz=FuzzRebin -fuzztime=10s ./internal/pmf
 	$(GO) test -run=xxx -fuzz=FuzzGridSparse -fuzztime=10s ./internal/pmf
+	$(GO) test -run=xxx -fuzz=FuzzDAGValidate -fuzztime=10s ./internal/sysmodel
 
 serve:
 	$(GO) run ./cmd/cdsfd -addr $(SERVE_ADDR)
@@ -89,3 +95,6 @@ smoke-sse:
 
 smoke-cluster:
 	$(GO) test -run TestSmokeCluster -count=1 -v ./cmd/cdsfd
+
+smoke-dag:
+	$(GO) test -run TestSmokeDAG -count=1 -v ./cmd/cdsfd

@@ -10,6 +10,7 @@ package cdsf_bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -154,7 +155,7 @@ func BenchmarkDLSTechnique(b *testing.B) {
 	for _, tech := range dls.All() {
 		b.Run(tech.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, err := sim.Run(sim.Config{
+				_, err := sim.RunContext(context.Background(), sim.Config{
 					SerialIters:      216,
 					ParallelIters:    4104,
 					Workers:          8,
@@ -251,7 +252,7 @@ func BenchmarkAvailabilityModel(b *testing.B) {
 	for _, m := range models {
 		b.Run(m.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, err := sim.Run(sim.Config{
+				_, err := sim.RunContext(context.Background(), sim.Config{
 					ParallelIters: 4096,
 					Workers:       8,
 					IterTime:      stats.NewNormal(1, 0.3),
@@ -277,7 +278,7 @@ func BenchmarkOverheadSensitivity(b *testing.B) {
 		for _, h := range []float64{0, 1, 10} {
 			b.Run(fmt.Sprintf("%s/h=%g", name, h), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					_, err := sim.Run(sim.Config{
+					_, err := sim.RunContext(context.Background(), sim.Config{
 						ParallelIters: 2048,
 						Workers:       8,
 						IterTime:      stats.NewNormal(1, 0.3),
@@ -305,7 +306,7 @@ func BenchmarkScaleStudy(b *testing.B) {
 		cfg.Instances = 3
 		cfg.Sizes = [][3]int{{6, 8, 16}}
 		cfg.Reps = 6
-		if _, err := experiments.RunScaleStudy(cfg); err != nil {
+		if _, err := experiments.RunScaleStudyContext(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -418,7 +419,7 @@ func BenchmarkScaleStudyWorkers(b *testing.B) {
 				cfg.Sizes = [][3]int{{6, 8, 16}}
 				cfg.Reps = 6
 				cfg.Workers = w
-				if _, err := experiments.RunScaleStudy(cfg); err != nil {
+				if _, err := experiments.RunScaleStudyContext(context.Background(), cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -473,7 +474,7 @@ func BenchmarkBatchSubstrate(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if _, err := batch.Run(cfg); err != nil {
+		if _, err := batch.RunContext(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -54,11 +54,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			f = experiments.Framework()
 			cases = experiments.Cases()
 		} else {
-			sys, batch, deadline, declared, err := config.LoadFull(*instance)
+			inst, err := config.LoadInstance(*instance)
 			if err != nil {
 				return err
 			}
-			f = &core.Framework{Sys: sys, Batch: batch, Deadline: deadline}
+			sys, batch, deadline, err := config.Build(inst)
+			if err != nil {
+				return err
+			}
+			edges, err := config.BuildEdges(inst)
+			if err != nil {
+				return err
+			}
+			declared, err := config.BuildCases(inst)
+			if err != nil {
+				return err
+			}
+			f = &core.Framework{Sys: sys, Batch: batch, Deadline: deadline, Edges: edges}
 			if len(declared) > 0 {
 				for _, c := range declared {
 					cases = append(cases, core.Case{Name: c.Name, Avail: c.Avail})

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"cdsf/internal/api"
+	"cdsf/internal/config"
+	"cdsf/internal/experiments"
+	"cdsf/internal/ra"
+	"cdsf/internal/robustness"
+	"cdsf/internal/sysmodel"
+)
+
+// TestSmokeDAG is the end-to-end smoke for precedence-constrained
+// batches: a real cdsfd subprocess solves a seeded fork-join DAG over
+// the embedded paper example with the heft list scheduler, and the
+// returned result document must match the direct library computation
+// bit for bit — allocation, composed phi_1, and the per-application
+// quantities. Run on its own with `make smoke-dag`.
+func TestSmokeDAG(t *testing.T) {
+	cmd, base, _ := startDaemon(t)
+	defer func() { _ = cmd.Process.Kill() }()
+
+	edges := []config.EdgeSpec{{From: 0, To: 2}, {From: 1, To: 2}}
+	id := submitJob(t, base, "/v1/solve", api.SolveRequest{Heuristic: "heft", Edges: edges})
+	deadline := time.Now().Add(30 * time.Second)
+	for pollState(t, base, id) != api.JobDone {
+		if time.Now().After(deadline) {
+			t.Fatal("DAG solve never completed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job api.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	var res api.SolveResult
+	if err := json.Unmarshal(job.Result, &res); err != nil {
+		t.Fatalf("result document: %v", err)
+	}
+
+	// The golden reference: the same solve through the library.
+	f := experiments.Framework()
+	h, err := ra.ByName("heft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sedges := []sysmodel.Edge{{From: 0, To: 2}, {From: 1, To: 2}}
+	al, err := ra.SolveContext(context.Background(), h, &ra.Problem{
+		Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Edges: sedges,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := robustness.EvaluateStageIDAG(f.Sys, f.Batch, sedges, al, f.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Heuristic != "heft" {
+		t.Errorf("result heuristic %q, want heft", res.Heuristic)
+	}
+	if !api.ToAllocation(res.Allocation).Equal(want.Alloc) {
+		t.Errorf("daemon allocation %v != library %v", res.Allocation, want.Alloc)
+	}
+	if res.Phi1 != want.Phi1 {
+		t.Errorf("daemon phi1 %v != library %v", res.Phi1, want.Phi1)
+	}
+	if len(res.PerApp) != len(want.PerApp) {
+		t.Fatalf("result has %d applications, want %d", len(res.PerApp), len(want.PerApp))
+	}
+	for i := range want.PerApp {
+		if res.PerApp[i] != want.PerApp[i] {
+			t.Errorf("app %d: daemon PerApp %v != library %v", i, res.PerApp[i], want.PerApp[i])
+		}
+		if res.ExpectedTimes[i] != want.ExpectedTimes[i] {
+			t.Errorf("app %d: daemon E[C] %v != library %v", i, res.ExpectedTimes[i], want.ExpectedTimes[i])
+		}
+	}
+	// Sanity on the composition itself: the sink's expectation must
+	// exceed both sources' (it waits for the slower one, then runs).
+	if res.ExpectedTimes[2] <= res.ExpectedTimes[0] || res.ExpectedTimes[2] <= res.ExpectedTimes[1] {
+		t.Errorf("sink E[C] %v not after sources %v, %v",
+			res.ExpectedTimes[2], res.ExpectedTimes[0], res.ExpectedTimes[1])
+	}
+}

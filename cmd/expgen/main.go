@@ -7,6 +7,7 @@
 //	expgen -table 4        # a single table (1-6)
 //	expgen -figure 5       # a single figure (3-6)
 //	expgen -seed 7 -csv    # change the Stage-II seed; CSV output
+//	expgen -dag            # precedence-constrained topology study
 //	expgen -timeout 2m     # bound the whole generation run
 //
 // SIGINT/SIGTERM (and -timeout) cancel the generation; the partial run
@@ -35,6 +36,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	csv := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	sensitivity := fs.Bool("sensitivity", false, "emit the sensitivity/ablation studies instead of the paper tables")
 	scale := fs.Bool("scale", false, "run the future-work probabilistic scale study instead of the paper tables")
+	dag := fs.Bool("dag", false, "run the precedence-constrained (DAG) topology study instead of the paper tables")
 	reps := fs.Int("reps", 20, "stage-II repetitions for the sensitivity studies")
 	rf := runner.RegisterWorkerFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -51,6 +53,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return runSensitivity(ctx, stdout, *seed, *reps, *csv)
 		case *scale:
 			return runScale(ctx, stdout, *seed, rf, s, *csv)
+		case *dag:
+			return runDAG(ctx, stdout, *seed, *reps, rf, *csv)
 		default:
 			return runTables(ctx, stdout, *table, *figure, *seed, *csv)
 		}
@@ -63,6 +67,21 @@ func runScale(ctx context.Context, stdout io.Writer, seed uint64, rf *runner.Fla
 	cfg.Backend = rf.PMF
 	cfg.Cache = s.Cache
 	t, err := experiments.RunScaleStudyContext(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if csv {
+		return t.CSV(stdout)
+	}
+	return t.Render(stdout)
+}
+
+func runDAG(ctx context.Context, stdout io.Writer, seed uint64, reps int, rf *runner.Flags, csv bool) error {
+	cfg := experiments.DefaultDAGStudyConfig(seed)
+	cfg.Reps = reps
+	cfg.Workers = rf.Workers
+	cfg.Backend = rf.PMF
+	t, err := experiments.RunDAGStudyContext(ctx, cfg)
 	if err != nil {
 		return err
 	}

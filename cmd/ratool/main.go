@@ -56,11 +56,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		var prob *ra.Problem
 		switch {
 		case *instance != "":
-			sys, batch, d, err := config.Load(*instance)
+			inst, err := config.LoadInstance(*instance)
 			if err != nil {
 				return err
 			}
-			prob = &ra.Problem{Sys: sys, Batch: batch, Deadline: d}
+			sys, batch, d, err := config.Build(inst)
+			if err != nil {
+				return err
+			}
+			edges, err := config.BuildEdges(inst)
+			if err != nil {
+				return err
+			}
+			prob = &ra.Problem{Sys: sys, Batch: batch, Deadline: d, Edges: edges}
 		case *apps > 0:
 			prob = syntheticProblem(*apps, *type1, *type2, *deadline, *seed)
 		default:
@@ -76,6 +84,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		names := ra.Names()
 		if *heuristic != "" {
 			names = []string{*heuristic}
+		} else if len(prob.Edges) > 0 {
+			// Every DAG objective evaluation composes completion PMFs
+			// along the edges, so the evaluation-hungry searchers
+			// (exhaustive, anneal, genetic, tabu, and the portfolio
+			// wrapping them) take minutes on precedence-constrained
+			// instances. The default table sticks to the constructive
+			// and list schedulers; any searcher still runs when named
+			// explicitly via -heuristic.
+			expensive := map[string]bool{
+				"exhaustive": true, "anneal": true, "genetic": true,
+				"tabu": true, "portfolio": true, "minimal": true,
+			}
+			kept := names[:0]
+			for _, n := range names {
+				if !expensive[n] {
+					kept = append(kept, n)
+				}
+			}
+			names = kept
+			fmt.Fprintln(stderr, "ratool: DAG instance — skipping the search heuristics by default (name one with -heuristic to run it)")
 		}
 
 		// Build the evaluation table once up front; every heuristic below
@@ -87,7 +115,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		var optPhi float64
 		haveOpt := false
 		if *exhaustiveRef {
-			if n := sysmodel.CountAllocations(prob.Sys, prob.Batch); n <= 2_000_000 {
+			// A DAG objective composes completion PMFs per evaluation
+			// instead of reading the table product, so the exhaustive
+			// reference is only affordable on much smaller spaces.
+			limit := 2_000_000
+			if len(prob.Edges) > 0 {
+				limit = 1_000
+			}
+			if n := sysmodel.CountAllocations(prob.Sys, prob.Batch); n <= limit {
 				al, err := (&ra.Exhaustive{Workers: rf.Workers}).AllocateContext(ctx, prob)
 				if err != nil {
 					if ctxErr := ctx.Err(); ctxErr != nil {
@@ -127,7 +162,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				tbl.AddRow(name, "error: "+err.Error())
 				continue
 			}
-			res, err := robustness.EvaluateStageI(prob.Sys, prob.Batch, al, prob.Deadline)
+			res, err := robustness.EvaluateStageIDAG(prob.Sys, prob.Batch, prob.Edges, al, prob.Deadline)
 			if err != nil {
 				return err
 			}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -68,7 +69,7 @@ func main() {
 		}
 		row := []string{name}
 		for _, l := range levels {
-			s, err := sim.RunMany(sim.Config{
+			s, err := sim.RunManyContext(context.Background(), sim.Config{
 				ParallelIters:    iters,
 				Workers:          workers,
 				IterTime:         stats.NewNormal(iterMean, 0.3*iterMean),

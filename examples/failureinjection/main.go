@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -57,7 +58,7 @@ func main() {
 					Interval: ideal / 4,
 				}
 			}
-			s, err := sim.RunMany(sim.Config{
+			s, err := sim.RunManyContext(context.Background(), sim.Config{
 				ParallelIters: iters,
 				Workers:       workers,
 				IterTime:      stats.NewNormal(iterMean, 0.2*iterMean),

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -160,7 +161,7 @@ func simOne(app sysmodel.Application, as sysmodel.Assignment, avail pmf.PMF, cfg
 		return 0, fmt.Errorf("AF technique missing")
 	}
 	iterMean := app.ExecTime[as.Type].Mean() / float64(app.TotalIters())
-	s, err := sim.RunMany(sim.Config{
+	s, err := sim.RunManyContext(context.Background(), sim.Config{
 		SerialIters:      app.SerialIters,
 		ParallelIters:    app.ParallelIters,
 		Workers:          as.Procs,

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -30,7 +31,7 @@ func main() {
 	fmt.Println()
 
 	for _, sc := range core.PaperScenarios(ra.NaiveLoadBalance{}, ra.Exhaustive{}) {
-		res, err := f.RunScenario(sc, cases, cfg)
+		res, err := f.RunScenarioContext(context.Background(), sc, cases, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -80,7 +81,7 @@ func main() {
 	app := batch[2]
 	as := alloc[2]
 	iterMean := app.ExecTime[as.Type].Mean() / float64(app.TotalIters())
-	sample, err := sim.RunMany(sim.Config{
+	sample, err := sim.RunManyContext(context.Background(), sim.Config{
 		SerialIters:   app.SerialIters,
 		ParallelIters: app.ParallelIters,
 		Workers:       as.Procs,

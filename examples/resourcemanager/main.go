@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -36,7 +37,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := batch.Run(batch.Config{
+			res, err := batch.RunContext(context.Background(), batch.Config{
 				Sys: experiments.ReferenceSystem(),
 				Arrivals: batch.ArrivalProcess{
 					Interarrival: stats.NewExponential(rate),

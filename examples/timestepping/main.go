@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -48,7 +49,7 @@ func main() {
 		if !ok {
 			log.Fatalf("technique %q missing", name)
 		}
-		s, err := sim.RunMany(sim.Config{
+		s, err := sim.RunManyContext(context.Background(), sim.Config{
 			ParallelIters: iters,
 			Workers:       workers,
 			IterTime:      stats.NewNormal(1, 0.2),

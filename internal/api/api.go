@@ -33,6 +33,13 @@ import (
 // under ("/v1/...").
 const Version = "v1"
 
+// MinorVersion is the schema revision within the v1 route prefix,
+// reported as api_version by GET /v1/healthz and GET /v1/jobs. 1.1
+// added precedence edges on the three request documents and the
+// structured Error document; every 1.0 request remains valid and
+// produces a byte-identical result.
+const MinorVersion = "1.1"
+
 // JobState is the lifecycle state of an asynchronous job. States only
 // move forward: queued -> running -> {done, failed, cancelled}, with
 // the shortcut queued -> cancelled for jobs cancelled before a worker
@@ -126,9 +133,11 @@ type Job struct {
 // matching the filter across all pages, and Next (set only when a
 // limit truncated the page) is the ?after= cursor for the next one.
 type JobList struct {
-	Jobs  []Job  `json:"jobs"`
-	Total int    `json:"total"`
-	Next  string `json:"next,omitempty"`
+	// APIVersion reports the wire schema revision (MinorVersion).
+	APIVersion string `json:"api_version"`
+	Jobs       []Job  `json:"jobs"`
+	Total      int    `json:"total"`
+	Next       string `json:"next,omitempty"`
 }
 
 // WorkerRegistration is the body of POST /v1/workers: a worker peer
@@ -165,9 +174,34 @@ type WorkerList struct {
 	Workers []WorkerStatus `json:"workers"`
 }
 
-// Error is the body of every non-2xx response.
+// Error codes: the machine-readable classification of every non-2xx
+// response. Clients branch on the code; the message is for humans.
+const (
+	// ErrBadRequest: the request document failed validation (malformed
+	// JSON, unknown names, invalid instance, bad DAG edges). Field
+	// carries the offending JSON path when one is known.
+	ErrBadRequest = "bad_request"
+	// ErrNotFound: the named job or worker does not exist.
+	ErrNotFound = "not_found"
+	// ErrQueueFull: admission rejected the job; retry after the
+	// Retry-After header's estimate.
+	ErrQueueFull = "queue_full"
+	// ErrDraining: the server is shutting down and admits nothing.
+	ErrDraining = "draining"
+	// ErrInternal: the server failed to admit or journal the job.
+	ErrInternal = "internal"
+)
+
+// Error is the body of every non-2xx response (v1.1): one structured
+// document for all 4xx/5xx outcomes instead of ad-hoc text bodies.
+// Field, when set, is the JSON path of the request field at fault in
+// the config.Marshal style — "edges[3].from",
+// "applications[2].execTimes[0].mean" — so clients can point at the
+// exact offending input.
 type Error struct {
-	Error string `json:"error"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
 }
 
 // Health is the GET /v1/healthz response: a structured liveness
@@ -176,9 +210,12 @@ type Error struct {
 type Health struct {
 	// Status is "ok" while admitting and "draining" once shutdown has
 	// begun (Draining carries the same fact as a bool).
-	Status   string `json:"status"`
-	Version  string `json:"version"`
-	Draining bool   `json:"draining"`
+	Status  string `json:"status"`
+	Version string `json:"version"`
+	// APIVersion reports the wire schema revision (MinorVersion);
+	// Version stays the route prefix.
+	APIVersion string `json:"api_version"`
+	Draining   bool   `json:"draining"`
 	// QueueDepth is the number of jobs waiting for an executor right
 	// now, out of QueueCapacity; Inflight is the number currently
 	// holding one of the Executors.
@@ -239,6 +276,13 @@ type SolveRequest struct {
 	// Instance is the problem document; nil means the embedded paper
 	// example.
 	Instance *config.Instance `json:"instance,omitempty"`
+	// Edges are precedence constraints over the batch (v1.1): edge
+	// {from, to} means application from must finish before to starts.
+	// Non-empty edges override the instance's own; the effective set is
+	// echoed in the result's canonical instance, so the job's cache
+	// identity includes the topology. Empty leaves the request exactly
+	// as in v1.0.
+	Edges []config.EdgeSpec `json:"edges,omitempty"`
 	// Heuristic names the Stage-I policy (ra.Names lists them); empty
 	// means "exhaustive".
 	Heuristic string `json:"heuristic,omitempty"`
@@ -292,6 +336,11 @@ type SimulateRequest struct {
 	// Instance is the problem document; nil means the embedded paper
 	// example.
 	Instance *config.Instance `json:"instance,omitempty"`
+	// Edges are precedence constraints over the batch (v1.1; see
+	// SolveRequest.Edges): the simulation then releases each
+	// application only when all its predecessors have finished, per
+	// repetition.
+	Edges []config.EdgeSpec `json:"edges,omitempty"`
 	// Allocation fixes each application's processor group; required.
 	Allocation []Assignment `json:"allocation"`
 	// Techniques names the DLS technique set (dls.Names lists them);
@@ -366,6 +415,10 @@ type ScenarioRequest struct {
 	// without declared cases is evaluated under the reference
 	// availability plus 80% and 60% degradations (core.FallbackCases).
 	Instance *config.Instance `json:"instance,omitempty"`
+	// Edges are precedence constraints over the batch (v1.1; see
+	// SolveRequest.Edges): Stage I optimizes the DAG phi_1 and every
+	// Stage-II case releases applications along the edges.
+	Edges []config.EdgeSpec `json:"edges,omitempty"`
 	// Scenario selects one of the paper's four scenarios (1-4) when IM
 	// and RAS are empty; 0 means 4 (robust-robust).
 	Scenario int `json:"scenario,omitempty"`

@@ -154,16 +154,6 @@ type Result struct {
 	MakespanTotal float64
 }
 
-// Run simulates the arrival queue and batch-synchronous execution.
-//
-// Deprecated: Run is the context-free wrapper kept for existing
-// callers. New code should call RunContext, the canonical cancellable
-// entry point (see DESIGN.md §7); Run is exactly RunContext under
-// context.Background().
-func Run(cfg Config) (*Result, error) {
-	return RunContext(context.Background(), cfg)
-}
-
 // RunContext is Run under a context: cancellation is checked before
 // each batch is scheduled, the Stage-I heuristic runs through
 // ra.SolveContext, and ctx reaches the Executor, so a cancelled

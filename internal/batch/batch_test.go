@@ -51,7 +51,7 @@ func config() Config {
 }
 
 func TestRunBasicInvariants(t *testing.T) {
-	res, err := Run(config())
+	res, err := RunContext(context.Background(), config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +105,11 @@ func TestRunBasicInvariants(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
-	a, err := Run(config())
+	a, err := RunContext(context.Background(), config())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(config())
+	b, err := RunContext(context.Background(), config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestUnboundedBatch(t *testing.T) {
 	cfg.MaxBatch = 0
 	cfg.Jobs = 10
 	// Slow arrivals relative to service: batches stay small anyway.
-	res, err := Run(cfg)
+	res, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +143,11 @@ func TestFasterArrivalsGrowBatches(t *testing.T) {
 	fast := config()
 	fast.MaxBatch = 0
 	fast.Arrivals.Interarrival = stats.NewExponential(1.0 / 50)
-	rs, err := Run(slow)
+	rs, err := RunContext(context.Background(), slow)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rf, err := Run(fast)
+	rf, err := RunContext(context.Background(), fast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestValidationErrors(t *testing.T) {
 	for i, mod := range mods {
 		cfg := config()
 		mod(&cfg)
-		if _, err := Run(cfg); err == nil {
+		if _, err := RunContext(context.Background(), cfg); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
 	}
@@ -203,7 +203,7 @@ func (failingExecutor) Execute(context.Context, *sysmodel.System, sysmodel.Batch
 func TestExecutorErrorPropagates(t *testing.T) {
 	cfg := config()
 	cfg.Executor = failingExecutor{}
-	if _, err := Run(cfg); err == nil {
+	if _, err := RunContext(context.Background(), cfg); err == nil {
 		t.Error("executor error swallowed")
 	}
 }

@@ -1,6 +1,7 @@
 package batch_test
 
 import (
+	"context"
 	"fmt"
 
 	"cdsf/internal/batch"
@@ -13,7 +14,7 @@ import (
 // ExampleRun simulates a resource manager: Poisson arrivals grouped
 // into batches, each allocated by a Stage-I heuristic and executed
 // batch-synchronously.
-func ExampleRun() {
+func ExampleRunContext() {
 	sys := &sysmodel.System{Types: []sysmodel.ProcType{
 		{Name: "T1", Count: 8, Avail: pmf.Point(1)},
 	}}
@@ -21,7 +22,7 @@ func ExampleRun() {
 		Name: "job", SerialIters: 10, ParallelIters: 990,
 		ExecTime: []pmf.PMF{pmf.Point(800)},
 	}
-	res, err := batch.Run(batch.Config{
+	res, err := batch.RunContext(context.Background(), batch.Config{
 		Sys: sys,
 		Arrivals: batch.ArrivalProcess{
 			Interarrival: stats.NewExponential(1.0 / 100),

@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -58,13 +59,13 @@ func TestRunWithSizePolicyGrowsBatches(t *testing.T) {
 	base := config()
 	base.MaxBatch = 0
 	base.Jobs = 30
-	greedy, err := Run(base)
+	greedy, err := RunContext(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sized := base
 	sized.Policy = SizePolicy{Min: 4}
-	rs, err := Run(sized)
+	rs, err := RunContext(context.Background(), sized)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestRunWithWindowPolicy(t *testing.T) {
 	cfg.MaxBatch = 0
 	cfg.Jobs = 25
 	cfg.Policy = &WindowPolicy{Window: 600}
-	res, err := Run(cfg)
+	res, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,11 +107,11 @@ func TestRunWithWindowPolicy(t *testing.T) {
 func TestRunPolicyRespectsArrivalOrderAndDeterminism(t *testing.T) {
 	cfg := config()
 	cfg.Policy = SizePolicy{Min: 2}
-	a, err := Run(cfg)
+	a, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg)
+	b, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,13 +142,13 @@ func TestPolicyComparison(t *testing.T) {
 		Seed:      5,
 	}
 	greedy := base
-	res1, err := Run(greedy)
+	res1, err := RunContext(context.Background(), greedy)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sized := base
 	sized.Policy = SizePolicy{Min: 5}
-	res2, err := Run(sized)
+	res2, err := RunContext(context.Background(), sized)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,6 +35,13 @@ type Instance struct {
 	Types []ProcTypeSpec `json:"types"`
 	// Applications lists the batch.
 	Applications []ApplicationSpec `json:"applications"`
+	// Edges optionally lists precedence constraints between
+	// applications, by batch index (the v1.1 "dag" schema): each edge
+	// means applications[from] must finish before applications[to]
+	// starts. Omitted or empty is the paper's independent batch — the
+	// field is omitted from canonical JSON, so pre-existing instances
+	// marshal byte-identically.
+	Edges []EdgeSpec `json:"edges,omitempty"`
 	// Cases optionally lists runtime availability cases (the paper's
 	// Table I cases); each provides one availability PMF per type, in
 	// type order. Omitted cases default to the reference availability
@@ -47,6 +54,13 @@ type CaseSpec struct {
 	Name string `json:"name,omitempty"`
 	// Availability[j] is the availability PMF of processor type j.
 	Availability [][]PulseSpec `json:"availability"`
+}
+
+// EdgeSpec is one precedence edge: the application at batch index From
+// must finish before the application at index To may start.
+type EdgeSpec struct {
+	From int `json:"from"`
+	To   int `json:"to"`
 }
 
 // NamedAvailability is a decoded runtime availability case.
@@ -97,6 +111,18 @@ func Load(path string) (*sysmodel.System, sysmodel.Batch, float64, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// LoadInstance reads and decodes an instance document from a JSON file
+// without building the model objects, so callers can also pick up the
+// optional fields (edges, cases) via BuildEdges / BuildCases.
+func LoadInstance(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
 }
 
 // Read parses an instance from r and builds the model objects,
@@ -316,6 +342,25 @@ func buildExecPMF(es ExecTimeSpec, pulses int) (pmf.PMF, error) {
 	default:
 		return pmf.PMF{}, fmt.Errorf("no execution time given")
 	}
+}
+
+// BuildEdges validates and converts the instance's precedence edges.
+// Validation failures carry canonical field paths (e.g.
+// "config: edges[3].from: unknown application 9 (batch has 4)") via
+// sysmodel.EdgeError, which API layers can unwrap for structured
+// error documents.
+func BuildEdges(inst *Instance) ([]sysmodel.Edge, error) {
+	if len(inst.Edges) == 0 {
+		return nil, nil
+	}
+	edges := make([]sysmodel.Edge, len(inst.Edges))
+	for i, e := range inst.Edges {
+		edges[i] = sysmodel.Edge{From: e.From, To: e.To}
+	}
+	if err := sysmodel.ValidateEdges(edges, len(inst.Applications)); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return edges, nil
 }
 
 // BuildCases decodes the instance's runtime availability cases,

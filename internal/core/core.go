@@ -41,11 +41,20 @@ type Framework struct {
 	Sys      *sysmodel.System
 	Batch    sysmodel.Batch
 	Deadline float64
+
+	// Edges are optional precedence constraints over the batch (the
+	// v1.1 DAG schema): edge {From, To} means application From must
+	// finish before To starts. Stage I then optimizes the DAG phi_1
+	// (completion PMFs composed along predecessor chains) and Stage II
+	// releases each application only when all its predecessors have
+	// finished, per replication. Empty means the paper's independent
+	// batch, bit-identical to the pre-DAG framework.
+	Edges []sysmodel.Edge
 }
 
 // Validate checks the instance.
 func (f *Framework) Validate() error {
-	p := ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline}
+	p := ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Edges: f.Edges}
 	return p.Validate()
 }
 
@@ -294,7 +303,9 @@ func BuildScenario(scenario int, im string, ras []string) (Scenario, error) {
 type TechOutcome struct {
 	Technique string
 	// MeanTime is the mean simulated application completion time
-	// (serial + parallel phases).
+	// (serial + parallel phases; for a DAG batch it is absolute —
+	// release gate plus both phases — so the deadline check compares
+	// end-to-end completion).
 	MeanTime float64
 	// StdDev is the standard deviation across repetitions.
 	StdDev float64
@@ -336,18 +347,6 @@ type ScenarioResult struct {
 	WarmHits, WarmMisses int64
 }
 
-// RunScenario evaluates a scenario: Stage I against the framework's
-// reference availability, then Stage II simulations for every
-// availability case.
-//
-// Deprecated: RunScenario is the context-free wrapper kept for
-// existing callers. New code should call RunScenarioContext, the
-// canonical cancellable entry point (see DESIGN.md §7); RunScenario is
-// exactly RunScenarioContext under context.Background().
-func (f *Framework) RunScenario(sc Scenario, cases []Case, cfg StageIIConfig) (*ScenarioResult, error) {
-	return f.RunScenarioContext(context.Background(), sc, cases, cfg)
-}
-
 // RunScenarioContext is RunScenario under a context: ctx reaches the
 // Stage-I search (through ra.SolveContext) and every Stage-II
 // replication fan-out, and is additionally checked between cases, so a
@@ -375,13 +374,13 @@ func (f *Framework) RunScenarioContext(ctx context.Context, sc Scenario, cases [
 	prog.PlanCases(len(cases))
 	scenarioRegion := tr.Begin("stage2", sc.Name, "scenario")
 	stage1Region := tr.Begin("stage2", "stage1: "+sc.IM.Name(), "stage1")
-	prob := &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Backend: cfg.PMFBackend, Metrics: cfg.Metrics, Tracer: cfg.Tracer, Cache: cfg.Cache}
+	prob := &ra.Problem{Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Edges: f.Edges, Backend: cfg.PMFBackend, Metrics: cfg.Metrics, Tracer: cfg.Tracer, Cache: cfg.Cache}
 	alloc, err := ra.SolveContext(ctx, sc.IM, prob)
 	stage1Region.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: stage I (%s): %w", sc.IM.Name(), err)
 	}
-	stage1, err := robustness.EvaluateStageI(f.Sys, f.Batch, alloc, f.Deadline)
+	stage1, err := robustness.EvaluateStageIDAG(f.Sys, f.Batch, f.Edges, alloc, f.Deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -484,7 +483,34 @@ func (f *Framework) runCase(ctx context.Context, alloc sysmodel.Allocation, ras 
 		Best:     make([]string, len(f.Batch)),
 		AllMeet:  true,
 	}
-	for i := range f.Batch {
+	// A DAG batch simulates applications in topological order so each
+	// application's per-replication release time — the max of its
+	// predecessors' absolute finish times in the same replication and
+	// under the same technique — is known before it runs. Technique
+	// chains are coupled per technique index: each technique is
+	// evaluated as if the whole DAG ran under it, and the best per
+	// application is still compared afterwards. An edge-free batch
+	// takes the identical i = 0..n-1 path with no release gating.
+	order := make([]int, len(f.Batch))
+	for i := range order {
+		order[i] = i
+	}
+	var preds [][]int
+	var finishes [][][]float64 // [technique][app] -> per-rep absolute finish
+	dag := len(f.Edges) > 0
+	if dag {
+		var err error
+		order, err = sysmodel.TopoOrder(f.Edges, len(f.Batch))
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		preds = sysmodel.Preds(f.Edges, len(f.Batch))
+		finishes = make([][][]float64, len(ras))
+		for ti := range finishes {
+			finishes[ti] = make([][]float64, len(f.Batch))
+		}
+	}
+	for _, i := range order {
 		app := &f.Batch[i]
 		as := alloc[i]
 		iterMean := app.ExecTime[as.Type].Mean() / float64(app.TotalIters())
@@ -497,13 +523,31 @@ func (f *Framework) runCase(ctx context.Context, alloc sysmodel.Allocation, ras 
 		outcomes := make([]TechOutcome, 0, len(ras))
 		bestName, bestTime := "", 0.0
 		for ti, tech := range ras {
+			var releases []float64
+			if dag {
+				// Repetition r of application i starts when repetition r of
+				// every predecessor finished under the same technique;
+				// sources carry the zero release explicitly so every DAG
+				// run reports the sim.dag metrics uniformly.
+				releases = make([]float64, cfg.Reps)
+				for _, pr := range preds[i] {
+					for r, fin := range finishes[ti][pr] {
+						if fin > releases[r] {
+							releases[r] = fin
+						}
+					}
+				}
+			}
 			appRegion := cfg.tracer().Begin("stage2", app.Name+" / "+tech.Name, "app")
-			s, err := f.simulateApp(ctx, app, as, tech, iterDist, model, cfg,
+			s, err := f.simulateApp(ctx, app, as, tech, iterDist, model, cfg, releases,
 				cfg.Seed^(caseSalt<<40)^(uint64(i)<<20)^uint64(ti)<<4,
 				traceScope+"/"+app.Name+"/"+tech.Name)
 			appRegion.End()
 			if err != nil {
 				return nil, err
+			}
+			if dag {
+				finishes[ti][i] = s.Makespans
 			}
 			o := TechOutcome{
 				Technique: tech.Name,
@@ -526,8 +570,9 @@ func (f *Framework) runCase(ctx context.Context, alloc sysmodel.Allocation, ras 
 	return out, nil
 }
 
-func (f *Framework) simulateApp(ctx context.Context, app *sysmodel.Application, as sysmodel.Assignment, tech dls.Technique, iterDist stats.Dist, model availability.Model, cfg StageIIConfig, seed uint64, traceScope string) (*sim.Sample, error) {
+func (f *Framework) simulateApp(ctx context.Context, app *sysmodel.Application, as sysmodel.Assignment, tech dls.Technique, iterDist stats.Dist, model availability.Model, cfg StageIIConfig, releases []float64, seed uint64, traceScope string) (*sim.Sample, error) {
 	c := sim.Config{
+		Releases:      releases,
 		SerialIters:   app.SerialIters,
 		ParallelIters: app.ParallelIters,
 		Workers:       as.Procs,

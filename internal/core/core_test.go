@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -64,7 +65,7 @@ func testCases(f *Framework) []Case {
 func TestRunScenarioEndToEnd(t *testing.T) {
 	f := testFramework()
 	sc := Scenario{Name: "test", IM: ra.Exhaustive{}, RAS: RobustRAS()}
-	res, err := f.RunScenario(sc, testCases(f), quickCfg(1))
+	res, err := f.RunScenarioContext(context.Background(), sc, testCases(f), quickCfg(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestRunScenarioEndToEnd(t *testing.T) {
 func TestDegradedCaseSlower(t *testing.T) {
 	f := testFramework()
 	sc := Scenario{Name: "test", IM: ra.Exhaustive{}, RAS: NaiveRAS()}
-	res, err := f.RunScenario(sc, testCases(f), quickCfg(3))
+	res, err := f.RunScenarioContext(context.Background(), sc, testCases(f), quickCfg(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,17 +158,17 @@ func TestConfigValidation(t *testing.T) {
 	sc := Scenario{Name: "t", IM: ra.Exhaustive{}, RAS: NaiveRAS()}
 	bad := quickCfg(1)
 	bad.Reps = 0
-	if _, err := f.RunScenario(sc, testCases(f), bad); err == nil {
+	if _, err := f.RunScenarioContext(context.Background(), sc, testCases(f), bad); err == nil {
 		t.Error("zero reps accepted")
 	}
 	bad = quickCfg(1)
 	bad.IterCV = 0
-	if _, err := f.RunScenario(sc, testCases(f), bad); err == nil {
+	if _, err := f.RunScenarioContext(context.Background(), sc, testCases(f), bad); err == nil {
 		t.Error("zero IterCV accepted")
 	}
 	// Mismatched case availability length.
 	badCase := []Case{{Name: "x", Avail: []pmf.PMF{pmf.Point(1)}}}
-	if _, err := f.RunScenario(sc, badCase, quickCfg(1)); err == nil {
+	if _, err := f.RunScenarioContext(context.Background(), sc, badCase, quickCfg(1)); err == nil {
 		t.Error("mismatched case accepted")
 	}
 }

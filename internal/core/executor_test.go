@@ -59,7 +59,7 @@ func TestSimExecutorValidation(t *testing.T) {
 func TestSimExecutorWithResourceManager(t *testing.T) {
 	f := testFramework()
 	af, _ := dls.Get("AF")
-	res, err := batch.Run(batch.Config{
+	res, err := batch.RunContext(context.Background(), batch.Config{
 		Sys: f.Sys,
 		Arrivals: batch.ArrivalProcess{
 			Interarrival: stats.NewExponential(1.0 / 400),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cdsf/internal/availability"
@@ -56,7 +57,7 @@ func (f *Framework) SimTolerance(alloc sysmodel.Allocation, ras []dls.Technique,
 			iterMean := app.ExecTime[as.Type].Mean() / float64(app.TotalIters())
 			bestTime := 0.0
 			for _, tech := range ras {
-				s, err := sim.RunMany(sim.Config{
+				s, err := sim.RunManyContext(context.Background(), sim.Config{
 					SerialIters:      app.SerialIters,
 					ParallelIters:    app.ParallelIters,
 					Workers:          as.Procs,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -15,14 +16,14 @@ import (
 func TestRunScenarioTracing(t *testing.T) {
 	f := testFramework()
 	sc := Scenario{Name: "test", IM: ra.Exhaustive{}, RAS: RobustRAS()}
-	plain, err := f.RunScenario(sc, testCases(f), quickCfg(1))
+	plain, err := f.RunScenarioContext(context.Background(), sc, testCases(f), quickCfg(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	cfg := quickCfg(1)
 	cfg.Tracer = tracing.New()
-	traced, err := f.RunScenario(sc, testCases(f), cfg)
+	traced, err := f.RunScenarioContext(context.Background(), sc, testCases(f), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestRunScenarioProgress(t *testing.T) {
 	f := testFramework()
 	sc := Scenario{Name: "test", IM: ra.Exhaustive{}, RAS: NaiveRAS()}
 	cases := testCases(f)
-	if _, err := f.RunScenario(sc, cases, quickCfg(1)); err != nil {
+	if _, err := f.RunScenarioContext(context.Background(), sc, cases, quickCfg(1)); err != nil {
 		t.Fatal(err)
 	}
 	s := prog.Snapshot()

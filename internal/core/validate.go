@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -81,7 +82,7 @@ func (f *Framework) ValidateStageI(alloc sysmodel.Allocation, i, reps int, seed 
 			Interval:    analytic.Max() * 100, // constant within a run
 			Persistence: 0,
 		}
-		res, err := sim.Run(sim.Config{
+		res, err := sim.RunContext(context.Background(), sim.Config{
 			SerialIters:   app.SerialIters,
 			ParallelIters: app.ParallelIters,
 			Workers:       as.Procs,

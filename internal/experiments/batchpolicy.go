@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cdsf/internal/batch"
@@ -31,7 +32,7 @@ func GenerateBatchPolicyStudy(seed uint64, jobs int) (*report.Table, error) {
 		fmt.Sprintf("Batching-policy study: %d paper-mix arrivals, mean interarrival 900", jobs),
 		"Policy", "Batches", "Mean batch size", "Mean wait", "Mean phi1 (%)", "Deadline rate (%)")
 	for _, pol := range policies {
-		res, err := batch.Run(batch.Config{
+		res, err := batch.RunContext(context.Background(), batch.Config{
 			Sys: ReferenceSystem(),
 			Arrivals: batch.ArrivalProcess{
 				Interarrival: stats.NewExponential(1.0 / 900),

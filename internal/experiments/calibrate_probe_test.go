@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -23,7 +24,7 @@ func paperShapeScore(t *testing.T, f *core.Framework, cfg core.StageIIConfig) (i
 	t.Helper()
 	detail := ""
 	score := 0
-	s2, err := f.RunScenario(core.Scenario{Name: "2", IM: ra.Exhaustive{}, RAS: core.NaiveRAS()}, Cases(), cfg)
+	s2, err := f.RunScenarioContext(context.Background(), core.Scenario{Name: "2", IM: ra.Exhaustive{}, RAS: core.NaiveRAS()}, Cases(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func paperShapeScore(t *testing.T, f *core.Framework, cfg core.StageIIConfig) (i
 			detail += fmt.Sprintf(" s2:%s-meets", c.Case.Name)
 		}
 	}
-	s4, err := f.RunScenario(core.Scenario{Name: "4", IM: ra.Exhaustive{}, RAS: core.RobustRAS()}, Cases(), cfg)
+	s4, err := f.RunScenarioContext(context.Background(), core.Scenario{Name: "4", IM: ra.Exhaustive{}, RAS: core.RobustRAS()}, Cases(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"cdsf/internal/sysmodel"
+)
+
+func TestEdgeGeneratorsValid(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		for _, tc := range []struct {
+			name  string
+			edges []sysmodel.Edge
+		}{
+			{"chain", ChainEdges(n)},
+			{"fork-join", ForkJoinEdges(n)},
+			{"layered", LayeredEdges(7, n, 3, 0.5)},
+			{"layered-dense", LayeredEdges(9, n, 2, 1.0)},
+			{"layered-sparse", LayeredEdges(11, n, 3, 0.0)},
+		} {
+			if err := sysmodel.ValidateEdges(tc.edges, n); err != nil {
+				t.Errorf("n=%d %s: %v", n, tc.name, err)
+			}
+		}
+	}
+	if got := len(ChainEdges(5)); got != 4 {
+		t.Errorf("chain(5): %d edges, want 4", got)
+	}
+	if got := len(ForkJoinEdges(5)); got != 6 {
+		t.Errorf("fork-join(5): %d edges, want 6", got)
+	}
+}
+
+func TestLayeredEdgesDeterministicAndConnected(t *testing.T) {
+	a := LayeredEdges(42, 9, 3, 0.4)
+	b := LayeredEdges(42, 9, 3, 0.4)
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d edges", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Every application outside the first layer has a predecessor even
+	// at density 0.
+	preds := sysmodel.Preds(LayeredEdges(3, 9, 3, 0), 9)
+	for i := 3; i < 9; i++ {
+		if len(preds[i]) == 0 {
+			t.Errorf("application %d has no predecessor", i)
+		}
+	}
+}
+
+func TestDAGStudyDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DAG study in -short")
+	}
+	cfg := DefaultDAGStudyConfig(5)
+	cfg.Apps = 4
+	cfg.Type1, cfg.Type2 = 4, 8
+	cfg.Reps = 3
+	cfg.Heuristics = []string{"greedy", "heft", "dag-greedy"}
+
+	render := func(workers int) string {
+		c := cfg
+		c.Workers = workers
+		tbl, err := RunDAGStudyContext(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tbl.CSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	one := render(1)
+	many := render(4)
+	if one != many {
+		t.Errorf("DAG study differs across worker counts:\n%s\nvs\n%s", one, many)
+	}
+	if len(one) == 0 {
+		t.Fatal("empty study output")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestProbeAvailabilityModels(t *testing.T) {
 	for _, m := range models {
 		cfg := core.DefaultStageII(Deadline, 42)
 		cfg.Model = m.mk
-		res, err := f.RunScenario(sc, Cases(), cfg)
+		res, err := f.RunScenarioContext(context.Background(), sc, Cases(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

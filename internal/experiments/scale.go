@@ -135,19 +135,6 @@ type quadrant struct {
 	ras  []string // technique names
 }
 
-// RunScaleStudy evaluates the four quadrants over random instances and
-// reports, per instance size and quadrant, the mean Stage-I phi_1 and
-// the fraction of instances whose whole batch met the deadline at
-// runtime under the degraded availability.
-//
-// Deprecated: RunScaleStudy is the context-free wrapper kept for
-// existing callers. New code should call RunScaleStudyContext, the
-// canonical cancellable entry point (see DESIGN.md §7); RunScaleStudy
-// is exactly RunScaleStudyContext under context.Background().
-func RunScaleStudy(cfg ScaleConfig) (*report.Table, error) {
-	return RunScaleStudyContext(context.Background(), cfg)
-}
-
 // RunScaleStudyContext is RunScaleStudy under a context: cancellation
 // stops the cell pool from claiming further (size, quadrant, instance)
 // cells, drains in-flight evaluations (each of which also observes ctx

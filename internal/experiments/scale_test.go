@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"strconv"
 	"strings"
@@ -51,7 +52,7 @@ func TestScaleStudySmoke(t *testing.T) {
 	cfg.Instances = 4
 	cfg.Sizes = [][3]int{{3, 4, 8}, {6, 8, 16}}
 	cfg.Reps = 6
-	tbl, err := RunScaleStudy(cfg)
+	tbl, err := RunScaleStudyContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,13 +104,13 @@ func TestScaleStudyDeterministicAcrossWorkers(t *testing.T) {
 	cfg.Sizes = [][3]int{{3, 4, 8}}
 	cfg.Reps = 3
 	cfg.Workers = 1
-	ref, err := RunScaleStudy(cfg)
+	ref, err := RunScaleStudyContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range []int{3, runtime.NumCPU()} {
 		cfg.Workers = w
-		tbl, err := RunScaleStudy(cfg)
+		tbl, err := RunScaleStudyContext(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}

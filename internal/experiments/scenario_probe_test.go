@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestProbeScenario4(t *testing.T) {
 	f := Framework()
 	cfg := core.DefaultStageII(Deadline, 42)
 	sc := core.Scenario{Name: "4", IM: ra.Exhaustive{}, RAS: core.RobustRAS()}
-	res, err := f.RunScenario(sc, Cases(), cfg)
+	res, err := f.RunScenarioContext(context.Background(), sc, Cases(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -221,7 +222,7 @@ func TestStaticRuntimeModelMatchesSimulator(t *testing.T) {
 
 	static, _ := dls.Get("STATIC")
 	iterMean := app.ExecTime[1].Mean() / float64(app.TotalIters())
-	s, err := sim.RunMany(sim.Config{
+	s, err := sim.RunManyContext(context.Background(), sim.Config{
 		SerialIters:   app.SerialIters,
 		ParallelIters: app.ParallelIters,
 		Workers:       8,

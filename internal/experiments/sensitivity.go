@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cdsf/internal/availability"
@@ -33,7 +34,7 @@ func sensApp() (app int, workers int, iterMean float64, avail pmf.PMF) {
 func sensSim(tech dls.Technique, overhead, cv float64, model availability.Model, reps int, seed uint64) (*sim.Sample, error) {
 	_, workers, iterMean, _ := sensApp()
 	b := PaperBatch(DefaultPulses)
-	return sim.RunMany(sim.Config{
+	return sim.RunManyContext(context.Background(), sim.Config{
 		SerialIters:      b[2].SerialIters,
 		ParallelIters:    b[2].ParallelIters,
 		Workers:          workers,
@@ -230,7 +231,7 @@ func RunExtendedTechniqueStudy(seed uint64, reps int) (*report.Table, error) {
 	cfg := core.DefaultStageII(Deadline, seed)
 	cfg.Reps = reps
 	sc := core.Scenario{Name: "extended", IM: paperRobustIM{}, RAS: dls.All()}
-	res, err := f.RunScenario(sc, Cases(), cfg)
+	res, err := f.RunScenarioContext(context.Background(), sc, Cases(), cfg)
 	if err != nil {
 		return nil, err
 	}

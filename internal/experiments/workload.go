@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cdsf/internal/availability"
@@ -40,7 +41,7 @@ func GenerateDistributionSensitivity(seed uint64, reps int) (*report.Table, erro
 	for _, tech := range dls.PaperRobustSet() {
 		row := []string{tech.Name}
 		for _, d := range dists {
-			s, err := sim.RunMany(sim.Config{
+			s, err := sim.RunManyContext(context.Background(), sim.Config{
 				SerialIters:      b[2].SerialIters,
 				ParallelIters:    b[2].ParallelIters,
 				Workers:          8,
@@ -85,7 +86,7 @@ func GenerateProfileSensitivity(seed uint64, reps int) (*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			s, err := sim.RunMany(sim.Config{
+			s, err := sim.RunManyContext(context.Background(), sim.Config{
 				SerialIters:      b[2].SerialIters,
 				ParallelIters:    b[2].ParallelIters,
 				Workers:          8,

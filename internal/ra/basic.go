@@ -162,6 +162,12 @@ func (p *Problem) scoreOf(al sysmodel.Allocation) score {
 			s.maxExp = exp
 		}
 	}
+	if len(p.Edges) > 0 {
+		// Precedence edges change the objective: phi_1 is the composed
+		// DAG probability, while the expected-time tie-breaks keep their
+		// standalone per-application readings.
+		s.phi = p.dagPhi(al)
+	}
 	return s
 }
 

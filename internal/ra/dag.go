@@ -1,0 +1,75 @@
+package ra
+
+// This file implements the DAG-aware Stage-I objective. With
+// precedence edges on the Problem, phi_1 is no longer the product of
+// standalone per-application deadline probabilities: each
+// application's completion time is composed along its predecessor
+// chains (C_i = T_i + max over preds C_p, the PERT approximation in
+// sysmodel/dag.go) and phi_1 is the product over the sink
+// applications. Both PMF backends are supported — sparse composition
+// uses pmf.Max/pmf.Add with compaction, the grid backend uses the
+// CDF-product MaxWith and index-shifted Add on the table's lattice —
+// and the per-cell distributions retained by Precompute make each
+// composition start from O(1) table reads.
+
+import (
+	"cdsf/internal/pmf"
+	"cdsf/internal/sysmodel"
+)
+
+// distFor returns the full completion-time distribution of application
+// i under assignment as: an O(1) read of the retained table
+// distributions when available, a direct computation otherwise
+// (non-power-of-2 hand-written allocations, or cells the warm cache
+// was missing).
+func (p *Problem) distFor(i int, as sysmodel.Assignment) pmf.Dist {
+	if t := p.table; t != nil && t.dists != nil {
+		if k, ok := log2of(as.Procs); ok && k < t.logs && as.Type >= 0 && as.Type < t.types && i >= 0 && i < len(p.Batch) {
+			if d := t.dists[(i*t.types+as.Type)*t.logs+k]; d != nil {
+				return d
+			}
+		}
+	}
+	return p.computeDist(i, as)
+}
+
+// dagPhi returns the DAG phi_1 of an allocation: the probability that
+// every application of the precedence-constrained batch finishes by
+// the deadline, computed by composing the per-application completion
+// distributions along the edges and multiplying the sink
+// probabilities. The allocation must already be validated. Safe for
+// concurrent use once the Problem is precomputed (compositions build
+// only private intermediates).
+func (p *Problem) dagPhi(al sysmodel.Allocation) float64 {
+	n := len(p.Batch)
+	sinks := sysmodel.Sinks(p.Edges, n)
+	if p.Backend.IsGrid() {
+		dists := make([]*pmf.Grid, n)
+		for i := 0; i < n; i++ {
+			dists[i] = p.distFor(i, al[i]).(*pmf.Grid)
+		}
+		comp, err := sysmodel.ComposeDAGGrid(dists, p.Edges)
+		if err != nil {
+			return 0
+		}
+		phi := 1.0
+		for _, s := range sinks {
+			phi *= comp[s].PrLE(p.Deadline)
+		}
+		sysmodel.ReleaseGrids(comp)
+		return phi
+	}
+	dists := make([]pmf.PMF, n)
+	for i := 0; i < n; i++ {
+		dists[i] = p.distFor(i, al[i]).(pmf.PMF)
+	}
+	comp, err := sysmodel.ComposeDAG(dists, p.Edges, sysmodel.DAGMaxPulses)
+	if err != nil {
+		return 0
+	}
+	phi := 1.0
+	for _, s := range sinks {
+		phi *= comp[s].PrLE(p.Deadline)
+	}
+	return phi
+}

@@ -56,6 +56,17 @@ type Problem struct {
 	Batch    sysmodel.Batch
 	Deadline float64
 
+	// Edges are optional precedence constraints over the batch: edge
+	// {From, To} means application From must finish before To starts.
+	// With edges present the objective becomes the DAG phi_1 — per-
+	// application completion PMFs composed along predecessor chains
+	// (sysmodel.ComposeDAG / ComposeDAGGrid) and multiplied over the
+	// sink applications — and Precompute retains each cell's full
+	// completion-time distribution so compositions reuse the table.
+	// An empty edge set leaves every code path bit-identical to the
+	// independent-batch engine. Set it before Precompute.
+	Edges []sysmodel.Edge
+
 	// Backend selects the PMF representation used when evaluating
 	// completion-time cells: the exact sparse pulses (the zero value)
 	// or the dense fixed-step grid, which trades the quantization
@@ -194,16 +205,24 @@ func (p *Problem) Validate() error {
 	if err := p.Backend.Validate(); err != nil {
 		return fmt.Errorf("ra: %w", err)
 	}
+	if err := sysmodel.ValidateEdges(p.Edges, len(p.Batch)); err != nil {
+		return fmt.Errorf("ra: %w", err)
+	}
 	return nil
 }
 
 // Objective returns phi_1 for an allocation; invalid allocations return
-// an error. Evaluations are O(1) reads of the precomputed evaluation
-// table, so Objective is safe for concurrent use once the Problem is
-// precomputed.
+// an error. For an independent batch, evaluations are O(1) reads of the
+// precomputed evaluation table; with precedence edges the completion
+// distributions behind the cells are composed along the DAG first (see
+// dag.go). Either way, Objective is safe for concurrent use once the
+// Problem is precomputed.
 func (p *Problem) Objective(al sysmodel.Allocation) (float64, error) {
 	if err := al.Validate(p.Sys, p.Batch); err != nil {
 		return 0, err
+	}
+	if len(p.Edges) > 0 {
+		return p.dagPhi(al), nil
 	}
 	phi := 1.0
 	for i := range p.Batch {

@@ -27,6 +27,12 @@ type evalTable struct {
 	types int
 	logs  int // power-of-2 count slots per (app, type): log2(maxCount)+1
 	cells []memoVal
+	// dists holds each cell's full completion-time distribution when the
+	// Problem carries precedence edges (indexed like cells; nil slices
+	// and nil entries fall back to computeDist). DAG composition needs
+	// whole distributions, not just the (prob, expected) pair, so the
+	// table retains what it computed instead of discarding it.
+	dists []pmf.Dist
 }
 
 // log2of returns (log2(n), true) when n is a positive power of two.
@@ -146,6 +152,11 @@ func (p *Problem) PrecomputeContext(ctx context.Context, workers int) error {
 			dists = make([]pmf.Dist, len(t.cells))
 		}
 	}
+	// A DAG problem composes the cells' full distributions, so retain
+	// them even without a cache attached.
+	if dists == nil && warm == nil && len(p.Edges) > 0 {
+		dists = make([]pmf.Dist, len(t.cells))
+	}
 
 	if err := runParallel(ctx, workers, len(jobs), func(n int) {
 		jb := jobs[n]
@@ -170,9 +181,17 @@ func (p *Problem) PrecomputeContext(ctx context.Context, workers int) error {
 	switch {
 	case warm != nil:
 		p.warmHits = int64(len(jobs))
+		if len(p.Edges) > 0 {
+			t.dists = warm.Cells
+		}
 	case dists != nil:
-		p.warmMisses = int64(len(jobs))
-		p.Cache.PutTable(warmKey, &cache.Table{Types: t.types, Logs: t.logs, Cells: dists})
+		if useCache {
+			p.warmMisses = int64(len(jobs))
+			p.Cache.PutTable(warmKey, &cache.Table{Types: t.types, Logs: t.logs, Cells: dists})
+		}
+		if len(p.Edges) > 0 {
+			t.dists = dists
+		}
 	}
 	p.table = t
 	if reg != nil {

@@ -1,0 +1,81 @@
+package robustness
+
+import (
+	"math"
+	"testing"
+
+	"cdsf/internal/sysmodel"
+)
+
+// TestEvaluateStageIDAGDegenerates pins the v1.1 compatibility
+// contract: with no edges the DAG evaluation is exactly EvaluateStageI.
+func TestEvaluateStageIDAGDegenerates(t *testing.T) {
+	sys, batch := testSystem(), testBatch()
+	alloc := sysmodel.Allocation{{Type: 0, Procs: 2}, {Type: 1, Procs: 4}}
+	plain, err := EvaluateStageI(sys, batch, alloc, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dag, err := EvaluateStageIDAG(sys, batch, nil, alloc, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.Phi1 != plain.Phi1 {
+		t.Errorf("edge-free DAG phi1 %v != %v", dag.Phi1, plain.Phi1)
+	}
+	for i := range batch {
+		if dag.PerApp[i] != plain.PerApp[i] || dag.ExpectedTimes[i] != plain.ExpectedTimes[i] {
+			t.Errorf("app %d: edge-free DAG result differs", i)
+		}
+	}
+}
+
+// TestEvaluateStageIDAGChain checks the composed quantities on a
+// two-application chain: the successor's completion is the sum of both
+// completion PMFs, phi_1 is the sink's probability alone, and the
+// expected times are monotone along the edge.
+func TestEvaluateStageIDAGChain(t *testing.T) {
+	sys, batch := testSystem(), testBatch()
+	alloc := sysmodel.Allocation{{Type: 1, Procs: 2}, {Type: 1, Procs: 2}}
+	edges := []sysmodel.Edge{{From: 0, To: 1}}
+	res, err := EvaluateStageIDAG(sys, batch, edges, alloc, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := EvaluateStageI(sys, batch, alloc, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source is untouched; the sink's expectation adds the source's
+	// (deterministic assignments make the sum exact).
+	if res.ExpectedTimes[0] != plain.ExpectedTimes[0] {
+		t.Errorf("source E[T] %v != standalone %v", res.ExpectedTimes[0], plain.ExpectedTimes[0])
+	}
+	wantSink := plain.ExpectedTimes[0] + plain.ExpectedTimes[1]
+	if math.Abs(res.ExpectedTimes[1]-wantSink) > 1e-9 {
+		t.Errorf("sink E[C] = %v, want %v", res.ExpectedTimes[1], wantSink)
+	}
+	// Application 1 is the only sink, so phi_1 is its probability.
+	if res.Phi1 != res.PerApp[1] {
+		t.Errorf("phi1 %v != sink probability %v", res.Phi1, res.PerApp[1])
+	}
+	if got := res.Completion[1].PrLE(1500); math.Abs(got-res.PerApp[1]) > 1e-12 {
+		t.Errorf("PerApp[1] %v != composed Pr %v", res.PerApp[1], got)
+	}
+}
+
+// TestEvaluateStageIDAGErrors covers the validation paths.
+func TestEvaluateStageIDAGErrors(t *testing.T) {
+	sys, batch := testSystem(), testBatch()
+	alloc := sysmodel.Allocation{{Type: 0, Procs: 2}, {Type: 1, Procs: 4}}
+	if _, err := EvaluateStageIDAG(sys, batch, []sysmodel.Edge{{From: 0, To: 7}}, alloc, 1200); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := EvaluateStageIDAG(sys, batch, []sysmodel.Edge{{From: 0, To: 1}, {From: 1, To: 0}}, alloc, 1200); err == nil {
+		t.Error("cyclic edges accepted")
+	}
+	bad := sysmodel.Allocation{{Type: 0, Procs: 99}, {Type: 1, Procs: 4}}
+	if _, err := EvaluateStageIDAG(sys, batch, []sysmodel.Edge{{From: 0, To: 1}}, bad, 1200); err == nil {
+		t.Error("infeasible allocation accepted")
+	}
+}

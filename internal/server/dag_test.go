@@ -1,0 +1,223 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"cdsf/internal/api"
+	"cdsf/internal/cache"
+	"cdsf/internal/config"
+	"cdsf/internal/experiments"
+	"cdsf/internal/ra"
+	"cdsf/internal/robustness"
+	"cdsf/internal/sysmodel"
+)
+
+// TestAPIVersionReported pins the v1.1 discovery contract: healthz and
+// the job list both carry api_version "1.1" alongside the v1 route
+// version.
+func TestAPIVersionReported(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h api.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.APIVersion != api.MinorVersion || api.MinorVersion != "1.1" {
+		t.Errorf("healthz api_version %q, want %q", h.APIVersion, "1.1")
+	}
+	if h.Version != api.Version {
+		t.Errorf("healthz version %q, want %q", h.Version, api.Version)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jl api.JobList
+	if err := json.NewDecoder(resp.Body).Decode(&jl); err != nil {
+		t.Fatal(err)
+	}
+	if jl.APIVersion != "1.1" {
+		t.Errorf("jobs api_version %q, want %q", jl.APIVersion, "1.1")
+	}
+}
+
+// TestErrorDocument pins the v1.1 error contract: every 4xx answers the
+// structured {code, message, field} document, with the field path set
+// for DAG validation failures.
+func TestErrorDocument(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	check := func(req api.SolveRequest, wantField string) {
+		t.Helper()
+		var apiErr api.Error
+		resp := post(t, ts.URL+"/v1/solve", req, &apiErr)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		if apiErr.Code != api.ErrBadRequest {
+			t.Errorf("code %q, want %q", apiErr.Code, api.ErrBadRequest)
+		}
+		if apiErr.Message == "" {
+			t.Error("empty error message")
+		}
+		if apiErr.Field != wantField {
+			t.Errorf("field %q, want %q", apiErr.Field, wantField)
+		}
+	}
+	// Unknown application index: the field path names the exact edge end.
+	check(api.SolveRequest{Edges: []config.EdgeSpec{{From: 0, To: 99}}}, "edges[0].to")
+	check(api.SolveRequest{Edges: []config.EdgeSpec{{From: -1, To: 1}}}, "edges[0].from")
+	// Self-edge: the path names the edge.
+	check(api.SolveRequest{Edges: []config.EdgeSpec{{From: 1, To: 1}}}, "edges[0]")
+	// Cycle: no single edge is at fault; the path is the edges field.
+	check(api.SolveRequest{Edges: []config.EdgeSpec{{From: 0, To: 1}, {From: 1, To: 0}}}, "edges")
+
+	// Non-validation 4xx bodies carry a code too.
+	var apiErr api.Error
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound || apiErr.Code != api.ErrNotFound {
+		t.Errorf("missing job: status %d code %q, want 404 %q", resp.StatusCode, apiErr.Code, api.ErrNotFound)
+	}
+}
+
+// solveDAGDirect computes the expected result of a seeded DAG solve via
+// the library: the reference the service must match bit for bit.
+func solveDAGDirect(t *testing.T, edges []sysmodel.Edge, heuristic string) *robustness.StageIResult {
+	t.Helper()
+	f := experiments.Framework()
+	h, err := ra.ByName(heuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := ra.SolveContext(context.Background(), h, &ra.Problem{
+		Sys: f.Sys, Batch: f.Batch, Deadline: f.Deadline, Edges: edges,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := robustness.EvaluateStageIDAG(f.Sys, f.Batch, edges, al, f.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSolveDAGDeterministic is the v1.1 acceptance check: a seeded DAG
+// solve through the service is bit-identical to the direct library
+// call, with the result cache off and on (including the cached replay),
+// and two jobs differing only in topology never share a cache key.
+func TestSolveDAGDeterministic(t *testing.T) {
+	edges := []config.EdgeSpec{{From: 0, To: 2}, {From: 1, To: 2}}
+	want := solveDAGDirect(t, []sysmodel.Edge{{From: 0, To: 2}, {From: 1, To: 2}}, "heft")
+
+	solveOnce := func(ts string, req api.SolveRequest) (api.Job, api.SolveResult) {
+		t.Helper()
+		var j api.Job
+		resp := post(t, ts+"/v1/solve", req, &j)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status %d, want 202", resp.StatusCode)
+		}
+		done := waitState(t, ts, j.ID, api.JobDone)
+		var res api.SolveResult
+		if err := json.Unmarshal(done.Result, &res); err != nil {
+			t.Fatal(err)
+		}
+		return done, res
+	}
+	checkMatch := func(res api.SolveResult) {
+		t.Helper()
+		if !api.ToAllocation(res.Allocation).Equal(want.Alloc) {
+			t.Errorf("service allocation %v != direct %v", res.Allocation, want.Alloc)
+		}
+		if res.Phi1 != want.Phi1 {
+			t.Errorf("service phi1 %v != direct %v", res.Phi1, want.Phi1)
+		}
+		for i := range want.PerApp {
+			if res.PerApp[i] != want.PerApp[i] || res.ExpectedTimes[i] != want.ExpectedTimes[i] {
+				t.Errorf("app %d: service (%v, %v) != direct (%v, %v)",
+					i, res.PerApp[i], res.ExpectedTimes[i], want.PerApp[i], want.ExpectedTimes[i])
+			}
+		}
+	}
+
+	req := api.SolveRequest{Heuristic: "heft", Edges: edges}
+
+	// Cache off.
+	_, ts := newTestServer(t, Options{})
+	_, res := solveOnce(ts.URL, req)
+	checkMatch(res)
+
+	// Cache on: the first run computes, the repeat replays from the
+	// result tier; both must match the direct call.
+	c := cache.New(cache.Options{})
+	_, ts2 := newTestServer(t, Options{Cache: c})
+	j1, res1 := solveOnce(ts2.URL, req)
+	checkMatch(res1)
+	j2, res2 := solveOnce(ts2.URL, req)
+	checkMatch(res2)
+	if j2.Cache == nil || !j2.Cache.ResultHit {
+		t.Error("repeat DAG solve was not answered from the result cache")
+	}
+	if j1.Cache == nil || j1.Cache.Key == "" {
+		t.Fatal("first DAG solve carried no cache key")
+	}
+
+	// A topology change must change the cache identity even for the
+	// embedded paper example (which has no canonical instance echo).
+	j3, _ := solveOnce(ts2.URL, api.SolveRequest{Heuristic: "heft", Edges: []config.EdgeSpec{{From: 1, To: 2}}})
+	if j3.Cache != nil && j3.Cache.Key == j1.Cache.Key {
+		t.Error("different topologies produced the same cache key")
+	}
+	// And the edge-free request keys differently from every DAG one.
+	j4, _ := solveOnce(ts2.URL, api.SolveRequest{Heuristic: "heft"})
+	if j4.Cache != nil && j4.Cache.Key == j1.Cache.Key {
+		t.Error("edge-free request shares a cache key with a DAG request")
+	}
+}
+
+// TestSimulateDAGGatesReleases submits a fork-join simulate job: the
+// sink application's mean completion must be at least the slower
+// source's, because every repetition gates the sink on its
+// predecessors' finish times.
+func TestSimulateDAGGatesReleases(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := api.SimulateRequest{
+		Edges:      []config.EdgeSpec{{From: 0, To: 2}, {From: 1, To: 2}},
+		Allocation: []api.Assignment{{Type: 0, Procs: 4}, {Type: 1, Procs: 4}, {Type: 1, Procs: 4}},
+		Techniques: []string{"STATIC"},
+		Reps:       5,
+		Seed:       11,
+	}
+	var j api.Job
+	resp := post(t, ts.URL+"/v1/simulate", req, &j)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	done := waitState(t, ts.URL, j.ID, api.JobDone)
+	var res api.SimulateResult
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	src := res.PerApp[0][0].MeanTime
+	if m := res.PerApp[1][0].MeanTime; m > src {
+		src = m
+	}
+	sink := res.PerApp[2][0].MeanTime
+	if sink <= src {
+		t.Errorf("sink mean %v not after slower source mean %v", sink, src)
+	}
+}

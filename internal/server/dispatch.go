@@ -85,36 +85,67 @@ func rawRequest(req any) (json.RawMessage, error) {
 
 // instanceField folds the request's problem identity into a result
 // key: the canonical instance bytes, or a fixed marker for the
-// embedded paper example (which has no canonical echo).
+// embedded paper example (which has no canonical echo). A submitted
+// instance's echo already contains its effective edges; the paper
+// example folds request edges in explicitly, so two jobs differing
+// only in topology can never share a key.
 func instanceField(h *cache.Hasher, p *problem) {
 	if p.echo != nil {
 		h.String("instance").Bytes(p.echo)
 	} else {
 		h.String("paper-example")
+		for _, e := range p.edges {
+			h.Int(e.From).Int(e.To)
+		}
 	}
 }
 
 // problem is a resolved problem document: the model objects, the
-// availability cases to evaluate, and the canonical echo of the
-// submitted instance (nil for the embedded paper example).
+// availability cases to evaluate, the precedence edges, and the
+// canonical echo of the submitted instance (nil for the embedded paper
+// example).
 type problem struct {
 	sys      *sysmodel.System
 	batch    sysmodel.Batch
 	deadline float64
 	cases    []core.Case
+	edges    []sysmodel.Edge
 	echo     json.RawMessage
 }
 
 // resolveProblem builds the model objects for a request. A nil instance
 // means the embedded paper example with the paper's four availability
 // cases; an instance without declared cases gets core.FallbackCases,
-// exactly like the cdsf CLI.
-func resolveProblem(inst *config.Instance) (*problem, error) {
+// exactly like the cdsf CLI. Non-empty request edges (v1.1) override
+// the instance's own and become part of the canonical echo, so the
+// result document and the cache identity both carry the effective
+// topology.
+func resolveProblem(inst *config.Instance, edges []config.EdgeSpec) (*problem, error) {
+	if inst != nil && len(edges) > 0 {
+		clone := *inst
+		clone.Edges = edges
+		inst = &clone
+	}
 	if inst == nil {
 		f := experiments.Framework()
-		return &problem{sys: f.Sys, batch: f.Batch, deadline: f.Deadline, cases: experiments.Cases()}, nil
+		p := &problem{sys: f.Sys, batch: f.Batch, deadline: f.Deadline, cases: experiments.Cases()}
+		if len(edges) > 0 {
+			es := make([]sysmodel.Edge, len(edges))
+			for i, e := range edges {
+				es[i] = sysmodel.Edge{From: e.From, To: e.To}
+			}
+			if err := sysmodel.ValidateEdges(es, len(p.batch)); err != nil {
+				return nil, err
+			}
+			p.edges = es
+		}
+		return p, nil
 	}
 	sys, batch, deadline, err := config.Build(inst)
+	if err != nil {
+		return nil, err
+	}
+	es, err := config.BuildEdges(inst)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +164,7 @@ func resolveProblem(inst *config.Instance) (*problem, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &problem{sys: sys, batch: batch, deadline: deadline, cases: cases, echo: echo}, nil
+	return &problem{sys: sys, batch: batch, deadline: deadline, cases: cases, edges: es, echo: echo}, nil
 }
 
 // resolveCase picks the availability case a simulate request names:
@@ -192,7 +223,7 @@ func (s *Server) stageII(deadline float64, seed uint64, reps int) core.StageIICo
 // prepareSolve validates a Stage-I request (bad instances and unknown
 // heuristic names are the client's fault) and builds the search job.
 func (s *Server) prepareSolve(req *api.SolveRequest) (*jobSpec, error) {
-	p, err := resolveProblem(req.Instance)
+	p, err := resolveProblem(req.Instance, req.Edges)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +247,7 @@ func (s *Server) prepareSolve(req *api.SolveRequest) (*jobSpec, error) {
 	if err != nil {
 		return nil, err
 	}
-	prob := &ra.Problem{Sys: p.sys, Batch: p.batch, Deadline: deadline,
+	prob := &ra.Problem{Sys: p.sys, Batch: p.batch, Deadline: deadline, Edges: p.edges,
 		Backend: backend, Metrics: s.opts.Metrics, Tracer: s.opts.Tracer}
 	if err := prob.Validate(); err != nil {
 		return nil, err
@@ -251,7 +282,7 @@ func (s *Server) prepareSolve(req *api.SolveRequest) (*jobSpec, error) {
 		if info != nil {
 			info.WarmHits, info.WarmMisses = prob.CacheCounts()
 		}
-		st, err := robustness.EvaluateStageI(p.sys, p.batch, al, deadline)
+		st, err := robustness.EvaluateStageIDAG(p.sys, p.batch, p.edges, al, deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +302,7 @@ func (s *Server) prepareSolve(req *api.SolveRequest) (*jobSpec, error) {
 // prepareSimulate validates a Stage-II request and builds the
 // Monte-Carlo job evaluating a fixed allocation under one case.
 func (s *Server) prepareSimulate(req *api.SimulateRequest) (*jobSpec, error) {
-	p, err := resolveProblem(req.Instance)
+	p, err := resolveProblem(req.Instance, req.Edges)
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +349,7 @@ func (s *Server) prepareSimulate(req *api.SimulateRequest) (*jobSpec, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &core.Framework{Sys: p.sys, Batch: p.batch, Deadline: p.deadline}
+	f := &core.Framework{Sys: p.sys, Batch: p.batch, Deadline: p.deadline, Edges: p.edges}
 	spec := &jobSpec{kind: api.KindSimulate, withProgress: true, request: raw}
 	if s.opts.Cache != nil {
 		hk := cache.NewHasher("cdsf-result-v1")
@@ -356,7 +387,7 @@ func (s *Server) prepareSimulate(req *api.SimulateRequest) (*jobSpec, error) {
 // prepareScenario validates a full framework request and builds the
 // dual-stage job over every availability case.
 func (s *Server) prepareScenario(req *api.ScenarioRequest) (*jobSpec, error) {
-	p, err := resolveProblem(req.Instance)
+	p, err := resolveProblem(req.Instance, req.Edges)
 	if err != nil {
 		return nil, err
 	}
@@ -373,7 +404,7 @@ func (s *Server) prepareScenario(req *api.ScenarioRequest) (*jobSpec, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &core.Framework{Sys: p.sys, Batch: p.batch, Deadline: p.deadline}
+	f := &core.Framework{Sys: p.sys, Batch: p.batch, Deadline: p.deadline, Edges: p.edges}
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"cdsf/internal/api"
 	"cdsf/internal/events"
 )
 
@@ -31,11 +32,11 @@ import (
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.lookup(id); !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
+		writeError(w, http.StatusNotFound, api.ErrNotFound, fmt.Sprintf("no job %q", id))
 		return
 	}
 	if s.opts.Events == nil {
-		writeError(w, http.StatusNotFound, "event journal disabled on this server")
+		writeError(w, http.StatusNotFound, api.ErrNotFound, "event journal disabled on this server")
 		return
 	}
 	// The journal exists for every registered job when events are on;
@@ -43,7 +44,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	// invent an empty journal for a pre-enablement job.
 	journal := s.opts.Events.Lookup(id)
 	if journal == nil {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no event journal for job %q", id))
+		writeError(w, http.StatusNotFound, api.ErrNotFound, fmt.Sprintf("no event journal for job %q", id))
 		return
 	}
 	switch q := r.URL.Query().Get("follow"); q {
@@ -56,7 +57,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	case "1", "true":
 		s.followJournal(w, r, journal)
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("follow=%q (want 0 or 1)", q))
+		writeError(w, http.StatusBadRequest, api.ErrBadRequest, fmt.Sprintf("follow=%q (want 0 or 1)", q))
 	}
 }
 
@@ -65,7 +66,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) followJournal(w http.ResponseWriter, r *http.Request, journal *events.Journal) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")
+		writeError(w, http.StatusNotImplemented, api.ErrInternal, "streaming unsupported by this connection")
 		return
 	}
 	// Resume cursor: the standard Last-Event-ID header (sent by
@@ -139,7 +140,7 @@ func (s *Server) followJournal(w http.ResponseWriter, r *http.Request, journal *
 // handleDebugEvents serves the cross-job flight recorder.
 func (s *Server) handleDebugEvents(w http.ResponseWriter, _ *http.Request) {
 	if s.opts.Events == nil {
-		writeError(w, http.StatusNotFound, "event journal disabled on this server")
+		writeError(w, http.StatusNotFound, api.ErrNotFound, "event journal disabled on this server")
 		return
 	}
 	ring := s.opts.Events.Ring()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cdsf/internal/api"
+	"cdsf/internal/sysmodel"
 	"cdsf/internal/tracing"
 )
 
@@ -75,9 +76,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError writes the uniform error body.
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, api.Error{Error: msg})
+// writeError writes the uniform v1.1 error document: a stable code
+// plus a human-readable message.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, api.Error{Code: code, Message: msg})
+}
+
+// writeFieldError writes the error document for a validation failure,
+// extracting the offending JSON field path when the error carries one:
+// DAG edge errors (sysmodel.EdgeError, paths like "edges[3].from") and
+// JSON type mismatches (whose Field is the decoder's dotted path) both
+// do.
+func writeFieldError(w http.ResponseWriter, status int, code string, err error) {
+	doc := api.Error{Code: code, Message: err.Error()}
+	var ee *sysmodel.EdgeError
+	var te *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &ee):
+		doc.Field = ee.Path
+	case errors.As(err, &te) && te.Field != "":
+		doc.Field = te.Field
+	}
+	writeJSON(w, status, doc)
 }
 
 // decode parses a request body strictly: unknown fields are rejected so
@@ -88,7 +108,8 @@ func decode[T any](w http.ResponseWriter, r *http.Request) (*T, bool) {
 	dec.DisallowUnknownFields()
 	req := new(T)
 	if err := dec.Decode(req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		writeFieldError(w, http.StatusBadRequest, api.ErrBadRequest,
+			fmt.Errorf("decoding request: %w", err))
 		return nil, false
 	}
 	return req, true
@@ -110,12 +131,12 @@ func (s *Server) accept(w http.ResponseWriter, spec *jobSpec) {
 	}
 	switch {
 	case errors.Is(err, errDraining):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		writeError(w, http.StatusServiceUnavailable, api.ErrDraining, err.Error())
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		writeError(w, http.StatusTooManyRequests, api.ErrQueueFull, err.Error())
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, api.ErrInternal, err.Error())
 	default:
 		w.Header().Set("Location", "/"+api.Version+"/jobs/"+j.ID)
 		writeJSON(w, http.StatusAccepted, j)
@@ -132,7 +153,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	spec, err := s.prepareSolve(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeFieldError(w, http.StatusBadRequest, api.ErrBadRequest, err)
 		return
 	}
 	s.accept(w, spec)
@@ -147,7 +168,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	spec, err := s.prepareSimulate(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeFieldError(w, http.StatusBadRequest, api.ErrBadRequest, err)
 		return
 	}
 	s.accept(w, spec)
@@ -162,7 +183,7 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	}
 	spec, err := s.prepareScenario(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeFieldError(w, http.StatusBadRequest, api.ErrBadRequest, err)
 		return
 	}
 	s.accept(w, spec)
@@ -185,7 +206,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 				case api.JobQueued, api.JobRunning, api.JobDone, api.JobFailed, api.JobCancelled:
 					states[st] = true
 				default:
-					writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown state %q", part))
+					writeError(w, http.StatusBadRequest, api.ErrBadRequest, fmt.Sprintf("unknown state %q", part))
 					return
 				}
 			}
@@ -195,24 +216,24 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("limit must be a positive integer, got %q", v))
+			writeError(w, http.StatusBadRequest, api.ErrBadRequest, fmt.Sprintf("limit must be a positive integer, got %q", v))
 			return
 		}
 		limit = n
 	}
 	jobs, total, next, err := s.list(states, q.Get("after"), limit)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, api.ErrBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, api.JobList{Jobs: jobs, Total: total, Next: next})
+	writeJSON(w, http.StatusOK, api.JobList{APIVersion: api.MinorVersion, Jobs: jobs, Total: total, Next: next})
 }
 
 // handleJob polls one job.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.lookup(id); !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
+		writeError(w, http.StatusNotFound, api.ErrNotFound, fmt.Sprintf("no job %q", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.snapshot(id))
@@ -226,7 +247,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	env, ok := s.cancelJob(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
+		writeError(w, http.StatusNotFound, api.ErrNotFound, fmt.Sprintf("no job %q", id))
 		return
 	}
 	status := http.StatusOK
@@ -243,7 +264,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // worker sees its cohort.
 func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, errDraining.Error())
+		writeError(w, http.StatusServiceUnavailable, api.ErrDraining, errDraining.Error())
 		return
 	}
 	reg, ok := decode[api.WorkerRegistration](w, r)
@@ -251,12 +272,12 @@ func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if reg.Name == "" {
-		writeError(w, http.StatusBadRequest, "worker name is required")
+		writeJSON(w, http.StatusBadRequest, api.Error{Code: api.ErrBadRequest, Message: "worker name is required", Field: "name"})
 		return
 	}
 	u, err := url.Parse(reg.Addr)
 	if err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("worker addr must be an http(s) base URL, got %q", reg.Addr))
+		writeJSON(w, http.StatusBadRequest, api.Error{Code: api.ErrBadRequest, Message: fmt.Sprintf("worker addr must be an http(s) base URL, got %q", reg.Addr), Field: "addr"})
 		return
 	}
 	s.peers.register(reg.Name, strings.TrimRight(reg.Addr, "/"))
@@ -275,7 +296,7 @@ func (s *Server) handleWorkers(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !s.peers.remove(name) {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no worker %q", name))
+		writeError(w, http.StatusNotFound, api.ErrNotFound, fmt.Sprintf("no worker %q", name))
 		return
 	}
 	writeJSON(w, http.StatusOK, api.WorkerList{Workers: s.peers.statuses(time.Now())})
@@ -292,6 +313,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	h := api.Health{
 		Status:        "ok",
 		Version:       api.Version,
+		APIVersion:    api.MinorVersion,
 		Draining:      s.Draining(),
 		QueueDepth:    len(s.queue),
 		QueueCapacity: s.opts.Queue,

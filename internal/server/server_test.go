@@ -338,7 +338,7 @@ func TestBackpressure429(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("429 without Retry-After header")
 	}
-	if apiErr.Error == "" {
+	if apiErr.Message == "" {
 		t.Error("429 without error body")
 	}
 }
@@ -440,7 +440,7 @@ func TestListJobsAndFilters(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bogus state filter status %d, want 400", resp.StatusCode)
 	}
-	if apiErr.Error == "" {
+	if apiErr.Message == "" {
 		t.Error("bogus state filter returned no error body")
 	}
 }
@@ -459,7 +459,7 @@ func TestBadRequests(t *testing.T) {
 		if resp.StatusCode != want {
 			t.Errorf("POST %s %q: status %d, want %d", path, body, resp.StatusCode, want)
 		}
-		if apiErr.Error == "" {
+		if apiErr.Message == "" {
 			t.Errorf("POST %s %q: no error body", path, body)
 		}
 	}

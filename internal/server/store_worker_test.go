@@ -259,7 +259,7 @@ func TestWorkerDeathReassignsLease(t *testing.T) {
 			writeJSON(w, http.StatusAccepted, api.Job{ID: "job-000001", Kind: api.KindSolve, State: api.JobQueued})
 			return
 		}
-		writeError(w, http.StatusNotFound, "gone")
+		writeError(w, http.StatusNotFound, api.ErrNotFound, "gone")
 	}))
 	defer dead.Close()
 	_, workerTS := newTestServer(t, Options{})

@@ -36,7 +36,7 @@ func TestRunManyContextCancelled(t *testing.T) {
 // RunManyContext with a background context must be bit-identical to the
 // legacy RunMany on a seeded workload.
 func TestRunManyContextMatchesRunMany(t *testing.T) {
-	a, err := RunMany(replCfg(t), 6)
+	a, err := RunManyContext(context.Background(), replCfg(t), 6)
 	if err != nil {
 		t.Fatal(err)
 	}

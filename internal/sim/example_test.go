@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"fmt"
 
 	"cdsf/internal/availability"
@@ -13,9 +14,9 @@ import (
 // ExampleRun executes one loop with factoring on four dedicated
 // processors; with deterministic iteration costs the makespan is the
 // ideal N/P plus dispatch overheads on the critical path.
-func ExampleRun() {
+func ExampleRunContext() {
 	fac, _ := dls.Get("FAC")
-	r, err := sim.Run(sim.Config{
+	r, err := sim.RunContext(context.Background(), sim.Config{
 		ParallelIters: 1000,
 		Workers:       4,
 		IterTime:      stats.Truncated{Dist: stats.NewNormal(1, 0.0001), Lo: 0.99, Hi: 1.01},
@@ -37,9 +38,9 @@ func ExampleRun() {
 
 // ExampleRunMany aggregates repetitions into a makespan sample with
 // deadline statistics.
-func ExampleRunMany() {
+func ExampleRunManyContext() {
 	af, _ := dls.Get("AF")
-	s, err := sim.RunMany(sim.Config{
+	s, err := sim.RunManyContext(context.Background(), sim.Config{
 		ParallelIters: 500,
 		Workers:       4,
 		IterTime:      stats.NewNormal(1, 0.2),

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestProfiledRunConservesIterations(t *testing.T) {
 		p, _ := ProfileByName(name)
 		cfg := baseConfig(t, "FAC")
 		cfg.IterProfile = p
-		r, err := Run(cfg)
+		r, err := RunContext(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -79,7 +80,7 @@ func TestProfiledRunConservesIterations(t *testing.T) {
 func TestStaticSuffersOnIncreasingProfile(t *testing.T) {
 	mk := func(techName string, profile Profile) float64 {
 		tc := tech(t, techName)
-		s, err := RunMany(Config{
+		s, err := RunManyContext(context.Background(), Config{
 			ParallelIters: 4000,
 			Workers:       8,
 			IterTime:      stats.NewNormal(1, 0.1),

@@ -140,23 +140,6 @@ func (s *Sample) PrLE(x float64) float64 {
 	return float64(n) / float64(len(ms))
 }
 
-// RunMany executes reps independent simulations of cfg, deriving the
-// per-run seeds deterministically from cfg.Seed, and aggregates the
-// results. Repetitions run in parallel across CPUs when the
-// availability model allows it (group-scoped models such as
-// availability.SharedLoad carry per-run shared state and force
-// sequential execution, detected through any availability.Wrapper
-// chain); the aggregate is identical either way because every
-// repetition's seed is fixed up front.
-//
-// Deprecated: RunMany is the context-free wrapper kept for existing
-// callers. New code should call RunManyContext, the canonical
-// cancellable entry point (see DESIGN.md §7); RunMany is exactly
-// RunManyContext under context.Background().
-func RunMany(cfg Config, reps int) (*Sample, error) {
-	return RunManyContext(context.Background(), cfg, reps)
-}
-
 // RunManyContext is RunMany under a context. Cancellation stops workers
 // from claiming further repetitions, drains the in-flight ones (each of
 // which also observes ctx through RunContext), and returns a
@@ -169,6 +152,9 @@ func RunManyContext(ctx context.Context, cfg Config, reps int) (*Sample, error) 
 	}
 	if reps <= 0 {
 		return nil, fmt.Errorf("sim: %d repetitions", reps)
+	}
+	if cfg.Releases != nil && len(cfg.Releases) != reps {
+		return nil, fmt.Errorf("sim: %d release times for %d repetitions", len(cfg.Releases), reps)
 	}
 	cfg.registry().Counter("sim.replications").Add(int64(reps))
 	prog := cfg.progress()
@@ -185,6 +171,13 @@ func RunManyContext(ctx context.Context, cfg Config, reps int) (*Sample, error) 
 		c := cfg
 		c.Seed = runSeeds[i]
 		c.CollectChunks = false
+		if cfg.Releases != nil {
+			// Per-repetition release gate of a DAG batch: repetition i
+			// starts when its predecessors' repetition i finished.
+			c.Release = cfg.Releases[i]
+			c.Releases = nil
+			c.gated = true
+		}
 		// Trace only the first repetition: one representative timeline
 		// per batch instead of reps copies flooding the span buffer.
 		c.noTrace = i != 0

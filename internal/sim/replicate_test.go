@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -197,12 +198,12 @@ func TestRunManyWrappedSharedLoadSequential(t *testing.T) {
 	const reps = 16
 
 	cfg.Avail = mkShared()
-	direct, err := RunMany(cfg, reps)
+	direct, err := RunManyContext(context.Background(), cfg, reps)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Avail = wrappedModel{inner: mkShared()}
-	wrapped, err := RunMany(cfg, reps)
+	wrapped, err := RunManyContext(context.Background(), cfg, reps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,13 +220,13 @@ func TestMetricsDoNotPerturbResults(t *testing.T) {
 	cfg := replCfg(t)
 	const reps = 20
 
-	off, err := RunMany(cfg, reps)
+	off, err := RunManyContext(context.Background(), cfg, reps)
 	if err != nil {
 		t.Fatal(err)
 	}
 	reg := metrics.NewRegistry()
 	cfg.Metrics = reg
-	on, err := RunMany(cfg, reps)
+	on, err := RunManyContext(context.Background(), cfg, reps)
 	if err != nil {
 		t.Fatal(err)
 	}

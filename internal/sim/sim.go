@@ -78,6 +78,19 @@ type Config struct {
 	// their learned state across sweeps; other techniques restart
 	// fresh each sweep.
 	TimeSteps int
+	// Release delays the run's start: a DAG batch application is
+	// blocked until all its predecessors have finished, so its clock
+	// starts at Release and the reported Makespan is the absolute
+	// finish time (Release included). Zero is the independent-batch
+	// behavior. Must be non-negative and finite.
+	Release float64
+	// Releases optionally gives RunMany a per-repetition release time
+	// (length must equal the repetition count): repetition i starts at
+	// Releases[i], which is how core couples a DAG's replications —
+	// each repetition's release is the max of its predecessors' finish
+	// times in that same repetition. Nil applies Release to every
+	// repetition.
+	Releases []float64
 	// Seed drives all randomness of the run.
 	Seed uint64
 	// CollectChunks enables the per-chunk log in the result (costs
@@ -112,6 +125,11 @@ type Config struct {
 	// it on all repetitions but the first so a Monte-Carlo batch traces
 	// one representative timeline instead of flooding the span buffer.
 	noTrace bool
+	// gated marks a run as precedence-gated (part of a DAG batch) even
+	// when its release time is zero, so the sim.dag.* metrics count
+	// source applications too. RunMany sets it when Releases is
+	// non-nil.
+	gated bool
 }
 
 // progress resolves the effective progress board for a run.
@@ -163,6 +181,9 @@ func (c *Config) validate() error {
 	if c.Overhead < 0 {
 		return fmt.Errorf("sim: negative overhead %v", c.Overhead)
 	}
+	if c.Release < 0 || math.IsNaN(c.Release) || math.IsInf(c.Release, 0) {
+		return fmt.Errorf("sim: invalid release time %v", c.Release)
+	}
 	return nil
 }
 
@@ -176,12 +197,16 @@ type ChunkRecord struct {
 
 // Result reports one simulated run.
 type Result struct {
-	// Makespan is the completion time of the whole application,
-	// including the serial phase.
+	// Makespan is the absolute completion time of the whole
+	// application: the release time (if any), the serial phase, and
+	// the parallel loop.
 	Makespan float64
+	// Release echoes Config.Release: the time the application spent
+	// blocked on its predecessors before starting.
+	Release float64
 	// SerialTime is the duration of the serial phase.
 	SerialTime float64
-	// ParallelTime is Makespan - SerialTime.
+	// ParallelTime is Makespan - Release - SerialTime.
 	ParallelTime float64
 	// NumChunks counts dispatched chunks.
 	NumChunks int
@@ -261,16 +286,6 @@ func drawProfiledWork(dist stats.Dist, profile Profile, start, k, n int, r *rng.
 // the cancellation latency well below a millisecond.
 const simCheckStride = 1024
 
-// Run executes one simulation.
-//
-// Deprecated: Run is the context-free wrapper kept for existing
-// callers. New code should call RunContext, the canonical cancellable
-// entry point (see DESIGN.md §7); Run is exactly RunContext under
-// context.Background().
-func Run(cfg Config) (*Result, error) {
-	return RunContext(context.Background(), cfg)
-}
-
 // RunContext executes one simulation under ctx. The event loop checks
 // for cancellation every simCheckStride events; a cancelled run returns
 // an error wrapping ctx.Err() and no result. Cancellation checks never
@@ -319,7 +334,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if weights == nil && cfg.WeightsFromAvail {
 		weights = make([]float64, cfg.Workers)
 		for i, p := range procs {
-			weights[i] = p.At(0)
+			weights[i] = p.At(cfg.Release)
 		}
 	}
 
@@ -339,6 +354,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{
+		Release:     cfg.Release,
 		WorkerBusy:  make([]float64, cfg.Workers),
 		WorkerIters: make([]int, cfg.Workers),
 	}
@@ -348,7 +364,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		steps = 1
 	}
 	var st runStats
-	clock := 0.0
+	// A precedence-gated run starts its clock at the release time: the
+	// application was blocked until every predecessor finished, so the
+	// availability processes, the serial phase, and every chunk live at
+	// absolute simulated times past the release.
+	clock := cfg.Release
 	for step := 0; step < steps; step++ {
 		if step > 0 {
 			// A time-stepping scheduler (the original AWF) carries its
@@ -385,7 +405,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	res.Makespan = clock
-	res.ParallelTime = clock - res.SerialTime
+	res.ParallelTime = clock - cfg.Release - res.SerialTime
 	if reg != nil {
 		flushRunMetrics(reg, &cfg, res, &st, time.Since(t0))
 	}
@@ -408,9 +428,16 @@ func emitRunSpans(tr *tracing.Tracer, cfg *Config, res *Result) {
 	if scope == "" {
 		scope = "run"
 	}
+	if res.Release > 0 {
+		// The release gate of a DAG batch: simulated time spent blocked
+		// on predecessors, shown on its own lane so the release schedule
+		// is visible next to the worker lanes.
+		tr.Add(tracing.Span{Clock: tracing.Sim, Lane: scope + "/blocked",
+			Name: "blocked on predecessors", Cat: "blocked", Start: 0, Dur: res.Release})
+	}
 	if res.SerialTime > 0 {
 		tr.Add(tracing.Span{Clock: tracing.Sim, Lane: scope + "/serial",
-			Name: "serial phase", Cat: "serial", Start: 0, Dur: res.SerialTime})
+			Name: "serial phase", Cat: "serial", Start: res.Release, Dur: res.SerialTime})
 	}
 	chunks := make([]tracing.Chunk, len(res.Chunks))
 	for i, c := range res.Chunks {
@@ -436,6 +463,13 @@ var utilizationBounds = []float64{0.25, 0.5, 0.75, 0.9, 1.0}
 // rng streams, so enabling metrics cannot perturb seeded outputs.
 func flushRunMetrics(reg *metrics.Registry, cfg *Config, res *Result, st *runStats, wall time.Duration) {
 	reg.Counter("sim.runs").Inc()
+	if cfg.gated || cfg.Release > 0 {
+		// DAG release schedule: one "ready" event per gated run, plus
+		// the simulated time the application spent blocked on its
+		// predecessors before that.
+		reg.Counter("sim.dag.ready").Inc()
+		reg.Gauge("sim.dag.blocked_time").Add(cfg.Release)
+	}
 	reg.Counter("sim.events").Add(st.events)
 	reg.Counter("sim.heap_ops").Add(st.heapOps)
 	reg.Counter("sim.chunks").Add(int64(res.NumChunks))

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -35,11 +36,11 @@ func baseConfig(t testing.TB, techName string) Config {
 
 func TestRunDeterministicBySeed(t *testing.T) {
 	cfg := baseConfig(t, "FAC")
-	a, err := Run(cfg)
+	a, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg)
+	b, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestRunDeterministicBySeed(t *testing.T) {
 			a.Makespan, a.NumChunks, b.Makespan, b.NumChunks)
 	}
 	cfg.Seed = 2
-	c, err := Run(cfg)
+	c, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestRunDeterministicBySeed(t *testing.T) {
 func TestIterationConservation(t *testing.T) {
 	for _, name := range dls.Names() {
 		cfg := baseConfig(t, name)
-		r, err := Run(cfg)
+		r, err := RunContext(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -76,7 +77,7 @@ func TestIterationConservation(t *testing.T) {
 
 func TestMakespanAboveIdealBound(t *testing.T) {
 	cfg := baseConfig(t, "AF")
-	r, err := Run(cfg)
+	r, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestMakespanAboveIdealBound(t *testing.T) {
 func TestNoSerialPhase(t *testing.T) {
 	cfg := baseConfig(t, "FAC")
 	cfg.SerialIters = 0
-	r, err := Run(cfg)
+	r, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestNoSerialPhase(t *testing.T) {
 func TestChunkLogConsistency(t *testing.T) {
 	cfg := baseConfig(t, "GSS")
 	cfg.CollectChunks = true
-	r, err := Run(cfg)
+	r, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,13 +135,13 @@ func TestChunkLogConsistency(t *testing.T) {
 
 func TestLowAvailabilityStretchesMakespan(t *testing.T) {
 	full := baseConfig(t, "FAC")
-	rFull, err := Run(full)
+	rFull, err := RunContext(context.Background(), full)
 	if err != nil {
 		t.Fatal(err)
 	}
 	half := full
 	half.Avail = availability.Static{PMF: pmf.Point(0.5)}
-	rHalf, err := Run(half)
+	rHalf, err := RunContext(context.Background(), half)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestAdaptiveBeatsStaticUnderHeterogeneity(t *testing.T) {
 			Overhead:      0.5,
 			Seed:          9,
 		}
-		s, err := RunMany(cfg, 20)
+		s, err := RunManyContext(context.Background(), cfg, 20)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,11 +187,11 @@ func TestOverheadMonotone(t *testing.T) {
 	cheap.Overhead = 0
 	expensive := cheap
 	expensive.Overhead = 2
-	rc, err := Run(cheap)
+	rc, err := RunContext(context.Background(), cheap)
 	if err != nil {
 		t.Fatal(err)
 	}
-	re, err := Run(expensive)
+	re, err := RunContext(context.Background(), expensive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestBestMasterImprovesSerialPhase(t *testing.T) {
 			cfg.Avail = availability.Static{PMF: avail}
 			cfg.BestMaster = best
 			cfg.Seed = seed
-			r, err := Run(cfg)
+			r, err := RunContext(context.Background(), cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -237,7 +238,7 @@ func TestWeightsFromAvail(t *testing.T) {
 		Seed:             4,
 		CollectChunks:    true,
 	}
-	r, err := Run(cfg)
+	r, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestValidation(t *testing.T) {
 	for i, mod := range bads {
 		cfg := good
 		mod(&cfg)
-		if _, err := Run(cfg); err == nil {
+		if _, err := RunContext(context.Background(), cfg); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
 	}
@@ -268,7 +269,7 @@ func TestValidation(t *testing.T) {
 
 func TestRunMany(t *testing.T) {
 	cfg := baseConfig(t, "FAC")
-	s, err := RunMany(cfg, 25)
+	s, err := RunManyContext(context.Background(), cfg, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,11 +282,11 @@ func TestRunMany(t *testing.T) {
 	if pr := s.PrLE(s.Quantile(0.5)); pr < 0.4 || pr > 0.7 {
 		t.Errorf("PrLE(median) = %v", pr)
 	}
-	if _, err := RunMany(cfg, 0); err == nil {
+	if _, err := RunManyContext(context.Background(), cfg, 0); err == nil {
 		t.Error("zero reps accepted")
 	}
 	// Deterministic: same base seed, same sample.
-	s2, err := RunMany(cfg, 25)
+	s2, err := RunManyContext(context.Background(), cfg, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func TestQuickSimInvariants(t *testing.T) {
 			Overhead:  0.1,
 			Seed:      seed,
 		}
-		r, err := Run(cfg)
+		r, err := RunContext(context.Background(), cfg)
 		if err != nil {
 			return false
 		}
@@ -345,7 +346,7 @@ func TestBlackoutFailureInjection(t *testing.T) {
 		Interval: 100,
 	}
 	mk := func(name string) float64 {
-		s, err := RunMany(Config{
+		s, err := RunManyContext(context.Background(), Config{
 			ParallelIters: 2000,
 			Workers:       4,
 			IterTime:      stats.NewNormal(1, 0.2),
@@ -367,7 +368,7 @@ func TestBlackoutFailureInjection(t *testing.T) {
 			static, fac, af)
 	}
 	// Conservation under failure injection.
-	r, err := Run(Config{
+	r, err := RunContext(context.Background(), Config{
 		ParallelIters: 777,
 		Workers:       3,
 		IterTime:      stats.NewNormal(1, 0.2),
@@ -389,7 +390,7 @@ func TestBlackoutFailureInjection(t *testing.T) {
 
 func TestConfidenceInterval(t *testing.T) {
 	cfg := baseConfig(t, "FAC")
-	s, err := RunMany(cfg, 40)
+	s, err := RunManyContext(context.Background(), cfg, 40)
 	if err != nil {
 		t.Fatal(err)
 	}

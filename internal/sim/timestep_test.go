@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 func TestTimeStepsIterationConservation(t *testing.T) {
 	cfg := baseConfig(t, "FAC")
 	cfg.TimeSteps = 5
-	r, err := Run(cfg)
+	r, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestTimeStepsIterationConservation(t *testing.T) {
 		t.Errorf("5 sweeps executed %d iterations, want %d", total, 5*cfg.ParallelIters)
 	}
 	// The serial phase runs once per sweep.
-	single, err := Run(baseConfig(t, "FAC"))
+	single, err := RunContext(context.Background(), baseConfig(t, "FAC"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,13 +57,13 @@ func TestAWFImprovesAcrossTimeSteps(t *testing.T) {
 	}
 	oneCfg := mkCfg(1)
 	oneCfg.TimeSteps = 1
-	one, err := Run(oneCfg)
+	one, err := RunContext(context.Background(), oneCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fourCfg := mkCfg(4)
 	fourCfg.TimeSteps = 4
-	four, err := Run(fourCfg)
+	four, err := RunContext(context.Background(), fourCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +78,11 @@ func TestAWFImprovesAcrossTimeSteps(t *testing.T) {
 func TestTimeStepsDeterministic(t *testing.T) {
 	cfg := baseConfig(t, "AWF")
 	cfg.TimeSteps = 3
-	a, err := Run(cfg)
+	a, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg)
+	b, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

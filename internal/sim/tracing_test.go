@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 // into the caller's Result.
 func TestTracerDoesNotPerturbResults(t *testing.T) {
 	cfg := baseConfig(t, "FAC")
-	plain, err := Run(cfg)
+	plain, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +22,7 @@ func TestTracerDoesNotPerturbResults(t *testing.T) {
 	traced := cfg
 	traced.Tracer = tracing.New()
 	traced.TraceScope = "fac"
-	got, err := Run(traced)
+	got, err := RunContext(context.Background(), traced)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestTracerDoesNotPerturbResults(t *testing.T) {
 
 	// When the caller asks for chunks, tracing must keep them.
 	traced.CollectChunks = true
-	withChunks, err := Run(traced)
+	withChunks, err := RunContext(context.Background(), traced)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestRunSpanAccounting(t *testing.T) {
 	cfg.Tracer = tracing.New()
 	cfg.TraceScope = "fac"
 	cfg.CollectChunks = true
-	res, err := Run(cfg)
+	res, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestRunManyTracesFirstRepOnly(t *testing.T) {
 	// RunMany derives rep i's seed from cfg.Seed; reproduce rep 0 here.
 	single := cfg
 	single.Seed = rng.New(cfg.Seed).Uint64()
-	rep0, err := Run(single)
+	rep0, err := RunContext(context.Background(), single)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestRunManyTracesFirstRepOnly(t *testing.T) {
 	}
 
 	cfg.Tracer = tracing.New()
-	s, err := RunMany(cfg, 5)
+	s, err := RunManyContext(context.Background(), cfg, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestDefaultTracerFallback(t *testing.T) {
 	tracing.SetDefault(tr)
 	defer tracing.SetDefault(nil)
 	cfg := baseConfig(t, "SS")
-	if _, err := Run(cfg); err != nil {
+	if _, err := RunContext(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if tr.Len() == 0 {

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -19,7 +20,7 @@ func runWithChunks(t *testing.T, overhead float64) *sim.Result {
 	if !ok {
 		t.Fatal("FAC missing")
 	}
-	r, err := sim.Run(sim.Config{
+	r, err := sim.RunContext(context.Background(), sim.Config{
 		ParallelIters: 500,
 		Workers:       4,
 		IterTime:      stats.NewNormal(1, 0.2),
